@@ -1,0 +1,85 @@
+// Command characterize regenerates the paper's evaluation: every table
+// and figure (Figs. 5-8, Tables III, V, VI, VII), plus the findings
+// checklist, from deterministic full-system runs.
+//
+// Usage:
+//
+//	characterize [-exp all|fig5|tab3|fig6|tab5|tab6|tab7|fig7|fig8]
+//	             [-duration 60s] [-out report.txt]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all, findings, or one of "+strings.Join(core.ExperimentNames(), ", "))
+	duration := flag.Duration("duration", 60*time.Second, "virtual drive duration per configuration")
+	out := flag.String("out", "", "write the report to this file instead of stdout")
+	csvDir := flag.String("csv", "", "also export raw per-sample data as CSV files into this directory")
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	fmt.Fprintf(os.Stderr, "building environment (scenario + HD map)...\n")
+	start := time.Now()
+	c, err := core.NewCharacterizer(*duration)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "environment ready in %.1fs; simulating %v per configuration\n",
+		time.Since(start).Seconds(), *duration)
+
+	if *exp == "all" {
+		if err := c.RunAll(w); err != nil {
+			fatal(err)
+		}
+		findings, err := c.Findings()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(w, "\n=== Findings ===")
+		for _, f := range findings {
+			fmt.Fprintln(w, f)
+		}
+	} else if *exp == "findings" {
+		findings, err := c.Findings()
+		if err != nil {
+			fatal(err)
+		}
+		for _, f := range findings {
+			fmt.Fprintln(w, f)
+		}
+	} else {
+		if err := c.RunExperiment(w, *exp); err != nil {
+			fatal(err)
+		}
+	}
+	if *csvDir != "" {
+		if err := c.WriteCSV(*csvDir); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "raw data exported to %s\n", *csvDir)
+	}
+	fmt.Fprintf(os.Stderr, "done in %.1fs\n", time.Since(start).Seconds())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "characterize:", err)
+	os.Exit(1)
+}

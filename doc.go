@@ -1,0 +1,10 @@
+// Package repro reproduces "Demystifying Power and Performance
+// Bottlenecks in Autonomous Driving Systems" (Becker, Arnau, González,
+// IISWC 2020) as a Go library: the full Autoware-style perception stack
+// over a ROS-like middleware, a discrete-event hardware platform that
+// stands in for the paper's CPU/GPU testbed, and a characterization
+// harness that regenerates every table and figure of the evaluation.
+//
+// The public API lives in repro/avstack; the per-artifact benchmarks in
+// bench_test.go regenerate the paper's tables and figures.
+package repro

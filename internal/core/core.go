@@ -1,0 +1,154 @@
+// Package core is the paper's primary contribution rendered as a
+// library: the end-to-end characterization engine. It orchestrates
+// full-system runs of the assembled stack across the detector
+// configurations, regenerates every table and figure of the evaluation,
+// and writes the paper-versus-measured record (EXPERIMENTS.md).
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/autoware"
+	"repro/internal/experiments"
+)
+
+// Characterizer runs the full methodology over one environment.
+type Characterizer struct {
+	env  *experiments.Env
+	runs *experiments.Runs
+	// Duration is the virtual drive time per configuration.
+	Duration time.Duration
+}
+
+// NewCharacterizer builds the environment (scenario + HD map). This is
+// the expensive step; reuse one Characterizer across experiments.
+func NewCharacterizer(duration time.Duration) (*Characterizer, error) {
+	if duration <= 0 {
+		return nil, fmt.Errorf("core: non-positive duration")
+	}
+	env, err := experiments.NewEnv()
+	if err != nil {
+		return nil, err
+	}
+	c := &Characterizer{env: env, Duration: duration}
+	c.runs = experiments.NewRuns(env, duration)
+	return c, nil
+}
+
+// Env exposes the underlying environment for advanced use.
+func (c *Characterizer) Env() *experiments.Env { return c.env }
+
+// Runs exposes the run cache (completed stack executions).
+func (c *Characterizer) Runs() *experiments.Runs { return c.runs }
+
+// RunExperiment executes one named experiment (fig5, tab3, fig6, tab5,
+// tab6, tab7, fig7, fig8), writing its report to w.
+func (c *Characterizer) RunExperiment(w io.Writer, name string) error {
+	e, err := experiments.ByName(name)
+	if err != nil {
+		return err
+	}
+	return e.Run(w, c.runs)
+}
+
+// WriteCSV exports the raw data behind the figures to dir (see
+// experiments.WriteCSV for the file inventory).
+func (c *Characterizer) WriteCSV(dir string) error {
+	return experiments.WriteCSV(dir, c.runs)
+}
+
+// RunAll executes every experiment in paper order.
+func (c *Characterizer) RunAll(w io.Writer) error {
+	for _, e := range experiments.All() {
+		if err := e.Run(w, c.runs); err != nil {
+			return fmt.Errorf("core: experiment %s: %w", e.Name, err)
+		}
+	}
+	return nil
+}
+
+// ExperimentNames lists the available experiments in paper order.
+func ExperimentNames() []string {
+	all := experiments.All()
+	out := make([]string, len(all))
+	for i, e := range all {
+		out[i] = e.Name
+	}
+	return out
+}
+
+// Stack returns the completed full-system run for a detector (running
+// it on first use).
+func (c *Characterizer) Stack(det autoware.Detector) (*autoware.Stack, error) {
+	return c.runs.Full(det)
+}
+
+// Findings checks the paper's five findings against the completed runs
+// and returns one line per finding with a pass/deviation verdict.
+func (c *Characterizer) Findings() ([]string, error) {
+	var out []string
+
+	ssd512, err := c.runs.Full(autoware.DetectorSSD512)
+	if err != nil {
+		return nil, err
+	}
+	ssd300, err := c.runs.Full(autoware.DetectorSSD300)
+	if err != nil {
+		return nil, err
+	}
+	alone, err := c.runs.Standalone(autoware.DetectorSSD512)
+	if err != nil {
+		return nil, err
+	}
+
+	// Finding 1: tail latency of other components varies with the
+	// detector choice (contention).
+	t512 := ssd512.Recorder.NodeLatency("euclidean_cluster").P99
+	t300 := ssd300.Recorder.NodeLatency("euclidean_cluster").P99
+	delta := 0.0
+	if t300 > 0 {
+		delta = (t512 - t300) / t300
+	}
+	out = append(out, verdict(
+		"F1 contention moves co-runner tails",
+		fmt.Sprintf("euclidean_cluster p99 %.1f ms (SSD512) vs %.1f ms (SSD300), %+.0f%%", t512, t300, 100*delta),
+		delta > 0.05 || delta < -0.05))
+
+	// Finding 2: end-to-end latency exceeds the 100 ms budget.
+	_, e2e := ssd512.Recorder.EndToEnd()
+	out = append(out, verdict(
+		"F2 end-to-end exceeds 100 ms budget",
+		fmt.Sprintf("worst path mean %.1f ms, max %.1f ms", e2e.Mean, e2e.Max),
+		e2e.Mean > 100 && e2e.Max > 150))
+
+	// Finding 3: average utilization leaves headroom.
+	cpuU := ssd512.Sampler.MeanCPUUtil()
+	gpuU := ssd512.Sampler.MeanGPUUtil()
+	out = append(out, verdict(
+		"F3 resources not saturated",
+		fmt.Sprintf("mean CPU %.0f%%, GPU %.0f%%", 100*cpuU, 100*gpuU),
+		cpuU < 0.6 && gpuU < 0.6))
+
+	// Findings 4/5: full system raises detector mean and stddev.
+	sa := alone.Recorder.NodeLatency(autoware.VisionNodeName)
+	sf := ssd512.Recorder.NodeLatency(autoware.VisionNodeName)
+	out = append(out, verdict(
+		"F4 full system raises detector mean",
+		fmt.Sprintf("SSD512 %.2f ms alone vs %.2f ms in system", sa.Mean, sf.Mean),
+		sf.Mean > sa.Mean))
+	out = append(out, verdict(
+		"F5 full system weakens predictability",
+		fmt.Sprintf("SSD512 stddev %.2f ms alone vs %.2f ms in system", sa.StdDev, sf.StdDev),
+		sf.StdDev > sa.StdDev))
+	return out, nil
+}
+
+func verdict(name, detail string, ok bool) string {
+	mark := "REPRODUCED"
+	if !ok {
+		mark = "DEVIATION"
+	}
+	return fmt.Sprintf("[%s] %s — %s", mark, name, detail)
+}

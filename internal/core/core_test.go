@@ -1,0 +1,83 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// The characterizer is expensive (environment build + full-system
+// runs); one shared instance serves every test in the package.
+var shared *Characterizer
+
+func characterizer(t *testing.T) *Characterizer {
+	t.Helper()
+	if shared == nil {
+		c, err := NewCharacterizer(15 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shared = c
+	}
+	return shared
+}
+
+func TestNewCharacterizerRejectsBadDuration(t *testing.T) {
+	if _, err := NewCharacterizer(0); err == nil {
+		t.Error("zero duration should fail")
+	}
+}
+
+func TestRunExperimentByName(t *testing.T) {
+	c := characterizer(t)
+	var sb strings.Builder
+	if err := c.RunExperiment(&sb, "tab6"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Table VI") {
+		t.Errorf("tab6 output:\n%s", sb.String())
+	}
+	if err := c.RunExperiment(&sb, "nope"); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}
+
+func TestExperimentNames(t *testing.T) {
+	names := ExperimentNames()
+	if len(names) != 9 {
+		t.Fatalf("names = %v", names)
+	}
+	if names[0] != "fig5" {
+		t.Errorf("first = %s", names[0])
+	}
+}
+
+func TestFindingsAllReproduced(t *testing.T) {
+	c := characterizer(t)
+	findings, err := c.Findings()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 5 {
+		t.Fatalf("findings = %d", len(findings))
+	}
+	for _, f := range findings {
+		if !strings.Contains(f, "REPRODUCED") {
+			t.Errorf("finding not reproduced: %s", f)
+		}
+	}
+}
+
+func TestStackAccessor(t *testing.T) {
+	c := characterizer(t)
+	s, err := c.Stack("SSD300")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Recorder.NodeLatency("ndt_matching").Count == 0 {
+		t.Error("stack run produced no samples")
+	}
+	if _, err := c.Stack("bogus"); err == nil {
+		t.Error("bogus detector should fail")
+	}
+}

@@ -1,0 +1,251 @@
+package dnn
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/mathx"
+)
+
+// Detection is one decoded box in input-image pixel coordinates.
+type Detection struct {
+	Rect  geom.Rect
+	Class int // index into ClassNames
+	Score float64
+}
+
+// ClassNames are the functional detector's classes, aligned with the
+// actor kinds the camera renders.
+var ClassNames = []string{"car", "truck", "pedestrian", "cyclist"}
+
+// Detector is the functional reduced-scale CNN detector. Its first
+// convolution contains hand-constructed color-opponent and edge filters
+// tuned to the camera's rendering palette; deeper layers are seeded
+// random projections. The decoding head finds connected salient regions
+// of the class activation maps — a real (if untrained) detection
+// pipeline whose output depends only on pixels.
+type Detector struct {
+	arch Arch
+	// Functional resolution (fixed across models; the analytic workload
+	// differentiates their cost).
+	funcH, funcW int
+	// Layer parameters.
+	w1, b1 []float32 // 3 -> nc1 color/edge bank
+	w2, b2 []float32 // nc1 -> nc2 mixing
+	w3, b3 []float32 // nc2 -> 4 class maps
+	// Threshold on class-map activation.
+	thresh float32
+}
+
+const (
+	nc1 = 8
+	nc2 = 8
+)
+
+// NewDetector builds the functional detector for an architecture.
+func NewDetector(arch Arch, seed uint64) *Detector {
+	d := &Detector{
+		arch:   arch,
+		funcH:  48,
+		funcW:  64,
+		thresh: 0.35,
+	}
+	rng := mathx.NewRNG(seed)
+	// Layer 1: 3x3 filters over RGB. First four output channels are
+	// color-opponent detectors matched to the rendering palette
+	// (car=red, truck=yellow, pedestrian=blue, cyclist=green); the rest
+	// are edge/texture filters with small random weights.
+	d.w1 = make([]float32, nc1*3*3*3)
+	d.b1 = make([]float32, nc1)
+	colorOpponent := [4][3]float32{
+		{1.2, -0.7, -0.7},  // red-dominance (car)
+		{0.7, 0.7, -1.3},   // yellow (truck)
+		{-0.8, -0.2, 1.4},  // blue (pedestrian)
+		{-0.8, 1.3, -0.55}, // green (cyclist)
+	}
+	for oc := 0; oc < nc1; oc++ {
+		for ic := 0; ic < 3; ic++ {
+			for ky := 0; ky < 3; ky++ {
+				for kx := 0; kx < 3; kx++ {
+					i := ((oc*3+ic)*3+ky)*3 + kx
+					if oc < 4 {
+						// Center-weighted color-opponent kernel.
+						wgt := colorOpponent[oc][ic] / 9
+						if ky == 1 && kx == 1 {
+							wgt *= 2
+						}
+						d.w1[i] = wgt
+					} else {
+						d.w1[i] = float32(rng.NormScaled(0, 0.15))
+					}
+				}
+			}
+		}
+		if oc < 4 {
+			d.b1[oc] = -0.12 // suppress background response
+		}
+	}
+	// Layer 2: channel mixing, biased toward identity on the four color
+	// channels so class evidence survives depth.
+	d.w2 = make([]float32, nc2*nc1*3*3)
+	d.b2 = make([]float32, nc2)
+	for oc := 0; oc < nc2; oc++ {
+		for ic := 0; ic < nc1; ic++ {
+			for ky := 0; ky < 3; ky++ {
+				for kx := 0; kx < 3; kx++ {
+					i := ((oc*nc1+ic)*3+ky)*3 + kx
+					v := float32(rng.NormScaled(0, 0.04))
+					if oc == ic && ky == 1 && kx == 1 && oc < 4 {
+						v += 1.0
+					}
+					d.w2[i] = v
+				}
+			}
+		}
+	}
+	// Layer 3: 1x1 projection to the 4 class maps (identity-dominant).
+	d.w3 = make([]float32, 4*nc2)
+	d.b3 = make([]float32, 4)
+	for oc := 0; oc < 4; oc++ {
+		for ic := 0; ic < nc2; ic++ {
+			v := float32(rng.NormScaled(0, 0.03))
+			if oc == ic {
+				v += 1.0
+			}
+			d.w3[oc*nc2+ic] = v
+		}
+	}
+	return d
+}
+
+// Arch returns the full-size architecture this detector models.
+func (d *Detector) Arch() Arch { return d.arch }
+
+// Infer runs the functional pipeline on an image tensor (any size; it
+// is resized to the functional resolution) and returns detections in
+// the *input tensor's* pixel coordinates.
+func (d *Detector) Infer(img *Tensor) []Detection {
+	in := ResizeBilinear(img, d.funcH, d.funcW)
+	f1 := LeakyReLU(Conv2D(in, d.w1, d.b1, nc1, 3, 1, 1), 0.05)
+	p1 := MaxPool2x2(f1) // /2
+	f2 := LeakyReLU(Conv2D(p1, d.w2, d.b2, nc2, 3, 1, 1), 0.05)
+	p2 := MaxPool2x2(f2) // /4
+	cls := Conv2D(p2, d.w3, d.b3, 4, 1, 1, 0)
+
+	dets := d.decode(cls)
+	// Map back to the original image coordinates.
+	sx := float64(img.W) / float64(cls.W)
+	sy := float64(img.H) / float64(cls.H)
+	for i := range dets {
+		dets[i].Rect.Min.X *= sx
+		dets[i].Rect.Max.X = (dets[i].Rect.Max.X + 1) * sx
+		dets[i].Rect.Min.Y *= sy
+		dets[i].Rect.Max.Y = (dets[i].Rect.Max.Y + 1) * sy
+	}
+	return NMS(dets, 0.45)
+}
+
+// decode finds connected components of super-threshold activation in
+// the class maps (max over classes) and emits one candidate per
+// component, classified by the component's mean class response.
+func (d *Detector) decode(cls *Tensor) []Detection {
+	h, w := cls.H, cls.W
+	// Salience = max over class channels.
+	type cell struct{ salient bool }
+	sal := make([]bool, h*w)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			m := cls.At(0, y, x)
+			for c := 1; c < 4; c++ {
+				if v := cls.At(c, y, x); v > m {
+					m = v
+				}
+			}
+			sal[y*w+x] = m > d.thresh
+		}
+	}
+	// 4-connected components via iterative flood fill.
+	visited := make([]bool, h*w)
+	var out []Detection
+	var stack []int
+	for start := 0; start < h*w; start++ {
+		if !sal[start] || visited[start] {
+			continue
+		}
+		stack = append(stack[:0], start)
+		visited[start] = true
+		minX, minY := w, h
+		maxX, maxY := 0, 0
+		var sums [4]float64
+		count := 0
+		for len(stack) > 0 {
+			idx := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			y, x := idx/w, idx%w
+			if x < minX {
+				minX = x
+			}
+			if x > maxX {
+				maxX = x
+			}
+			if y < minY {
+				minY = y
+			}
+			if y > maxY {
+				maxY = y
+			}
+			for c := 0; c < 4; c++ {
+				sums[c] += float64(cls.At(c, y, x))
+			}
+			count++
+			for _, n := range [4]int{idx - 1, idx + 1, idx - w, idx + w} {
+				if n < 0 || n >= h*w || visited[n] || !sal[n] {
+					continue
+				}
+				// Avoid wrapping across rows for the +/-1 neighbors.
+				if (n == idx-1 || n == idx+1) && n/w != y {
+					continue
+				}
+				visited[n] = true
+				stack = append(stack, n)
+			}
+		}
+		if count < 1 {
+			continue
+		}
+		best, bestV := 0, sums[0]
+		for c := 1; c < 4; c++ {
+			if sums[c] > bestV {
+				best, bestV = c, sums[c]
+			}
+		}
+		score := 1 / (1 + math.Exp(-bestV/float64(count))) // squash mean act
+		out = append(out, Detection{
+			Rect:  geom.NewRect(geom.V2(float64(minX), float64(minY)), geom.V2(float64(maxX), float64(maxY))),
+			Class: best,
+			Score: score,
+		})
+	}
+	return out
+}
+
+// NMS applies greedy non-maximum suppression at the given IoU threshold,
+// keeping higher-scored boxes.
+func NMS(dets []Detection, iouThresh float64) []Detection {
+	sort.Slice(dets, func(i, j int) bool { return dets[i].Score > dets[j].Score })
+	var out []Detection
+	for _, d := range dets {
+		keep := true
+		for _, k := range out {
+			if d.Rect.IoU(k.Rect) > iouThresh {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,292 @@
+package dnn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestTensorAtSet(t *testing.T) {
+	x := NewTensor(2, 3, 4)
+	x.Set(1, 2, 3, 7)
+	if x.At(1, 2, 3) != 7 || x.At(0, 0, 0) != 0 {
+		t.Error("At/Set broken")
+	}
+}
+
+func TestTensorPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewTensor(0, 1, 1)
+}
+
+func TestConv2DIdentity(t *testing.T) {
+	in := NewTensor(1, 3, 3)
+	for i := range in.Data {
+		in.Data[i] = float32(i)
+	}
+	// 1x1 identity kernel.
+	out := Conv2D(in, []float32{1}, []float32{0}, 1, 1, 1, 0)
+	for i := range in.Data {
+		if out.Data[i] != in.Data[i] {
+			t.Fatal("1x1 identity conv should copy")
+		}
+	}
+}
+
+func TestConv2DSum(t *testing.T) {
+	in := NewTensor(1, 3, 3)
+	for i := range in.Data {
+		in.Data[i] = 1
+	}
+	// 3x3 all-ones kernel, pad 1: center output = 9, corner = 4.
+	w := make([]float32, 9)
+	for i := range w {
+		w[i] = 1
+	}
+	out := Conv2D(in, w, []float32{0}, 1, 3, 1, 1)
+	if out.At(0, 1, 1) != 9 {
+		t.Errorf("center = %v", out.At(0, 1, 1))
+	}
+	if out.At(0, 0, 0) != 4 {
+		t.Errorf("corner = %v", out.At(0, 0, 0))
+	}
+}
+
+func TestConv2DStride(t *testing.T) {
+	in := NewTensor(1, 4, 4)
+	out := Conv2D(in, []float32{1}, []float32{0.5}, 1, 1, 2, 0)
+	if out.H != 2 || out.W != 2 {
+		t.Errorf("stride-2 dims = %dx%d", out.H, out.W)
+	}
+	if out.At(0, 0, 0) != 0.5 {
+		t.Error("bias not applied")
+	}
+}
+
+func TestConv2DPanics(t *testing.T) {
+	in := NewTensor(1, 3, 3)
+	for name, fn := range map[string]func(){
+		"weights": func() { Conv2D(in, []float32{1, 2}, []float32{0}, 1, 1, 1, 0) },
+		"bias":    func() { Conv2D(in, []float32{1}, nil, 1, 1, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLeakyReLU(t *testing.T) {
+	x := NewTensor(1, 1, 3)
+	x.Data[0], x.Data[1], x.Data[2] = -2, 0, 3
+	LeakyReLU(x, 0.1)
+	if math.Abs(float64(x.Data[0]+0.2)) > 1e-6 || x.Data[1] != 0 || x.Data[2] != 3 {
+		t.Errorf("leaky = %v", x.Data)
+	}
+}
+
+func TestMaxPool2x2(t *testing.T) {
+	in := NewTensor(1, 2, 4)
+	copy(in.Data, []float32{1, 2, 3, 4, 5, 6, 7, 8})
+	out := MaxPool2x2(in)
+	if out.H != 1 || out.W != 2 {
+		t.Fatalf("pool dims %dx%d", out.H, out.W)
+	}
+	if out.At(0, 0, 0) != 6 || out.At(0, 0, 1) != 8 {
+		t.Errorf("pool = %v", out.Data)
+	}
+}
+
+func TestResizeBilinearIdentityAndScale(t *testing.T) {
+	in := NewTensor(1, 2, 2)
+	copy(in.Data, []float32{0, 1, 2, 3})
+	same := ResizeBilinear(in, 2, 2)
+	for i := range in.Data {
+		if same.Data[i] != in.Data[i] {
+			t.Fatal("identity resize should copy")
+		}
+	}
+	up := ResizeBilinear(in, 4, 4)
+	if up.H != 4 || up.W != 4 {
+		t.Fatal("resize dims wrong")
+	}
+	// Values stay within input range.
+	for _, v := range up.Data {
+		if v < 0 || v > 3 {
+			t.Fatalf("resize out of range: %v", v)
+		}
+	}
+	// Corners approximately preserved.
+	if up.At(0, 0, 0) != 0 || up.At(0, 3, 3) != 3 {
+		t.Errorf("corners = %v, %v", up.At(0, 0, 0), up.At(0, 3, 3))
+	}
+}
+
+func TestArchWorkloadOrdering(t *testing.T) {
+	f300 := ArchSSD300.TotalFMAs()
+	f512 := ArchSSD512.TotalFMAs()
+	fy := ArchYOLOv3.TotalFMAs()
+	if !(f512 > fy && fy > f300) {
+		t.Errorf("FMA ordering: SSD512=%.2e YOLO=%.2e SSD300=%.2e", f512, fy, f300)
+	}
+	// SSD512 should be roughly (512/300)^2 = 2.9x SSD300.
+	ratio := f512 / f300
+	if ratio < 2 || ratio > 4 {
+		t.Errorf("SSD512/SSD300 ratio = %v", ratio)
+	}
+}
+
+func TestArchByName(t *testing.T) {
+	for _, name := range []string{"SSD300", "SSD512", "YOLOv3-416"} {
+		a, err := ArchByName(name)
+		if err != nil || a.Name != name {
+			t.Errorf("ArchByName(%s) = %v, %v", name, a.Name, err)
+		}
+	}
+	if _, err := ArchByName("nope"); err == nil {
+		t.Error("unknown arch should fail")
+	}
+}
+
+func TestArchCPUWorkSSDSortDominates(t *testing.T) {
+	s := ArchSSD512.CPUWork()
+	y := ArchYOLOv3.CPUWork()
+	if s.CPUOps() < 3*y.CPUOps() {
+		t.Errorf("SSD512 CPU work (%.2e) should dwarf YOLO's (%.2e)", s.CPUOps(), y.CPUOps())
+	}
+	// SSD's branch share should be much higher (sort-heavy).
+	sb := s.BranchOps / s.CPUOps()
+	yb := y.BranchOps / y.CPUOps()
+	if sb <= yb {
+		t.Errorf("SSD branch share %v should exceed YOLO %v", sb, yb)
+	}
+}
+
+func TestArchGPUKernelsResolutionChain(t *testing.T) {
+	ks := ArchSSD300.GPUKernels()
+	if len(ks) < 10 {
+		t.Fatalf("kernel count = %d", len(ks))
+	}
+	for _, k := range ks {
+		if k.FMAs <= 0 || k.Bytes <= 0 {
+			t.Fatalf("degenerate kernel %+v", k)
+		}
+	}
+}
+
+// synthImage renders a colored rectangle on a dark background directly
+// as a tensor, mimicking the camera's palette.
+func synthImage(w, h int, r geom.Rect, color [3]float32) *Tensor {
+	img := NewTensor(3, h, w)
+	for c := 0; c < 3; c++ {
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				img.Set(c, y, x, 0.12)
+			}
+		}
+	}
+	for y := int(r.Min.Y); y <= int(r.Max.Y); y++ {
+		for x := int(r.Min.X); x <= int(r.Max.X); x++ {
+			if y < 0 || x < 0 || y >= h || x >= w {
+				continue
+			}
+			img.Set(0, y, x, color[0])
+			img.Set(1, y, x, color[1])
+			img.Set(2, y, x, color[2])
+		}
+	}
+	return img
+}
+
+func TestDetectorFindsRedCar(t *testing.T) {
+	d := NewDetector(ArchSSD512, 1)
+	rect := geom.NewRect(geom.V2(40, 30), geom.V2(80, 60))
+	img := synthImage(128, 96, rect, [3]float32{0.95, 0.25, 0.2})
+	dets := d.Infer(img)
+	if len(dets) == 0 {
+		t.Fatal("no detections on clear target")
+	}
+	best := dets[0]
+	if ClassNames[best.Class] != "car" {
+		t.Errorf("class = %s", ClassNames[best.Class])
+	}
+	if best.Rect.IoU(rect) < 0.25 {
+		t.Errorf("IoU with truth = %v (rect %+v)", best.Rect.IoU(rect), best.Rect)
+	}
+}
+
+func TestDetectorClassifiesPedestrian(t *testing.T) {
+	d := NewDetector(ArchYOLOv3, 2)
+	rect := geom.NewRect(geom.V2(60, 40), geom.V2(75, 80))
+	img := synthImage(128, 96, rect, [3]float32{0.2, 0.55, 0.95})
+	dets := d.Infer(img)
+	if len(dets) == 0 {
+		t.Fatal("no detections")
+	}
+	if ClassNames[dets[0].Class] != "pedestrian" {
+		t.Errorf("class = %s", ClassNames[dets[0].Class])
+	}
+}
+
+func TestDetectorEmptyOnBackground(t *testing.T) {
+	d := NewDetector(ArchSSD300, 3)
+	img := synthImage(128, 96, geom.Rect{}, [3]float32{0.12, 0.12, 0.13})
+	dets := d.Infer(img)
+	if len(dets) > 1 {
+		t.Errorf("background should yield at most noise: %d detections", len(dets))
+	}
+}
+
+func TestDetectorTwoObjects(t *testing.T) {
+	d := NewDetector(ArchSSD512, 4)
+	img := synthImage(128, 96, geom.NewRect(geom.V2(10, 30), geom.V2(40, 60)), [3]float32{0.95, 0.25, 0.2})
+	// Paint a second (blue) region.
+	for y := 30; y <= 60; y++ {
+		for x := 85; x <= 110; x++ {
+			img.Set(0, y, x, 0.2)
+			img.Set(1, y, x, 0.55)
+			img.Set(2, y, x, 0.95)
+		}
+	}
+	dets := d.Infer(img)
+	if len(dets) < 2 {
+		t.Fatalf("expected 2 detections, got %d", len(dets))
+	}
+	classes := map[string]bool{}
+	for _, det := range dets {
+		classes[ClassNames[det.Class]] = true
+	}
+	if !classes["car"] || !classes["pedestrian"] {
+		t.Errorf("classes = %v", classes)
+	}
+}
+
+func TestNMSSuppressesOverlaps(t *testing.T) {
+	dets := []Detection{
+		{Rect: geom.NewRect(geom.V2(0, 0), geom.V2(10, 10)), Score: 0.9},
+		{Rect: geom.NewRect(geom.V2(1, 1), geom.V2(11, 11)), Score: 0.8},
+		{Rect: geom.NewRect(geom.V2(50, 50), geom.V2(60, 60)), Score: 0.7},
+	}
+	out := NMS(dets, 0.45)
+	if len(out) != 2 {
+		t.Fatalf("NMS kept %d", len(out))
+	}
+	if out[0].Score != 0.9 || out[1].Score != 0.7 {
+		t.Errorf("NMS kept wrong boxes: %+v", out)
+	}
+}
+
+func TestNMSEmpty(t *testing.T) {
+	if out := NMS(nil, 0.5); len(out) != 0 {
+		t.Error("empty NMS should be empty")
+	}
+}

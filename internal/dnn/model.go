@@ -1,0 +1,191 @@
+package dnn
+
+import (
+	"fmt"
+
+	"repro/internal/work"
+)
+
+// ConvLayer describes one convolution of the *full-size* architecture,
+// for analytic workload accounting.
+type ConvLayer struct {
+	Name    string
+	InC     int
+	OutC    int
+	K       int
+	Stride  int
+	Repeats int // identical consecutive layers collapsed
+}
+
+// Arch is a full-size detector architecture.
+type Arch struct {
+	Name      string
+	InputSize int // square input resolution
+	Layers    []ConvLayer
+	// Priors is the number of prior/anchor boxes the output layer
+	// decodes and (for SSD) sorts on the CPU.
+	Priors int
+	// CPUSortHeavy marks architectures whose post-processing sorts the
+	// full prior set per class on the CPU (SSD's ranking stage — the
+	// paper measured 71% of SSD512 CPU time there).
+	CPUSortHeavy bool
+	// Classes the head scores per prior.
+	Classes int
+}
+
+// vggSSD builds the VGG16-based SSD architecture at the given input
+// size, following the layer progression of the original network with
+// extra feature layers.
+func vggSSD(name string, input, priors int) Arch {
+	layers := []ConvLayer{
+		{Name: "conv1", InC: 3, OutC: 64, K: 3, Stride: 1, Repeats: 2},
+		{Name: "conv2", InC: 64, OutC: 128, K: 3, Stride: 2, Repeats: 2},
+		{Name: "conv3", InC: 128, OutC: 256, K: 3, Stride: 2, Repeats: 3},
+		{Name: "conv4", InC: 256, OutC: 512, K: 3, Stride: 2, Repeats: 3},
+		{Name: "conv5", InC: 512, OutC: 512, K: 3, Stride: 2, Repeats: 3},
+		{Name: "fc6", InC: 512, OutC: 1024, K: 3, Stride: 1, Repeats: 1},
+		{Name: "fc7", InC: 1024, OutC: 1024, K: 1, Stride: 1, Repeats: 1},
+		{Name: "extra8", InC: 1024, OutC: 512, K: 3, Stride: 2, Repeats: 1},
+		{Name: "extra9", InC: 512, OutC: 256, K: 3, Stride: 2, Repeats: 1},
+		{Name: "extra10", InC: 256, OutC: 256, K: 3, Stride: 2, Repeats: 1},
+		{Name: "heads", InC: 512, OutC: 84, K: 3, Stride: 1, Repeats: 6},
+	}
+	return Arch{
+		Name: name, InputSize: input, Layers: layers,
+		Priors: priors, CPUSortHeavy: true, Classes: 21,
+	}
+}
+
+// darknet53YOLO builds the YOLOv3 architecture at the given input size.
+func darknet53YOLO(name string, input int) Arch {
+	layers := []ConvLayer{
+		{Name: "conv0", InC: 3, OutC: 32, K: 3, Stride: 1, Repeats: 1},
+		{Name: "down1", InC: 32, OutC: 64, K: 3, Stride: 2, Repeats: 1},
+		{Name: "res1", InC: 64, OutC: 64, K: 3, Stride: 1, Repeats: 2},
+		{Name: "down2", InC: 64, OutC: 128, K: 3, Stride: 2, Repeats: 1},
+		{Name: "res2", InC: 128, OutC: 128, K: 3, Stride: 1, Repeats: 4},
+		{Name: "down3", InC: 128, OutC: 256, K: 3, Stride: 2, Repeats: 1},
+		{Name: "res3", InC: 256, OutC: 256, K: 3, Stride: 1, Repeats: 16},
+		{Name: "down4", InC: 256, OutC: 512, K: 3, Stride: 2, Repeats: 1},
+		{Name: "res4", InC: 512, OutC: 512, K: 3, Stride: 1, Repeats: 16},
+		{Name: "down5", InC: 512, OutC: 1024, K: 3, Stride: 2, Repeats: 1},
+		{Name: "res5", InC: 1024, OutC: 1024, K: 3, Stride: 1, Repeats: 8},
+		{Name: "neck", InC: 1024, OutC: 512, K: 1, Stride: 1, Repeats: 3},
+		{Name: "heads", InC: 512, OutC: 255, K: 1, Stride: 1, Repeats: 3},
+	}
+	return Arch{
+		Name: name, InputSize: input, Layers: layers,
+		Priors: 10647, CPUSortHeavy: false, Classes: 80,
+	}
+}
+
+// Standard architectures the characterization sweeps over.
+var (
+	ArchSSD300 = vggSSD("SSD300", 300, 8732)
+	ArchSSD512 = vggSSD("SSD512", 512, 24564)
+	ArchYOLOv3 = darknet53YOLO("YOLOv3-416", 416)
+)
+
+// ArchByName resolves an architecture by its canonical name.
+func ArchByName(name string) (Arch, error) {
+	switch name {
+	case ArchSSD300.Name:
+		return ArchSSD300, nil
+	case ArchSSD512.Name:
+		return ArchSSD512, nil
+	case ArchYOLOv3.Name:
+		return ArchYOLOv3, nil
+	default:
+		return Arch{}, fmt.Errorf("dnn: unknown architecture %q", name)
+	}
+}
+
+// GPUKernels expands the architecture into the per-layer device kernels
+// for one inference at full input size.
+func (a Arch) GPUKernels() []work.GPUKernel {
+	var out []work.GPUKernel
+	h, w := a.InputSize, a.InputSize
+	for _, l := range a.Layers {
+		for rep := 0; rep < l.Repeats; rep++ {
+			stride := l.Stride
+			if rep > 0 {
+				stride = 1 // repeated layers keep resolution
+			}
+			oh := (h + stride - 1) / stride
+			ow := (w + stride - 1) / stride
+			inC := l.InC
+			if rep > 0 {
+				inC = l.OutC
+			}
+			fmas := float64(oh) * float64(ow) * float64(l.OutC) * float64(inC) * float64(l.K*l.K)
+			bytes := 4 * (float64(h*w*inC) + float64(oh*ow*l.OutC) + float64(inC*l.OutC*l.K*l.K))
+			out = append(out, work.GPUKernel{
+				Name:       fmt.Sprintf("%s/%s.%d", a.Name, l.Name, rep),
+				FMAs:       fmas,
+				Bytes:      bytes,
+				Efficiency: 0.6, // dense GEMM-backed convolution
+			})
+			h, w = oh, ow
+		}
+	}
+	return out
+}
+
+// TotalFMAs sums the device arithmetic of one inference.
+func (a Arch) TotalFMAs() float64 {
+	var s float64
+	for _, k := range a.GPUKernels() {
+		s += k.FMAs
+	}
+	return s
+}
+
+// CPUWork returns the host-side work of one inference: input
+// normalization/copy, box decoding, and — for SSD — the per-class
+// ranking sort over the prior set whose data-dependent branches gave
+// SSD512 its 9.78% branch misprediction rate in the paper.
+func (a Arch) CPUWork() work.Work {
+	var w work.Work
+	// Pre-processing: resize + normalize, a few ops per input pixel.
+	pix := float64(a.InputSize * a.InputSize * 3)
+	w.FPOps += 4 * pix
+	w.LoadOps += 2 * pix
+	w.StoreOps += pix
+	w.BytesTouched += 8 * pix
+
+	// Box decode: geometry per prior.
+	p := float64(a.Priors)
+	w.FPOps += 24 * p
+	w.LoadOps += 12 * p
+	w.StoreOps += 6 * p
+	w.BranchOps += 4 * p
+
+	if a.CPUSortHeavy {
+		// Per-class sort of the full prior ranking (quicksort-style):
+		// classes * n log2 n comparison iterations, each a handful of
+		// ops with a data-dependent branch.
+		nlogn := p * log2(p)
+		cls := float64(a.Classes)
+		w.IntOps += 4 * cls * nlogn
+		w.LoadOps += 3 * cls * nlogn
+		w.StoreOps += 0.6 * cls * nlogn
+		w.BranchOps += 1.2 * cls * nlogn
+		w.BytesTouched += 16 * cls * p
+	} else {
+		// Confidence-threshold scan + light NMS.
+		w.IntOps += 10 * p
+		w.LoadOps += 6 * p
+		w.BranchOps += 2 * p
+		w.BytesTouched += 16 * p
+	}
+	return w
+}
+
+func log2(x float64) float64 {
+	n := 0.0
+	for x > 1 {
+		x /= 2
+		n++
+	}
+	return n
+}

@@ -1,0 +1,133 @@
+package dnn
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/mathx"
+)
+
+// randomDetections builds a plausible detection set.
+func randomDetections(rng *mathx.RNG, n int) []Detection {
+	out := make([]Detection, n)
+	for i := range out {
+		x := rng.Range(0, 100)
+		y := rng.Range(0, 100)
+		out[i] = Detection{
+			Rect:  geom.NewRect(geom.V2(x, y), geom.V2(x+rng.Range(1, 30), y+rng.Range(1, 30))),
+			Class: rng.Intn(4),
+			Score: rng.Float64(),
+		}
+	}
+	return out
+}
+
+// TestNMSNoSurvivingOverlapsProperty: after suppression, no kept pair
+// overlaps beyond the threshold.
+func TestNMSNoSurvivingOverlapsProperty(t *testing.T) {
+	rng := mathx.NewRNG(83)
+	f := func() bool {
+		dets := randomDetections(rng, 1+rng.Intn(40))
+		thresh := rng.Range(0.2, 0.8)
+		kept := NMS(dets, thresh)
+		for i := range kept {
+			for j := i + 1; j < len(kept); j++ {
+				if kept[i].Rect.IoU(kept[j].Rect) > thresh {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNMSIdempotentProperty: suppressing an already-suppressed set is a
+// no-op.
+func TestNMSIdempotentProperty(t *testing.T) {
+	rng := mathx.NewRNG(89)
+	f := func() bool {
+		dets := randomDetections(rng, 1+rng.Intn(40))
+		thresh := rng.Range(0.2, 0.8)
+		once := NMS(dets, thresh)
+		twice := NMS(once, thresh)
+		if len(once) != len(twice) {
+			return false
+		}
+		for i := range once {
+			if once[i] != twice[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNMSKeepsHighestScoreProperty: the top-scored detection always
+// survives.
+func TestNMSKeepsHighestScoreProperty(t *testing.T) {
+	rng := mathx.NewRNG(97)
+	f := func() bool {
+		dets := randomDetections(rng, 1+rng.Intn(40))
+		best := dets[0]
+		for _, d := range dets[1:] {
+			if d.Score > best.Score {
+				best = d
+			}
+		}
+		for _, k := range NMS(dets, 0.5) {
+			if k == best {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDetectorOutputSanityProperty: any random image yields detections
+// with finite scores in [0,1] and rects inside the image.
+func TestDetectorOutputSanityProperty(t *testing.T) {
+	rng := mathx.NewRNG(101)
+	d := NewDetector(ArchSSD300, 7)
+	f := func() bool {
+		img := NewTensor(3, 96, 128)
+		// Random blobs of random palette colors.
+		for b := 0; b < rng.Intn(4); b++ {
+			x0, y0 := rng.Intn(100), rng.Intn(70)
+			w, h := 5+rng.Intn(25), 5+rng.Intn(25)
+			col := [3]float32{float32(rng.Float64()), float32(rng.Float64()), float32(rng.Float64())}
+			for y := y0; y < y0+h && y < 96; y++ {
+				for x := x0; x < x0+w && x < 128; x++ {
+					img.Set(0, y, x, col[0])
+					img.Set(1, y, x, col[1])
+					img.Set(2, y, x, col[2])
+				}
+			}
+		}
+		for _, det := range d.Infer(img) {
+			if det.Score < 0 || det.Score > 1 {
+				return false
+			}
+			if det.Class < 0 || det.Class >= len(ClassNames) {
+				return false
+			}
+			r := det.Rect
+			if r.Min.X < 0 || r.Min.Y < 0 || r.Max.X > 128 || r.Max.Y > 96 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

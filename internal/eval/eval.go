@@ -1,0 +1,242 @@
+// Package eval scores perception output against world ground truth:
+// detection precision/recall, label accuracy, tracking continuity and
+// localization error. The paper scopes quality out ("assessing the most
+// propitious image detector is out of the scope"), but a usable library
+// needs to demonstrate the stack perceives correctly, not just quickly —
+// and quality metrics guard the reproduction against degenerate
+// configurations that would be fast by not working.
+package eval
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/msgs"
+	"repro/internal/world"
+)
+
+// Match pairs one perceived object with one ground-truth actor.
+type Match struct {
+	ObjectID int
+	ActorID  int
+	Dist     float64
+	// LabelCorrect is true when the perceived label equals the actor
+	// kind (unknown never counts as correct).
+	LabelCorrect bool
+}
+
+// FrameScore is the outcome of scoring one perception frame.
+type FrameScore struct {
+	Matches        []Match
+	FalsePositives int // perceived objects with no actor nearby
+	Misses         int // visible actors nobody perceived
+	LabelCorrect   int
+	LabelTotal     int // matched objects carrying a non-unknown label
+}
+
+// Precision returns matched / perceived.
+func (f FrameScore) Precision() float64 {
+	det := len(f.Matches) + f.FalsePositives
+	if det == 0 {
+		return 0
+	}
+	return float64(len(f.Matches)) / float64(det)
+}
+
+// Recall returns matched / visible actors.
+func (f FrameScore) Recall() float64 {
+	vis := len(f.Matches) + f.Misses
+	if vis == 0 {
+		return 0
+	}
+	return float64(len(f.Matches)) / float64(vis)
+}
+
+// labelFor maps actor kinds to detection labels.
+func labelFor(k world.ActorKind) msgs.ObjectLabel {
+	switch k {
+	case world.KindCar:
+		return msgs.LabelCar
+	case world.KindTruck:
+		return msgs.LabelTruck
+	case world.KindPedestrian:
+		return msgs.LabelPedestrian
+	case world.KindCyclist:
+		return msgs.LabelCyclist
+	default:
+		return msgs.LabelUnknown
+	}
+}
+
+// ScoreFrame greedily matches perceived objects (map frame) against the
+// snapshot's actors within the given radius of the ego and the given
+// association distance. Perceived objects beyond the radius are ignored
+// (the stack cannot be penalized for not seeing past its sensors), and
+// static-structure detections (no matching actor but also no actor
+// claim) count as false positives only within the radius.
+func ScoreFrame(objects []msgs.DetectedObject, snap *world.Snapshot, radius, assocDist float64) FrameScore {
+	actors := snap.ActorsNear(radius)
+	ego := snap.Ego.Pose.XY()
+
+	type cand struct {
+		obj, act int
+		d        float64
+	}
+	var cands []cand
+	inRange := make([]bool, len(objects))
+	for oi, o := range objects {
+		p := o.Pose.XY()
+		if p.Dist(ego) > radius {
+			continue
+		}
+		inRange[oi] = true
+		for ai, a := range actors {
+			if d := p.Dist(a.Pose.XY()); d <= assocDist {
+				cands = append(cands, cand{obj: oi, act: ai, d: d})
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].d < cands[j].d })
+
+	var score FrameScore
+	objUsed := make([]bool, len(objects))
+	actUsed := make([]bool, len(actors))
+	for _, c := range cands {
+		if objUsed[c.obj] || actUsed[c.act] {
+			continue
+		}
+		objUsed[c.obj] = true
+		actUsed[c.act] = true
+		o := objects[c.obj]
+		a := actors[c.act]
+		m := Match{
+			ObjectID: o.ID,
+			ActorID:  a.ID,
+			Dist:     c.d,
+		}
+		if o.Label != msgs.LabelUnknown {
+			score.LabelTotal++
+			if o.Label == labelFor(a.Kind) {
+				m.LabelCorrect = true
+				score.LabelCorrect++
+			}
+		}
+		score.Matches = append(score.Matches, m)
+	}
+	for oi := range objects {
+		if inRange[oi] && !objUsed[oi] {
+			score.FalsePositives++
+		}
+	}
+	for ai := range actors {
+		if !actUsed[ai] {
+			score.Misses++
+		}
+	}
+	return score
+}
+
+// Aggregate accumulates frame scores over a drive.
+type Aggregate struct {
+	frames     int
+	matches    int
+	falsePos   int
+	misses     int
+	labelOK    int
+	labelTotal int
+	distSum    float64
+	// Track-continuity bookkeeping: the perceived object ID seen for
+	// each actor, and how often it changed.
+	lastIDForActor map[int]int
+	idSwitches     int
+	// Localization error accumulation.
+	locErrSum float64
+	locErrMax float64
+	locFrames int
+}
+
+// NewAggregate creates an empty accumulator.
+func NewAggregate() *Aggregate {
+	return &Aggregate{lastIDForActor: make(map[int]int)}
+}
+
+// AddFrame folds one frame score in.
+func (a *Aggregate) AddFrame(f FrameScore) {
+	a.frames++
+	a.matches += len(f.Matches)
+	a.falsePos += f.FalsePositives
+	a.misses += f.Misses
+	a.labelOK += f.LabelCorrect
+	a.labelTotal += f.LabelTotal
+	for _, m := range f.Matches {
+		a.distSum += m.Dist
+		if prev, ok := a.lastIDForActor[m.ActorID]; ok && prev != m.ObjectID {
+			a.idSwitches++
+		}
+		a.lastIDForActor[m.ActorID] = m.ObjectID
+	}
+}
+
+// AddLocalization records one localization error sample (meters).
+func (a *Aggregate) AddLocalization(errMeters float64) {
+	a.locErrSum += errMeters
+	if errMeters > a.locErrMax {
+		a.locErrMax = errMeters
+	}
+	a.locFrames++
+}
+
+// Report condenses the aggregate into the final metrics.
+type Report struct {
+	Frames        int
+	Precision     float64
+	Recall        float64
+	LabelAccuracy float64
+	MeanMatchDist float64
+	IDSwitches    int
+	MeanLocErr    float64
+	MaxLocErr     float64
+}
+
+// Report computes the final metrics.
+func (a *Aggregate) Report() Report {
+	r := Report{Frames: a.frames, IDSwitches: a.idSwitches}
+	if det := a.matches + a.falsePos; det > 0 {
+		r.Precision = float64(a.matches) / float64(det)
+	}
+	if vis := a.matches + a.misses; vis > 0 {
+		r.Recall = float64(a.matches) / float64(vis)
+	}
+	if a.labelTotal > 0 {
+		r.LabelAccuracy = float64(a.labelOK) / float64(a.labelTotal)
+	}
+	if a.matches > 0 {
+		r.MeanMatchDist = a.distSum / float64(a.matches)
+	}
+	if a.locFrames > 0 {
+		r.MeanLocErr = a.locErrSum / float64(a.locFrames)
+		r.MaxLocErr = a.locErrMax
+	}
+	return r
+}
+
+// MOTAish returns a MOTA-style combined score: 1 - (misses + false
+// positives + switches) / ground-truth observations. Can be negative
+// for very poor tracking, like the original metric.
+func (a *Aggregate) MOTAish() float64 {
+	gt := a.matches + a.misses
+	if gt == 0 {
+		return 0
+	}
+	return 1 - float64(a.misses+a.falsePos+a.idSwitches)/float64(gt)
+}
+
+// IsFinite sanity-checks a report for NaN/Inf leakage.
+func (r Report) IsFinite() bool {
+	for _, v := range []float64{r.Precision, r.Recall, r.LabelAccuracy, r.MeanMatchDist, r.MeanLocErr, r.MaxLocErr} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}

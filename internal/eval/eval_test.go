@@ -1,0 +1,194 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/msgs"
+	"repro/internal/world"
+)
+
+func snapWithActors(actors ...world.ActorState) *world.Snapshot {
+	return &world.Snapshot{
+		Ego:    world.ActorState{Pose: geom.NewPose(0, 0, 0, 0)},
+		Actors: actors,
+	}
+}
+
+func actor(id int, kind world.ActorKind, x, y float64) world.ActorState {
+	return world.ActorState{
+		ID: id, Kind: kind,
+		Pose: geom.NewPose(x, y, 0, 0),
+		Dim:  kind.Dimensions(),
+	}
+}
+
+func obj(id int, label msgs.ObjectLabel, x, y float64) msgs.DetectedObject {
+	return msgs.DetectedObject{ID: id, Label: label, Pose: geom.NewPose(x, y, 0, 0)}
+}
+
+func TestScoreFramePerfectMatch(t *testing.T) {
+	snap := snapWithActors(actor(1, world.KindCar, 10, 0))
+	f := ScoreFrame([]msgs.DetectedObject{obj(5, msgs.LabelCar, 10.3, 0.2)}, snap, 50, 2)
+	if len(f.Matches) != 1 || f.FalsePositives != 0 || f.Misses != 0 {
+		t.Fatalf("score = %+v", f)
+	}
+	m := f.Matches[0]
+	if m.ObjectID != 5 || m.ActorID != 1 || !m.LabelCorrect {
+		t.Errorf("match = %+v", m)
+	}
+	if f.Precision() != 1 || f.Recall() != 1 {
+		t.Errorf("P=%v R=%v", f.Precision(), f.Recall())
+	}
+}
+
+func TestScoreFrameWrongLabel(t *testing.T) {
+	snap := snapWithActors(actor(1, world.KindPedestrian, 10, 0))
+	f := ScoreFrame([]msgs.DetectedObject{obj(5, msgs.LabelCar, 10, 0)}, snap, 50, 2)
+	if len(f.Matches) != 1 || f.Matches[0].LabelCorrect {
+		t.Errorf("wrong label should still match: %+v", f)
+	}
+	if f.LabelTotal != 1 || f.LabelCorrect != 0 {
+		t.Errorf("label counters = %d/%d", f.LabelCorrect, f.LabelTotal)
+	}
+}
+
+func TestScoreFrameUnknownLabelNotCounted(t *testing.T) {
+	snap := snapWithActors(actor(1, world.KindCar, 10, 0))
+	f := ScoreFrame([]msgs.DetectedObject{obj(5, msgs.LabelUnknown, 10, 0)}, snap, 50, 2)
+	if f.LabelTotal != 0 {
+		t.Error("unknown labels should not enter label accuracy")
+	}
+	if len(f.Matches) != 1 {
+		t.Error("unknown-labeled object should still match positionally")
+	}
+}
+
+func TestScoreFrameFalsePositiveAndMiss(t *testing.T) {
+	snap := snapWithActors(actor(1, world.KindCar, 10, 0))
+	f := ScoreFrame([]msgs.DetectedObject{obj(5, msgs.LabelCar, 30, 30)}, snap, 50, 2)
+	if len(f.Matches) != 0 || f.FalsePositives != 1 || f.Misses != 1 {
+		t.Errorf("score = %+v", f)
+	}
+}
+
+func TestScoreFrameRadiusGate(t *testing.T) {
+	// Both the actor and the object are far away: neither penalized.
+	snap := snapWithActors(actor(1, world.KindCar, 200, 0))
+	f := ScoreFrame([]msgs.DetectedObject{obj(5, msgs.LabelCar, 300, 0)}, snap, 50, 2)
+	if len(f.Matches) != 0 || f.FalsePositives != 0 || f.Misses != 0 {
+		t.Errorf("out-of-range items should be ignored: %+v", f)
+	}
+}
+
+func TestScoreFrameGreedyNearest(t *testing.T) {
+	// Two objects near one actor: nearest wins, other is FP.
+	snap := snapWithActors(actor(1, world.KindCar, 10, 0))
+	f := ScoreFrame([]msgs.DetectedObject{
+		obj(5, msgs.LabelCar, 11.5, 0),
+		obj(6, msgs.LabelCar, 10.2, 0),
+	}, snap, 50, 2)
+	if len(f.Matches) != 1 || f.Matches[0].ObjectID != 6 {
+		t.Errorf("nearest should win: %+v", f)
+	}
+	if f.FalsePositives != 1 {
+		t.Errorf("FPs = %d", f.FalsePositives)
+	}
+}
+
+func TestAggregateIDSwitches(t *testing.T) {
+	a := NewAggregate()
+	snap := snapWithActors(actor(1, world.KindCar, 10, 0))
+	// Same actor matched by object 5, then object 9.
+	a.AddFrame(ScoreFrame([]msgs.DetectedObject{obj(5, msgs.LabelCar, 10, 0)}, snap, 50, 2))
+	a.AddFrame(ScoreFrame([]msgs.DetectedObject{obj(5, msgs.LabelCar, 10, 0)}, snap, 50, 2))
+	a.AddFrame(ScoreFrame([]msgs.DetectedObject{obj(9, msgs.LabelCar, 10, 0)}, snap, 50, 2))
+	r := a.Report()
+	if r.IDSwitches != 1 {
+		t.Errorf("switches = %d", r.IDSwitches)
+	}
+	if r.Precision != 1 || r.Recall != 1 || r.LabelAccuracy != 1 {
+		t.Errorf("report = %+v", r)
+	}
+	if !r.IsFinite() {
+		t.Error("report has non-finite values")
+	}
+}
+
+func TestAggregateLocalization(t *testing.T) {
+	a := NewAggregate()
+	a.AddLocalization(0.2)
+	a.AddLocalization(0.6)
+	r := a.Report()
+	if math.Abs(r.MeanLocErr-0.4) > 1e-9 || r.MaxLocErr != 0.6 {
+		t.Errorf("loc = %+v", r)
+	}
+}
+
+func TestMOTAish(t *testing.T) {
+	a := NewAggregate()
+	snap := snapWithActors(actor(1, world.KindCar, 10, 0), actor(2, world.KindCar, 20, 0))
+	// One matched, one missed, no FP.
+	a.AddFrame(ScoreFrame([]msgs.DetectedObject{obj(5, msgs.LabelCar, 10, 0)}, snap, 50, 2))
+	// MOTA = 1 - (1 miss)/(2 gt) = 0.5.
+	if got := a.MOTAish(); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("MOTA = %v", got)
+	}
+	if NewAggregate().MOTAish() != 0 {
+		t.Error("empty MOTA should be 0")
+	}
+}
+
+func TestEmptyReportIsFinite(t *testing.T) {
+	r := NewAggregate().Report()
+	if !r.IsFinite() {
+		t.Error("empty report should be finite")
+	}
+}
+
+// TestEndToEndPerceptionQuality runs the real stack — with a lead
+// vehicle as a guaranteed nearby target — and checks the perception
+// output is substantively correct: the lead car is perceived most of
+// the time and localization is meter-level.
+func TestEndToEndPerceptionQuality(t *testing.T) {
+	stack, cfgScenario := buildStackWithLead(t)
+	agg := NewAggregate()
+	for i := 0; i < 20; i++ {
+		stack.Run(500 * time.Millisecond)
+		now := stack.Sim.Now().Seconds()
+		snap := cfgScenario.At(now)
+		var objs []msgs.DetectedObject
+		for _, tr := range stack.Tracker.Tracks() {
+			if !tr.Confirmed(3) {
+				continue
+			}
+			pos := tr.IMM.Pos()
+			objs = append(objs, msgs.DetectedObject{
+				ID: tr.ID, Label: tr.Label,
+				Pose: geom.Pose{Pos: geom.V3(pos.X, pos.Y, 0)},
+			})
+		}
+		// Score actors within close range. The association gate of 5 m
+		// allows for the physical offset between an actor's center and
+		// its LiDAR-visible face plus one pipeline latency of motion.
+		agg.AddFrame(ScoreFrame(objs, &snap, 25, 5.0))
+		if pose, ok := stack.NDT.Pose(); ok {
+			agg.AddLocalization(pose.XY().Dist(snap.Ego.Pose.XY()))
+		}
+	}
+	r := agg.Report()
+	if r.Frames != 20 {
+		t.Fatalf("frames = %d", r.Frames)
+	}
+	if r.Recall < 0.5 {
+		t.Errorf("recall = %.2f — the stack misses most nearby actors", r.Recall)
+	}
+	if r.MeanLocErr > 2 {
+		t.Errorf("mean localization error = %.2f m", r.MeanLocErr)
+	}
+	if !r.IsFinite() {
+		t.Error("report has non-finite values")
+	}
+}

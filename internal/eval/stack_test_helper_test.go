@@ -1,0 +1,24 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/autoware"
+	"repro/internal/testenv"
+	"repro/internal/world"
+)
+
+// buildStackWithLead assembles a full stack over a scenario with a
+// lead vehicle (same city, so the shared HD map remains valid).
+func buildStackWithLead(t *testing.T) (*autoware.Stack, *world.Scenario) {
+	t.Helper()
+	scfg := world.DefaultScenarioConfig()
+	scfg.LeadVehicle = true
+	scen := world.NewScenario(scfg)
+	cfg := autoware.DefaultConfig(autoware.DetectorSSD300)
+	s, err := autoware.BuildWithMap(cfg, scen, testenv.Map())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, scen
+}

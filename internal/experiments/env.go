@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/autoware"
+	"repro/internal/hdmap"
+	"repro/internal/world"
+)
+
+// Env holds the shared fixtures every experiment runs against: the
+// scenario (the synthetic Nagoya drive) and its HD map.
+type Env struct {
+	Scenario *world.Scenario
+	Map      *hdmap.Map
+}
+
+// NewEnv builds the fixtures once.
+func NewEnv() (*Env, error) {
+	scen := world.NewScenario(world.DefaultScenarioConfig())
+	mc := hdmap.DefaultConfig()
+	mc.ScanSpacing = 10
+	m, err := hdmap.Build(scen, mc)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: building map: %w", err)
+	}
+	return &Env{Scenario: scen, Map: m}, nil
+}
+
+// Runs caches completed stack executions so the experiments that share
+// a configuration do not re-simulate.
+type Runs struct {
+	env      *Env
+	Duration time.Duration
+
+	full       map[autoware.Detector]*autoware.Stack
+	standalone map[autoware.Detector]*autoware.Stack
+}
+
+// NewRuns prepares a run cache for the given drive duration per run.
+func NewRuns(env *Env, duration time.Duration) *Runs {
+	return &Runs{
+		env:        env,
+		Duration:   duration,
+		full:       make(map[autoware.Detector]*autoware.Stack),
+		standalone: make(map[autoware.Detector]*autoware.Stack),
+	}
+}
+
+// Full returns (running on first use) the full-system stack for a
+// detector.
+func (r *Runs) Full(det autoware.Detector) (*autoware.Stack, error) {
+	if s, ok := r.full[det]; ok {
+		return s, nil
+	}
+	cfg := autoware.DefaultConfig(det)
+	s, err := autoware.BuildWithMap(cfg, r.env.Scenario, r.env.Map)
+	if err != nil {
+		return nil, err
+	}
+	s.Run(r.Duration)
+	r.full[det] = s
+	return s, nil
+}
+
+// Standalone returns the vision-only stack for a detector.
+func (r *Runs) Standalone(det autoware.Detector) (*autoware.Stack, error) {
+	if s, ok := r.standalone[det]; ok {
+		return s, nil
+	}
+	cfg := autoware.DefaultConfig(det)
+	cfg.Mode = autoware.ModeVisionStandalone
+	s, err := autoware.BuildWithMap(cfg, r.env.Scenario, r.env.Map)
+	if err != nil {
+		return nil, err
+	}
+	s.Run(r.Duration)
+	r.standalone[det] = s
+	return s, nil
+}

@@ -1,0 +1,190 @@
+package geom
+
+import "math"
+
+// AABB3 is an axis-aligned 3D bounding box.
+type AABB3 struct {
+	Min, Max Vec3
+}
+
+// NewAABB3 returns the box spanning the given corners in any order.
+func NewAABB3(a, b Vec3) AABB3 {
+	return AABB3{
+		Min: Vec3{math.Min(a.X, b.X), math.Min(a.Y, b.Y), math.Min(a.Z, b.Z)},
+		Max: Vec3{math.Max(a.X, b.X), math.Max(a.Y, b.Y), math.Max(a.Z, b.Z)},
+	}
+}
+
+// EmptyAABB3 returns a box that contains nothing and extends under Expand.
+func EmptyAABB3() AABB3 {
+	inf := math.Inf(1)
+	return AABB3{Min: Vec3{inf, inf, inf}, Max: Vec3{-inf, -inf, -inf}}
+}
+
+// Expand grows the box to include p.
+func (b *AABB3) Expand(p Vec3) {
+	b.Min.X = math.Min(b.Min.X, p.X)
+	b.Min.Y = math.Min(b.Min.Y, p.Y)
+	b.Min.Z = math.Min(b.Min.Z, p.Z)
+	b.Max.X = math.Max(b.Max.X, p.X)
+	b.Max.Y = math.Max(b.Max.Y, p.Y)
+	b.Max.Z = math.Max(b.Max.Z, p.Z)
+}
+
+// Contains reports whether p lies inside the box (inclusive).
+func (b AABB3) Contains(p Vec3) bool {
+	return p.X >= b.Min.X && p.X <= b.Max.X &&
+		p.Y >= b.Min.Y && p.Y <= b.Max.Y &&
+		p.Z >= b.Min.Z && p.Z <= b.Max.Z
+}
+
+// Center returns the geometric center of the box.
+func (b AABB3) Center() Vec3 { return b.Min.Add(b.Max).Scale(0.5) }
+
+// Size returns the extents of the box.
+func (b AABB3) Size() Vec3 { return b.Max.Sub(b.Min) }
+
+// Valid reports whether the box has non-negative extents.
+func (b AABB3) Valid() bool {
+	return b.Min.X <= b.Max.X && b.Min.Y <= b.Max.Y && b.Min.Z <= b.Max.Z
+}
+
+// Intersects reports whether two boxes overlap.
+func (b AABB3) Intersects(o AABB3) bool {
+	return b.Min.X <= o.Max.X && b.Max.X >= o.Min.X &&
+		b.Min.Y <= o.Max.Y && b.Max.Y >= o.Min.Y &&
+		b.Min.Z <= o.Max.Z && b.Max.Z >= o.Min.Z
+}
+
+// RayHit intersects the ray origin + t*dir with the box using the slab
+// method and returns the entry parameter and whether the ray hits for
+// t in [0, tMax].
+func (b AABB3) RayHit(origin, dir Vec3, tMax float64) (float64, bool) {
+	tMin := 0.0
+	// Per-axis slab clipping.
+	axes := [3][3]float64{
+		{origin.X, dir.X, 0}, {origin.Y, dir.Y, 0}, {origin.Z, dir.Z, 0},
+	}
+	mins := [3]float64{b.Min.X, b.Min.Y, b.Min.Z}
+	maxs := [3]float64{b.Max.X, b.Max.Y, b.Max.Z}
+	for i := 0; i < 3; i++ {
+		o, d := axes[i][0], axes[i][1]
+		if math.Abs(d) < 1e-12 {
+			if o < mins[i] || o > maxs[i] {
+				return 0, false
+			}
+			continue
+		}
+		inv := 1 / d
+		t0 := (mins[i] - o) * inv
+		t1 := (maxs[i] - o) * inv
+		if t0 > t1 {
+			t0, t1 = t1, t0
+		}
+		if t0 > tMin {
+			tMin = t0
+		}
+		if t1 < tMax {
+			tMax = t1
+		}
+		if tMin > tMax {
+			return 0, false
+		}
+	}
+	return tMin, true
+}
+
+// OBB2 is an oriented 2D box: a center, heading and half-extents. It is
+// used for vehicle footprints and detection outputs.
+type OBB2 struct {
+	Center  Vec2
+	Yaw     float64
+	HalfLen float64 // half size along heading
+	HalfWid float64 // half size across heading
+}
+
+// Corners returns the four corners in counter-clockwise order.
+func (o OBB2) Corners() [4]Vec2 {
+	f := V2(1, 0).Rotate(o.Yaw).Scale(o.HalfLen)
+	l := V2(0, 1).Rotate(o.Yaw).Scale(o.HalfWid)
+	return [4]Vec2{
+		o.Center.Add(f).Add(l),
+		o.Center.Sub(f).Add(l),
+		o.Center.Sub(f).Sub(l),
+		o.Center.Add(f).Sub(l),
+	}
+}
+
+// Contains reports whether p is inside the oriented box.
+func (o OBB2) Contains(p Vec2) bool {
+	d := p.Sub(o.Center).Rotate(-o.Yaw)
+	return math.Abs(d.X) <= o.HalfLen && math.Abs(d.Y) <= o.HalfWid
+}
+
+// Area returns the area of the box.
+func (o OBB2) Area() float64 { return 4 * o.HalfLen * o.HalfWid }
+
+// Rect is an axis-aligned 2D rectangle, used for image-space boxes.
+type Rect struct {
+	Min, Max Vec2
+}
+
+// NewRect returns the rectangle spanning the two corners in any order.
+func NewRect(a, b Vec2) Rect {
+	return Rect{
+		Min: Vec2{math.Min(a.X, b.X), math.Min(a.Y, b.Y)},
+		Max: Vec2{math.Max(a.X, b.X), math.Max(a.Y, b.Y)},
+	}
+}
+
+// Width returns the horizontal extent.
+func (r Rect) Width() float64 { return r.Max.X - r.Min.X }
+
+// Height returns the vertical extent.
+func (r Rect) Height() float64 { return r.Max.Y - r.Min.Y }
+
+// Area returns the rectangle area, zero for degenerate rectangles.
+func (r Rect) Area() float64 {
+	if r.Max.X < r.Min.X || r.Max.Y < r.Min.Y {
+		return 0
+	}
+	return r.Width() * r.Height()
+}
+
+// Center returns the rectangle center.
+func (r Rect) Center() Vec2 { return r.Min.Add(r.Max).Scale(0.5) }
+
+// Contains reports whether p is inside the rectangle (inclusive).
+func (r Rect) Contains(p Vec2) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// Intersect returns the overlapping region of two rectangles; the result
+// has zero Area when they do not overlap.
+func (r Rect) Intersect(o Rect) Rect {
+	return Rect{
+		Min: Vec2{math.Max(r.Min.X, o.Min.X), math.Max(r.Min.Y, o.Min.Y)},
+		Max: Vec2{math.Min(r.Max.X, o.Max.X), math.Min(r.Max.Y, o.Max.Y)},
+	}
+}
+
+// IoU returns the intersection-over-union of two rectangles in [0, 1].
+func (r Rect) IoU(o Rect) float64 {
+	inter := r.Intersect(o).Area()
+	if inter <= 0 {
+		return 0
+	}
+	union := r.Area() + o.Area() - inter
+	if union <= 0 {
+		return 0
+	}
+	return inter / union
+}
+
+// Expand grows the rectangle to include p.
+func (r *Rect) Expand(p Vec2) {
+	r.Min.X = math.Min(r.Min.X, p.X)
+	r.Min.Y = math.Min(r.Min.Y, p.Y)
+	r.Max.X = math.Max(r.Max.X, p.X)
+	r.Max.Y = math.Max(r.Max.Y, p.Y)
+}

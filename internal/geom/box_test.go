@@ -1,0 +1,160 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAABB3ExpandContains(t *testing.T) {
+	b := EmptyAABB3()
+	if b.Valid() {
+		t.Error("empty box should be invalid")
+	}
+	b.Expand(V3(1, 2, 3))
+	b.Expand(V3(-1, 0, 5))
+	if !b.Valid() {
+		t.Error("expanded box should be valid")
+	}
+	if !b.Contains(V3(0, 1, 4)) {
+		t.Error("box should contain interior point")
+	}
+	if b.Contains(V3(2, 1, 4)) {
+		t.Error("box should not contain exterior point")
+	}
+	if got := b.Center(); got != V3(0, 1, 4) {
+		t.Errorf("center = %v", got)
+	}
+	if got := b.Size(); got != V3(2, 2, 2) {
+		t.Errorf("size = %v", got)
+	}
+}
+
+func TestAABB3Intersects(t *testing.T) {
+	a := NewAABB3(V3(0, 0, 0), V3(2, 2, 2))
+	b := NewAABB3(V3(1, 1, 1), V3(3, 3, 3))
+	c := NewAABB3(V3(5, 5, 5), V3(6, 6, 6))
+	if !a.Intersects(b) {
+		t.Error("a should intersect b")
+	}
+	if a.Intersects(c) {
+		t.Error("a should not intersect c")
+	}
+}
+
+func TestAABB3RayHit(t *testing.T) {
+	b := NewAABB3(V3(5, -1, -1), V3(7, 1, 1))
+	tHit, ok := b.RayHit(V3(0, 0, 0), V3(1, 0, 0), 100)
+	if !ok || !approx(tHit, 5) {
+		t.Errorf("ray hit = %v, %v", tHit, ok)
+	}
+	// Miss: offset laterally.
+	if _, ok := b.RayHit(V3(0, 5, 0), V3(1, 0, 0), 100); ok {
+		t.Error("ray should miss")
+	}
+	// Miss: pointing away.
+	if _, ok := b.RayHit(V3(0, 0, 0), V3(-1, 0, 0), 100); ok {
+		t.Error("backward ray should miss")
+	}
+	// Beyond tMax.
+	if _, ok := b.RayHit(V3(0, 0, 0), V3(1, 0, 0), 4); ok {
+		t.Error("ray beyond tMax should miss")
+	}
+	// Origin inside box hits at t=0.
+	tHit, ok = b.RayHit(V3(6, 0, 0), V3(1, 0, 0), 100)
+	if !ok || tHit != 0 {
+		t.Errorf("inside-origin hit = %v, %v", tHit, ok)
+	}
+}
+
+func TestAABB3RayHitDiagonal(t *testing.T) {
+	b := NewAABB3(V3(9, 9, -1), V3(11, 11, 1))
+	dir := V3(1, 1, 0).Unit()
+	tHit, ok := b.RayHit(V3(0, 0, 0), dir, 100)
+	if !ok {
+		t.Fatal("diagonal ray should hit")
+	}
+	p := V3(dir.X*tHit, dir.Y*tHit, 0)
+	if !b.Contains(p) {
+		t.Errorf("hit point %v not on box", p)
+	}
+}
+
+func TestOBB2CornersContains(t *testing.T) {
+	o := OBB2{Center: V2(0, 0), Yaw: 0, HalfLen: 2, HalfWid: 1}
+	if !o.Contains(V2(1.9, 0.9)) {
+		t.Error("should contain near-corner point")
+	}
+	if o.Contains(V2(2.1, 0)) {
+		t.Error("should not contain point past length")
+	}
+	// Rotated 90 degrees: length now along Y.
+	o.Yaw = math.Pi / 2
+	if !o.Contains(V2(0, 1.9)) {
+		t.Error("rotated box should contain point along Y")
+	}
+	if o.Contains(V2(1.9, 0)) {
+		t.Error("rotated box should not contain point along X")
+	}
+	cs := o.Corners()
+	for _, c := range cs {
+		// Corners are on the boundary; shrink slightly inward to test.
+		in := o.Center.Add(c.Sub(o.Center).Scale(0.99))
+		if !o.Contains(in) {
+			t.Errorf("should contain shrunk corner %v", in)
+		}
+	}
+	if !approx(o.Area(), 8) {
+		t.Errorf("area = %v", o.Area())
+	}
+}
+
+func TestRectIoU(t *testing.T) {
+	a := NewRect(V2(0, 0), V2(2, 2))
+	b := NewRect(V2(1, 1), V2(3, 3))
+	// Intersection 1, union 7.
+	if got := a.IoU(b); !approx(got, 1.0/7.0) {
+		t.Errorf("IoU = %v", got)
+	}
+	if got := a.IoU(a); !approx(got, 1) {
+		t.Errorf("self IoU = %v", got)
+	}
+	c := NewRect(V2(10, 10), V2(11, 11))
+	if got := a.IoU(c); got != 0 {
+		t.Errorf("disjoint IoU = %v", got)
+	}
+}
+
+func TestRectIoUPropertyBounds(t *testing.T) {
+	f := func(x1, y1, x2, y2, x3, y3, x4, y4 float64) bool {
+		for _, v := range []float64{x1, y1, x2, y2, x3, y3, x4, y4} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		m := func(v float64) float64 { return math.Mod(v, 100) }
+		a := NewRect(V2(m(x1), m(y1)), V2(m(x2), m(y2)))
+		b := NewRect(V2(m(x3), m(y3)), V2(m(x4), m(y4)))
+		iou := a.IoU(b)
+		return iou >= 0 && iou <= 1+1e-9 && approx(a.IoU(b), b.IoU(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := NewRect(V2(4, 5), V2(1, 2))
+	if r.Min != V2(1, 2) || r.Max != V2(4, 5) {
+		t.Errorf("NewRect normalization: %+v", r)
+	}
+	if r.Width() != 3 || r.Height() != 3 {
+		t.Errorf("dims = %v x %v", r.Width(), r.Height())
+	}
+	if r.Center() != V2(2.5, 3.5) {
+		t.Errorf("center = %v", r.Center())
+	}
+	if !r.Contains(V2(2, 3)) || r.Contains(V2(0, 0)) {
+		t.Error("contains misbehaves")
+	}
+}

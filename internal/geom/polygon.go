@@ -1,0 +1,150 @@
+package geom
+
+import "math"
+
+// Polygon is a simple 2D polygon given by its vertices in order.
+type Polygon []Vec2
+
+// Area returns the unsigned area via the shoelace formula.
+func (p Polygon) Area() float64 {
+	if len(p) < 3 {
+		return 0
+	}
+	sum := 0.0
+	for i := 0; i < len(p); i++ {
+		j := (i + 1) % len(p)
+		sum += p[i].Cross(p[j])
+	}
+	return math.Abs(sum) / 2
+}
+
+// Centroid returns the area centroid. For degenerate polygons it falls
+// back to the vertex mean.
+func (p Polygon) Centroid() Vec2 {
+	if len(p) == 0 {
+		return Vec2{}
+	}
+	a := 0.0
+	var c Vec2
+	for i := 0; i < len(p); i++ {
+		j := (i + 1) % len(p)
+		cross := p[i].Cross(p[j])
+		a += cross
+		c = c.Add(p[i].Add(p[j]).Scale(cross))
+	}
+	if math.Abs(a) < 1e-12 {
+		var m Vec2
+		for _, v := range p {
+			m = m.Add(v)
+		}
+		return m.Scale(1 / float64(len(p)))
+	}
+	return c.Scale(1 / (3 * a))
+}
+
+// Contains reports whether q lies inside the polygon using the winding
+// ray-crossing test. Points exactly on an edge may land on either side.
+func (p Polygon) Contains(q Vec2) bool {
+	inside := false
+	n := len(p)
+	for i, j := 0, n-1; i < n; j, i = i, i+1 {
+		pi, pj := p[i], p[j]
+		if (pi.Y > q.Y) != (pj.Y > q.Y) {
+			xInt := (pj.X-pi.X)*(q.Y-pi.Y)/(pj.Y-pi.Y) + pi.X
+			if q.X < xInt {
+				inside = !inside
+			}
+		}
+	}
+	return inside
+}
+
+// Bounds returns the axis-aligned bounding rectangle of the polygon.
+func (p Polygon) Bounds() Rect {
+	if len(p) == 0 {
+		return Rect{}
+	}
+	r := NewRect(p[0], p[0])
+	for _, v := range p[1:] {
+		r.Expand(v)
+	}
+	return r
+}
+
+// ConvexHull computes the convex hull of a point set using the Andrew
+// monotone chain algorithm. The input is not modified; the hull is
+// returned in counter-clockwise order without the closing point.
+func ConvexHull(points []Vec2) Polygon {
+	n := len(points)
+	if n < 3 {
+		out := make(Polygon, n)
+		copy(out, points)
+		return out
+	}
+	pts := make([]Vec2, n)
+	copy(pts, points)
+	// Sort lexicographically by (X, Y) with insertion-free sort.
+	sortVec2(pts)
+
+	hull := make([]Vec2, 0, 2*n)
+	// Lower hull.
+	for _, p := range pts {
+		for len(hull) >= 2 && hull[len(hull)-1].Sub(hull[len(hull)-2]).Cross(p.Sub(hull[len(hull)-2])) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	// Upper hull.
+	lower := len(hull) + 1
+	for i := n - 2; i >= 0; i-- {
+		p := pts[i]
+		for len(hull) >= lower && hull[len(hull)-1].Sub(hull[len(hull)-2]).Cross(p.Sub(hull[len(hull)-2])) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	return Polygon(hull[:len(hull)-1])
+}
+
+func sortVec2(pts []Vec2) {
+	// Simple in-place quicksort over (X, Y); the point counts here are
+	// small (cluster hulls) so recursion depth is not a concern.
+	if len(pts) < 2 {
+		return
+	}
+	pivot := pts[len(pts)/2]
+	left, right := 0, len(pts)-1
+	for left <= right {
+		for vec2Less(pts[left], pivot) {
+			left++
+		}
+		for vec2Less(pivot, pts[right]) {
+			right--
+		}
+		if left <= right {
+			pts[left], pts[right] = pts[right], pts[left]
+			left++
+			right--
+		}
+	}
+	sortVec2(pts[:right+1])
+	sortVec2(pts[left:])
+}
+
+func vec2Less(a, b Vec2) bool {
+	if a.X != b.X {
+		return a.X < b.X
+	}
+	return a.Y < b.Y
+}
+
+// SegmentPointDist returns the distance from point p to segment [a, b].
+func SegmentPointDist(a, b, p Vec2) float64 {
+	ab := b.Sub(a)
+	l2 := ab.NormSq()
+	if l2 == 0 {
+		return p.Dist(a)
+	}
+	t := Clamp(p.Sub(a).Dot(ab)/l2, 0, 1)
+	return p.Dist(a.Add(ab.Scale(t)))
+}

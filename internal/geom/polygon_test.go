@@ -1,0 +1,154 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func square() Polygon {
+	return Polygon{V2(0, 0), V2(2, 0), V2(2, 2), V2(0, 2)}
+}
+
+func TestPolygonArea(t *testing.T) {
+	if got := square().Area(); !approx(got, 4) {
+		t.Errorf("area = %v", got)
+	}
+	tri := Polygon{V2(0, 0), V2(4, 0), V2(0, 3)}
+	if got := tri.Area(); !approx(got, 6) {
+		t.Errorf("triangle area = %v", got)
+	}
+	if got := (Polygon{V2(0, 0), V2(1, 1)}).Area(); got != 0 {
+		t.Errorf("degenerate area = %v", got)
+	}
+}
+
+func TestPolygonCentroid(t *testing.T) {
+	c := square().Centroid()
+	if !approx(c.X, 1) || !approx(c.Y, 1) {
+		t.Errorf("centroid = %v", c)
+	}
+	// Degenerate polygon falls back to vertex mean.
+	line := Polygon{V2(0, 0), V2(2, 0)}
+	c = line.Centroid()
+	if !approx(c.X, 1) || !approx(c.Y, 0) {
+		t.Errorf("degenerate centroid = %v", c)
+	}
+}
+
+func TestPolygonContains(t *testing.T) {
+	p := square()
+	if !p.Contains(V2(1, 1)) {
+		t.Error("interior point should be inside")
+	}
+	if p.Contains(V2(3, 1)) || p.Contains(V2(-1, 1)) {
+		t.Error("exterior point should be outside")
+	}
+	// Concave polygon (L shape).
+	l := Polygon{V2(0, 0), V2(3, 0), V2(3, 1), V2(1, 1), V2(1, 3), V2(0, 3)}
+	if !l.Contains(V2(0.5, 2)) {
+		t.Error("L interior should be inside")
+	}
+	if l.Contains(V2(2, 2)) {
+		t.Error("L notch should be outside")
+	}
+}
+
+func TestPolygonBounds(t *testing.T) {
+	b := square().Bounds()
+	if b.Min != V2(0, 0) || b.Max != V2(2, 2) {
+		t.Errorf("bounds = %+v", b)
+	}
+	if (Polygon{}).Bounds() != (Rect{}) {
+		t.Error("empty polygon bounds should be zero")
+	}
+}
+
+func TestConvexHullSquarePlusInterior(t *testing.T) {
+	pts := []Vec2{
+		V2(0, 0), V2(4, 0), V2(4, 4), V2(0, 4),
+		V2(2, 2), V2(1, 1), V2(3, 2), // interior points
+	}
+	h := ConvexHull(pts)
+	if len(h) != 4 {
+		t.Fatalf("hull size = %d (%v)", len(h), h)
+	}
+	if !approx(h.Area(), 16) {
+		t.Errorf("hull area = %v", h.Area())
+	}
+}
+
+func TestConvexHullCollinear(t *testing.T) {
+	pts := []Vec2{V2(0, 0), V2(1, 0), V2(2, 0), V2(3, 0)}
+	h := ConvexHull(pts)
+	// All collinear: the hull degenerates to the two extreme points.
+	if len(h) > 2 {
+		t.Errorf("collinear hull = %v", h)
+	}
+}
+
+func TestConvexHullSmallInputs(t *testing.T) {
+	if got := ConvexHull(nil); len(got) != 0 {
+		t.Errorf("nil hull = %v", got)
+	}
+	one := ConvexHull([]Vec2{V2(1, 2)})
+	if len(one) != 1 || one[0] != V2(1, 2) {
+		t.Errorf("single-point hull = %v", one)
+	}
+}
+
+func TestConvexHullContainsAllPoints(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 8 {
+			return true
+		}
+		pts := make([]Vec2, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			x, y := raw[i], raw[i+1]
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(y) || math.IsInf(y, 0) {
+				return true
+			}
+			pts = append(pts, V2(math.Mod(x, 100), math.Mod(y, 100)))
+		}
+		h := ConvexHull(pts)
+		if len(h) < 3 {
+			return true // degenerate input
+		}
+		// Every input point must be inside or on the hull; test with a
+		// small tolerance by shrinking points toward the hull centroid.
+		c := h.Centroid()
+		for _, p := range pts {
+			q := c.Add(p.Sub(c).Scale(0.9999))
+			if !h.Contains(q) && p.Dist(c) > 1e-6 {
+				// Point may be a hull vertex; boundary tolerance.
+				onHull := false
+				for _, v := range h {
+					if v.Dist(p) < 1e-9 {
+						onHull = true
+						break
+					}
+				}
+				if !onHull {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSegmentPointDist(t *testing.T) {
+	a, b := V2(0, 0), V2(10, 0)
+	if got := SegmentPointDist(a, b, V2(5, 3)); !approx(got, 3) {
+		t.Errorf("mid dist = %v", got)
+	}
+	if got := SegmentPointDist(a, b, V2(-4, 3)); !approx(got, 5) {
+		t.Errorf("endpoint dist = %v", got)
+	}
+	if got := SegmentPointDist(a, a, V2(3, 4)); !approx(got, 5) {
+		t.Errorf("degenerate segment dist = %v", got)
+	}
+}

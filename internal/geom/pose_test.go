@@ -1,0 +1,112 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPoseTransformInverseRoundTrip(t *testing.T) {
+	p := NewPose(10, -5, 2, 0.7)
+	local := V3(3, 1, 0.5)
+	world := p.Transform(local)
+	back := p.Inverse(world)
+	if back.Dist(local) > 1e-9 {
+		t.Errorf("round trip: %v -> %v -> %v", local, world, back)
+	}
+}
+
+func TestPoseTransformIdentity(t *testing.T) {
+	p := NewPose(0, 0, 0, 0)
+	v := V3(1, 2, 3)
+	if got := p.Transform(v); got != v {
+		t.Errorf("identity transform = %v", got)
+	}
+}
+
+func TestPoseTransformRotation(t *testing.T) {
+	p := NewPose(0, 0, 0, math.Pi/2)
+	got := p.Transform(V3(1, 0, 0))
+	if math.Abs(got.X) > 1e-9 || math.Abs(got.Y-1) > 1e-9 {
+		t.Errorf("90-degree transform = %v", got)
+	}
+}
+
+func TestPoseCompose(t *testing.T) {
+	a := NewPose(1, 0, 0, math.Pi/2)
+	b := NewPose(1, 0, 0, 0)
+	c := a.Compose(b)
+	// b's origin is 1m forward of a, which points +Y.
+	if math.Abs(c.Pos.X-1) > 1e-9 || math.Abs(c.Pos.Y-1) > 1e-9 {
+		t.Errorf("compose pos = %v", c.Pos)
+	}
+	if !approx(c.Yaw, math.Pi/2) {
+		t.Errorf("compose yaw = %v", c.Yaw)
+	}
+}
+
+func TestPoseComposeAssociativeProperty(t *testing.T) {
+	f := func(x1, y1, w1, x2, y2, w2, x3, y3, w3 float64) bool {
+		for _, v := range []float64{x1, y1, w1, x2, y2, w2, x3, y3, w3} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		clampIn := func(v float64) float64 { return math.Mod(v, 100) }
+		a := NewPose(clampIn(x1), clampIn(y1), 0, clampIn(w1))
+		b := NewPose(clampIn(x2), clampIn(y2), 0, clampIn(w2))
+		c := NewPose(clampIn(x3), clampIn(y3), 0, clampIn(w3))
+		l := a.Compose(b).Compose(c)
+		r := a.Compose(b.Compose(c))
+		return l.Pos.Dist(r.Pos) < 1e-6 && math.Abs(AngleDiff(l.Yaw, r.Yaw)) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPoseForward(t *testing.T) {
+	p := NewPose(0, 0, 0, math.Pi)
+	f := p.Forward()
+	if !approx(f.X, -1) || !approx(f.Y, 0) {
+		t.Errorf("forward = %v", f)
+	}
+}
+
+func TestTwistIntegrateStraight(t *testing.T) {
+	p := NewPose(0, 0, 0, 0)
+	tw := Twist{Linear: 10, Angular: 0}
+	q := tw.Integrate(p, 0.5)
+	if !approx(q.Pos.X, 5) || !approx(q.Pos.Y, 0) {
+		t.Errorf("straight integrate = %v", q.Pos)
+	}
+}
+
+func TestTwistIntegrateArc(t *testing.T) {
+	// Quarter circle of radius 10: v = w*r.
+	p := NewPose(0, 0, 0, 0)
+	tw := Twist{Linear: 10, Angular: 1}
+	q := tw.Integrate(p, math.Pi/2)
+	if !approx(q.Pos.X, 10) || !approx(q.Pos.Y, 10) {
+		t.Errorf("arc integrate pos = %v", q.Pos)
+	}
+	if !approx(q.Yaw, math.Pi/2) {
+		t.Errorf("arc integrate yaw = %v", q.Yaw)
+	}
+}
+
+func TestTwistIntegrateArcLength(t *testing.T) {
+	// Over a short step the distance traveled equals v*dt regardless of
+	// curvature (to first order the chord is shorter; check bound).
+	p := NewPose(3, 4, 0, 1.1)
+	tw := Twist{Linear: 8, Angular: 0.3}
+	dt := 0.01
+	q := tw.Integrate(p, dt)
+	chord := q.Pos.Dist(p.Pos)
+	if chord > tw.Linear*dt+1e-9 {
+		t.Errorf("chord %v exceeds arc %v", chord, tw.Linear*dt)
+	}
+	if chord < tw.Linear*dt*0.999 {
+		t.Errorf("chord %v too short vs arc %v", chord, tw.Linear*dt)
+	}
+}

@@ -1,0 +1,172 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-9
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestVec2Basics(t *testing.T) {
+	a, b := V2(3, 4), V2(-1, 2)
+	if got := a.Add(b); got != V2(2, 6) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != V2(4, 2) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != V2(6, 8) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Dot(b); got != 5 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := a.Cross(b); got != 10 {
+		t.Errorf("Cross = %v", got)
+	}
+	if got := a.Norm(); got != 5 {
+		t.Errorf("Norm = %v", got)
+	}
+	if got := a.NormSq(); got != 25 {
+		t.Errorf("NormSq = %v", got)
+	}
+}
+
+func TestVec2Unit(t *testing.T) {
+	if got := V2(10, 0).Unit(); got != V2(1, 0) {
+		t.Errorf("Unit = %v", got)
+	}
+	if got := V2(0, 0).Unit(); got != V2(0, 0) {
+		t.Errorf("zero Unit = %v", got)
+	}
+	u := V2(3, -7).Unit()
+	if !approx(u.Norm(), 1) {
+		t.Errorf("Unit norm = %v", u.Norm())
+	}
+}
+
+func TestVec2Rotate(t *testing.T) {
+	r := V2(1, 0).Rotate(math.Pi / 2)
+	if !approx(r.X, 0) || !approx(r.Y, 1) {
+		t.Errorf("Rotate 90 = %v", r)
+	}
+	p := V2(1, 0).Perp()
+	if p != V2(0, 1) {
+		t.Errorf("Perp = %v", p)
+	}
+}
+
+func TestVec2RotatePreservesNorm(t *testing.T) {
+	f := func(x, y, theta float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(y) || math.IsInf(y, 0) ||
+			math.IsNaN(theta) || math.IsInf(theta, 0) {
+			return true
+		}
+		// Keep magnitudes sane to avoid float overflow noise.
+		x = math.Mod(x, 1e6)
+		y = math.Mod(y, 1e6)
+		v := V2(x, y)
+		r := v.Rotate(theta)
+		return math.Abs(v.Norm()-r.Norm()) < 1e-6*(1+v.Norm())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVec2Lerp(t *testing.T) {
+	a, b := V2(0, 0), V2(10, -10)
+	if got := a.Lerp(b, 0); got != a {
+		t.Errorf("Lerp 0 = %v", got)
+	}
+	if got := a.Lerp(b, 1); got != b {
+		t.Errorf("Lerp 1 = %v", got)
+	}
+	if got := a.Lerp(b, 0.5); got != V2(5, -5) {
+		t.Errorf("Lerp 0.5 = %v", got)
+	}
+}
+
+func TestVec3Basics(t *testing.T) {
+	a, b := V3(1, 2, 3), V3(4, 5, 6)
+	if got := a.Add(b); got != V3(5, 7, 9) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Dot(b); got != 32 {
+		t.Errorf("Dot = %v", got)
+	}
+	c := a.Cross(b)
+	if c != V3(-3, 6, -3) {
+		t.Errorf("Cross = %v", c)
+	}
+	// Cross product is orthogonal to both operands.
+	if !approx(c.Dot(a), 0) || !approx(c.Dot(b), 0) {
+		t.Errorf("Cross not orthogonal: %v", c)
+	}
+	if got := a.XY(); got != V2(1, 2) {
+		t.Errorf("XY = %v", got)
+	}
+}
+
+func TestVec3Unit(t *testing.T) {
+	if got := V3(0, 0, 0).Unit(); got != V3(0, 0, 0) {
+		t.Errorf("zero Unit = %v", got)
+	}
+	if n := V3(1, 2, 2).Unit().Norm(); !approx(n, 1) {
+		t.Errorf("Unit norm = %v", n)
+	}
+}
+
+func TestWrapAngle(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0},
+		{math.Pi, math.Pi},
+		{-math.Pi, math.Pi},
+		{3 * math.Pi, math.Pi},
+		{2 * math.Pi, 0},
+		{-2.5 * math.Pi, -0.5 * math.Pi},
+	}
+	for _, c := range cases {
+		if got := WrapAngle(c.in); !approx(got, c.want) {
+			t.Errorf("WrapAngle(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestWrapAngleProperty(t *testing.T) {
+	f := func(a float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) {
+			return true
+		}
+		a = math.Mod(a, 1000)
+		w := WrapAngle(a)
+		if w <= -math.Pi-eps || w > math.Pi+eps {
+			return false
+		}
+		// The wrapped angle points the same direction.
+		return math.Abs(math.Sin(w)-math.Sin(a)) < 1e-6 &&
+			math.Abs(math.Cos(w)-math.Cos(a)) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAngleDiff(t *testing.T) {
+	if got := AngleDiff(0.1, -0.1); !approx(got, 0.2) {
+		t.Errorf("AngleDiff = %v", got)
+	}
+	// Across the wrap boundary.
+	if got := AngleDiff(math.Pi-0.1, -math.Pi+0.1); !approx(got, -0.2) {
+		t.Errorf("AngleDiff wrap = %v", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Error("Clamp misbehaves")
+	}
+}

@@ -1,0 +1,208 @@
+// Package hdmap builds the point-cloud map the localization stack
+// matches against. The paper, lacking an HD map for its Nagoya drive,
+// generated one from the recording with Autoware's ndt_mapping utility;
+// this package is the equivalent step for the synthetic world: it sweeps
+// the LiDAR along the ego route through the *static* city (maps are
+// built without traffic), accumulates the returns in the world frame,
+// and distills them into the voxelized Normal Distributions Transform
+// grid consumed by ndt_matching.
+package hdmap
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/pointcloud"
+	"repro/internal/sensor"
+	"repro/internal/world"
+)
+
+// Config parameterizes map construction.
+type Config struct {
+	// ScanSpacing is the distance between mapping scans along the route,
+	// meters.
+	ScanSpacing float64
+	// MapLeaf is the voxel size used to thin the accumulated cloud.
+	MapLeaf float64
+	// NDTLeaf is the voxel size of the NDT statistics grid.
+	NDTLeaf float64
+	// MinVoxelPoints is the minimum population for a usable NDT voxel.
+	MinVoxelPoints int
+	// LiDAR overrides the scanner; zero value uses the default scanner
+	// with noise disabled (mapping rigs are calibrated).
+	LiDAR sensor.LiDARConfig
+}
+
+// DefaultConfig returns the standard mapping configuration.
+func DefaultConfig() Config {
+	lc := sensor.DefaultLiDARConfig()
+	lc.RangeNoise = 0
+	lc.DropProb = 0
+	return Config{
+		ScanSpacing:    5,
+		MapLeaf:        0.4,
+		NDTLeaf:        2.0,
+		MinVoxelPoints: 4,
+		LiDAR:          lc,
+	}
+}
+
+// Map is the built product: the thinned world-frame cloud and the NDT
+// voxel grid derived from it.
+type Map struct {
+	Cloud   *pointcloud.Cloud
+	NDT     map[pointcloud.VoxelKey]*pointcloud.VoxelStats
+	NDTLeaf float64
+	// Scans is the number of mapping sweeps that contributed.
+	Scans int
+
+	minVoxelPoints int
+}
+
+// Build runs the mapping sweep over the scenario's ego route.
+func Build(s *world.Scenario, cfg Config) (*Map, error) {
+	if cfg.ScanSpacing <= 0 || cfg.MapLeaf <= 0 || cfg.NDTLeaf <= 0 {
+		return nil, fmt.Errorf("hdmap: invalid config %+v", cfg)
+	}
+	lidar := sensor.NewLiDAR(cfg.LiDAR, s.City)
+	acc := pointcloud.New(1 << 16)
+
+	// Walk the route by time, emitting a scan every ScanSpacing meters.
+	duration := s.EgoRoute.Duration()
+	const dt = 0.2
+	var lastPos geom.Vec2
+	havePos := false
+	scans := 0
+	for t := 0.0; t < duration; t += dt {
+		pose, _ := s.EgoRoute.At(t)
+		if havePos && pose.XY().Dist(lastPos) < cfg.ScanSpacing {
+			continue
+		}
+		lastPos = pose.XY()
+		havePos = true
+		snap := world.Snapshot{
+			Time: t,
+			Ego: world.ActorState{
+				Pose: pose, Kind: world.KindCar, Dim: world.KindCar.Dimensions(),
+			},
+			// No traffic: the map captures only static structure.
+		}
+		scan := lidar.Scan(&snap)
+		// Register into the world frame with the known mapping pose.
+		wsc := scan.Transform(pose)
+		acc.Points = append(acc.Points, wsc.Points...)
+		// Thin periodically to bound memory.
+		if acc.Len() > 1<<20 {
+			acc, _ = pointcloud.VoxelDownsample(acc, cfg.MapLeaf)
+		}
+		scans++
+	}
+	if scans == 0 {
+		return nil, fmt.Errorf("hdmap: route produced no scans")
+	}
+	thinned, _ := pointcloud.VoxelDownsample(acc, cfg.MapLeaf)
+	m := &Map{
+		Cloud:          thinned,
+		NDTLeaf:        cfg.NDTLeaf,
+		Scans:          scans,
+		minVoxelPoints: cfg.MinVoxelPoints,
+	}
+	m.NDT = pointcloud.BuildVoxelStats(thinned, cfg.NDTLeaf, cfg.MinVoxelPoints)
+	return m, nil
+}
+
+// VoxelAt returns the NDT statistics voxel containing p, or nil when the
+// voxel is unmapped or unusable.
+func (m *Map) VoxelAt(p geom.Vec3) *pointcloud.VoxelStats {
+	vs := m.NDT[pointcloud.KeyFor(p, m.NDTLeaf)]
+	if vs == nil || !vs.OK {
+		return nil
+	}
+	return vs
+}
+
+// Direct7 appends to out the usable voxels among the containing cell
+// and its six face neighbors — the DIRECT7 neighborhood PCL's NDT
+// accumulates its score over. Passing a reused slice avoids allocation
+// in the matching hot loop.
+func (m *Map) Direct7(p geom.Vec3, out []*pointcloud.VoxelStats) []*pointcloud.VoxelStats {
+	base := pointcloud.KeyFor(p, m.NDTLeaf)
+	keys := [7]pointcloud.VoxelKey{
+		base,
+		{X: base.X - 1, Y: base.Y, Z: base.Z},
+		{X: base.X + 1, Y: base.Y, Z: base.Z},
+		{X: base.X, Y: base.Y - 1, Z: base.Z},
+		{X: base.X, Y: base.Y + 1, Z: base.Z},
+		{X: base.X, Y: base.Y, Z: base.Z - 1},
+		{X: base.X, Y: base.Y, Z: base.Z + 1},
+	}
+	for _, k := range keys {
+		if vs := m.NDT[k]; vs != nil && vs.OK {
+			out = append(out, vs)
+		}
+	}
+	return out
+}
+
+// NeighborVoxels returns the usable voxels in the 3x3x3 neighborhood of
+// p's voxel, nearest first by mean distance. The NDT score in matching
+// sums over these.
+func (m *Map) NeighborVoxels(p geom.Vec3) []*pointcloud.VoxelStats {
+	base := pointcloud.KeyFor(p, m.NDTLeaf)
+	var out []*pointcloud.VoxelStats
+	for dx := int32(-1); dx <= 1; dx++ {
+		for dy := int32(-1); dy <= 1; dy++ {
+			for dz := int32(-1); dz <= 1; dz++ {
+				k := pointcloud.VoxelKey{X: base.X + dx, Y: base.Y + dy, Z: base.Z + dz}
+				if vs := m.NDT[k]; vs != nil && vs.OK {
+					out = append(out, vs)
+				}
+			}
+		}
+	}
+	// Sort by distance to p (selection sort; list has at most 27 items).
+	for i := 0; i < len(out); i++ {
+		best := i
+		for j := i + 1; j < len(out); j++ {
+			if out[j].Mean.DistSq(p) < out[best].Mean.DistSq(p) {
+				best = j
+			}
+		}
+		out[i], out[best] = out[best], out[i]
+	}
+	return out
+}
+
+// Coverage reports the fraction of route sample points whose NDT voxel
+// neighborhood is usable — a map-quality sanity metric.
+func (m *Map) Coverage(s *world.Scenario, samples int) float64 {
+	if samples <= 0 {
+		return 0
+	}
+	hit := 0
+	duration := s.EgoRoute.Duration()
+	for i := 0; i < samples; i++ {
+		t := duration * float64(i) / float64(samples)
+		pose, _ := s.EgoRoute.At(t)
+		// Probe at sensor height where wall/ground structure lives.
+		probe := pose.Pos.Add(geom.V3(0, 0, 1))
+		if len(m.NeighborVoxels(probe)) > 0 || !math.IsInf(m.nearestVoxelDist(probe), 1) {
+			hit++
+		}
+	}
+	return float64(hit) / float64(samples)
+}
+
+func (m *Map) nearestVoxelDist(p geom.Vec3) float64 {
+	best := math.Inf(1)
+	for _, vs := range m.NDT {
+		if !vs.OK {
+			continue
+		}
+		if d := vs.Mean.Dist(p); d < best {
+			best = d
+		}
+	}
+	return best
+}

@@ -1,0 +1,87 @@
+package hdmap
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/pointcloud"
+)
+
+// serialized is the on-disk form of a Map. The NDT grid is rebuilt on
+// load from the stored leaf/minPoints, so the file stays compact and
+// the regularization logic has a single home.
+type serialized struct {
+	Magic          string
+	Version        int
+	Points         []pointcloud.Point
+	NDTLeaf        float64
+	MinVoxelPoints int
+	Scans          int
+}
+
+const mapMagic = "AVMAP"
+
+// Save writes the map to w in a compact binary form.
+func (m *Map) Save(w io.Writer) error {
+	enc := gob.NewEncoder(w)
+	err := enc.Encode(serialized{
+		Magic:          mapMagic,
+		Version:        1,
+		Points:         m.Cloud.Points,
+		NDTLeaf:        m.NDTLeaf,
+		MinVoxelPoints: m.minVoxelPoints,
+		Scans:          m.Scans,
+	})
+	if err != nil {
+		return fmt.Errorf("hdmap: saving map: %w", err)
+	}
+	return nil
+}
+
+// Load reads a map previously written by Save and rebuilds its NDT grid.
+func Load(r io.Reader) (*Map, error) {
+	var s serialized
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("hdmap: reading map: %w", err)
+	}
+	if s.Magic != mapMagic {
+		return nil, fmt.Errorf("hdmap: not a map file (magic %q)", s.Magic)
+	}
+	if s.Version != 1 {
+		return nil, fmt.Errorf("hdmap: unsupported map version %d", s.Version)
+	}
+	minPts := s.MinVoxelPoints
+	if minPts <= 0 {
+		minPts = DefaultConfig().MinVoxelPoints
+	}
+	m := &Map{
+		Cloud:          &pointcloud.Cloud{Points: s.Points},
+		NDTLeaf:        s.NDTLeaf,
+		Scans:          s.Scans,
+		minVoxelPoints: minPts,
+	}
+	m.NDT = pointcloud.BuildVoxelStats(m.Cloud, m.NDTLeaf, minPts)
+	return m, nil
+}
+
+// SaveFile writes the map to a file path.
+func (m *Map) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("hdmap: creating %s: %w", path, err)
+	}
+	defer f.Close()
+	return m.Save(f)
+}
+
+// LoadFile reads a map from a file path.
+func LoadFile(path string) (*Map, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("hdmap: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,221 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func matApprox(a, b *Mat, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMatMul(t *testing.T) {
+	a := MatFromRows([]float64{1, 2}, []float64{3, 4})
+	b := MatFromRows([]float64{5, 6}, []float64{7, 8})
+	c := a.Mul(b)
+	want := MatFromRows([]float64{19, 22}, []float64{43, 50})
+	if !matApprox(c, want, 1e-12) {
+		t.Errorf("Mul = %+v", c)
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	a := MatFromRows([]float64{1, 2, 3}, []float64{4, 5, 6}, []float64{7, 8, 10})
+	if !matApprox(a.Mul(Identity(3)), a, 1e-12) {
+		t.Error("A*I != A")
+	}
+	if !matApprox(Identity(3).Mul(a), a, 1e-12) {
+		t.Error("I*A != A")
+	}
+}
+
+func TestMatTranspose(t *testing.T) {
+	a := MatFromRows([]float64{1, 2, 3}, []float64{4, 5, 6})
+	at := a.T()
+	if at.Rows != 3 || at.Cols != 2 || at.At(2, 1) != 6 || at.At(0, 1) != 4 {
+		t.Errorf("T = %+v", at)
+	}
+	if !matApprox(at.T(), a, 0) {
+		t.Error("double transpose != original")
+	}
+}
+
+func TestMatAddSubScale(t *testing.T) {
+	a := MatFromRows([]float64{1, 2}, []float64{3, 4})
+	b := MatFromRows([]float64{4, 3}, []float64{2, 1})
+	if got := a.Add(b); !matApprox(got, MatFromRows([]float64{5, 5}, []float64{5, 5}), 0) {
+		t.Errorf("Add = %+v", got)
+	}
+	if got := a.Sub(a); !matApprox(got, NewMat(2, 2), 0) {
+		t.Errorf("Sub = %+v", got)
+	}
+	if got := a.Scale(2); got.At(1, 1) != 8 {
+		t.Errorf("Scale = %+v", got)
+	}
+}
+
+func TestMatInverse(t *testing.T) {
+	a := MatFromRows(
+		[]float64{4, 7, 2},
+		[]float64{3, 6, 1},
+		[]float64{2, 5, 3},
+	)
+	inv, err := a.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matApprox(a.Mul(inv), Identity(3), 1e-9) {
+		t.Errorf("A*inv(A) != I: %+v", a.Mul(inv))
+	}
+}
+
+func TestMatInverseSingular(t *testing.T) {
+	a := MatFromRows([]float64{1, 2}, []float64{2, 4})
+	if _, err := a.Inverse(); err == nil {
+		t.Error("singular inverse should fail")
+	}
+}
+
+func TestMatSolveVec(t *testing.T) {
+	a := MatFromRows([]float64{2, 1}, []float64{1, 3})
+	x, err := a.SolveVec([]float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2x + y = 5; x + 3y = 10 -> x=1, y=3.
+	if math.Abs(x[0]-1) > 1e-9 || math.Abs(x[1]-3) > 1e-9 {
+		t.Errorf("solve = %v", x)
+	}
+}
+
+func TestCholesky(t *testing.T) {
+	// A = L0 * L0' for a known L0.
+	l0 := MatFromRows(
+		[]float64{2, 0, 0},
+		[]float64{1, 3, 0},
+		[]float64{0.5, -1, 1.5},
+	)
+	a := l0.Mul(l0.T())
+	l, err := a.Cholesky()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matApprox(l, l0, 1e-9) {
+		t.Errorf("Cholesky = %+v, want %+v", l, l0)
+	}
+	if !matApprox(l.Mul(l.T()), a, 1e-9) {
+		t.Error("L*L' != A")
+	}
+}
+
+func TestCholeskyNotPD(t *testing.T) {
+	a := MatFromRows([]float64{1, 2}, []float64{2, 1}) // eigenvalues 3, -1
+	if _, err := a.Cholesky(); err == nil {
+		t.Error("Cholesky of indefinite matrix should fail")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := MatFromRows([]float64{1, 2, 3}, []float64{4, 5, 6})
+	got := a.MulVec([]float64{1, 1, 1})
+	if got[0] != 6 || got[1] != 15 {
+		t.Errorf("MulVec = %v", got)
+	}
+}
+
+func TestSymmetrize(t *testing.T) {
+	a := MatFromRows([]float64{1, 2}, []float64{4, 3})
+	a.Symmetrize()
+	if a.At(0, 1) != 3 || a.At(1, 0) != 3 {
+		t.Errorf("Symmetrize = %+v", a)
+	}
+}
+
+func TestAddDiag(t *testing.T) {
+	a := NewMat(2, 2)
+	a.AddDiag(5)
+	if a.At(0, 0) != 5 || a.At(1, 1) != 5 || a.At(0, 1) != 0 {
+		t.Errorf("AddDiag = %+v", a)
+	}
+}
+
+func TestInverseRoundTripProperty(t *testing.T) {
+	r := NewRNG(31)
+	f := func() bool {
+		// Random diagonally dominant matrix: always invertible.
+		n := 2 + r.Intn(4)
+		a := NewMat(n, n)
+		for i := 0; i < n; i++ {
+			rowSum := 0.0
+			for j := 0; j < n; j++ {
+				if i != j {
+					v := r.Range(-1, 1)
+					a.Set(i, j, v)
+					rowSum += math.Abs(v)
+				}
+			}
+			a.Set(i, i, rowSum+1+r.Float64())
+		}
+		inv, err := a.Inverse()
+		if err != nil {
+			return false
+		}
+		return matApprox(a.Mul(inv), Identity(n), 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCholeskyRoundTripProperty(t *testing.T) {
+	r := NewRNG(37)
+	f := func() bool {
+		n := 2 + r.Intn(4)
+		// Random SPD matrix: B*B' + n*I.
+		b := NewMat(n, n)
+		for i := range b.Data {
+			b.Data[i] = r.Range(-1, 1)
+		}
+		a := b.Mul(b.T())
+		a.AddDiag(float64(n))
+		l, err := a.Cholesky()
+		if err != nil {
+			return false
+		}
+		return matApprox(l.Mul(l.T()), a, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatPanics(t *testing.T) {
+	a := NewMat(2, 3)
+	for name, fn := range map[string]func(){
+		"mul shape":    func() { a.Mul(NewMat(2, 2)) },
+		"add shape":    func() { a.Add(NewMat(3, 2)) },
+		"mulvec len":   func() { a.MulVec([]float64{1}) },
+		"bad dims":     func() { NewMat(0, 1) },
+		"ragged rows":  func() { MatFromRows([]float64{1, 2}, []float64{1}) },
+		"sym nonsq":    func() { a.Symmetrize() },
+		"from no rows": func() { MatFromRows() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,166 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a2 := NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a2.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should diverge")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRNGFloat64Uniformity(t *testing.T) {
+	r := NewRNG(7)
+	const n = 100000
+	sum := 0.0
+	buckets := make([]int, 10)
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		sum += v
+		buckets[int(v*10)]++
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("uniform mean = %v", mean)
+	}
+	for i, c := range buckets {
+		if math.Abs(float64(c)/n-0.1) > 0.01 {
+			t.Errorf("bucket %d share = %v", i, float64(c)/n)
+		}
+	}
+}
+
+func TestRNGNormMoments(t *testing.T) {
+	r := NewRNG(99)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Norm()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance = %v", variance)
+	}
+}
+
+func TestRNGNormScaled(t *testing.T) {
+	r := NewRNG(5)
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.NormScaled(10, 2)
+	}
+	if math.Abs(sum/n-10) > 0.05 {
+		t.Errorf("scaled mean = %v", sum/n)
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(11)
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := r.Exp(3)
+		if v < 0 {
+			t.Fatalf("exponential variate negative: %v", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum/n-3) > 0.1 {
+		t.Errorf("exponential mean = %v", sum/n)
+	}
+}
+
+func TestRNGIntn(t *testing.T) {
+	r := NewRNG(3)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Errorf("Intn should cover all 7 values, saw %d", len(seen))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestRNGPerm(t *testing.T) {
+	r := NewRNG(17)
+	p := r.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	parent := NewRNG(1)
+	child := parent.Split()
+	// Parent and child streams should not be identical.
+	same := 0
+	for i := 0; i < 20; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("parent/child streams suspiciously aligned: %d matches", same)
+	}
+}
+
+func TestRNGBool(t *testing.T) {
+	r := NewRNG(23)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	if math.Abs(float64(hits)/n-0.25) > 0.01 {
+		t.Errorf("Bool(0.25) rate = %v", float64(hits)/n)
+	}
+}

@@ -1,0 +1,223 @@
+package mathx
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary condenses a latency (or any scalar) sample into the statistics
+// the paper's figures report: min, quartiles, mean, max, stddev and
+// high percentiles. It is the Go rendering of one violin in Figs. 5/6.
+type Summary struct {
+	Count  int
+	Min    float64
+	Q1     float64
+	Median float64
+	Q3     float64
+	Max    float64
+	Mean   float64
+	StdDev float64
+	P95    float64
+	P99    float64
+}
+
+// Summarize computes a Summary from a sample. The input is not modified.
+// An empty sample yields the zero Summary.
+func Summarize(sample []float64) Summary {
+	if len(sample) == 0 {
+		return Summary{}
+	}
+	s := make([]float64, len(sample))
+	copy(s, sample)
+	sort.Float64s(s)
+	sum, sumSq := 0.0, 0.0
+	for _, v := range s {
+		sum += v
+		sumSq += v * v
+	}
+	n := float64(len(s))
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return Summary{
+		Count:  len(s),
+		Min:    s[0],
+		Q1:     quantileSorted(s, 0.25),
+		Median: quantileSorted(s, 0.5),
+		Q3:     quantileSorted(s, 0.75),
+		Max:    s[len(s)-1],
+		Mean:   mean,
+		StdDev: math.Sqrt(variance),
+		P95:    quantileSorted(s, 0.95),
+		P99:    quantileSorted(s, 0.99),
+	}
+}
+
+// Quantile returns the q-quantile (0..1) of the sample with linear
+// interpolation. The input is not modified.
+func Quantile(sample []float64, q float64) float64 {
+	if len(sample) == 0 {
+		return 0
+	}
+	s := make([]float64, len(sample))
+	copy(s, sample)
+	sort.Float64s(s)
+	return quantileSorted(s, q)
+}
+
+func quantileSorted(s []float64, q float64) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Mean returns the arithmetic mean; 0 for an empty sample.
+func Mean(sample []float64) float64 {
+	if len(sample) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range sample {
+		sum += v
+	}
+	return sum / float64(len(sample))
+}
+
+// StdDev returns the population standard deviation; 0 for fewer than
+// two values.
+func StdDev(sample []float64) float64 {
+	if len(sample) < 2 {
+		return 0
+	}
+	m := Mean(sample)
+	sum := 0.0
+	for _, v := range sample {
+		d := v - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(sample)))
+}
+
+// Histogram is a fixed-bin histogram over [Lo, Hi); values outside the
+// range clamp into the edge bins. It backs the violin renderings.
+type Histogram struct {
+	Lo, Hi float64
+	Bins   []int
+	Total  int
+}
+
+// NewHistogram creates a histogram with n bins over [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 {
+		panic("mathx: histogram needs at least one bin")
+	}
+	if hi <= lo {
+		panic("mathx: histogram needs hi > lo")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Bins: make([]int, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v float64) {
+	idx := int(float64(len(h.Bins)) * (v - h.Lo) / (h.Hi - h.Lo))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.Bins) {
+		idx = len(h.Bins) - 1
+	}
+	h.Bins[idx]++
+	h.Total++
+}
+
+// BinCenter returns the representative value of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Bins))
+	return h.Lo + (float64(i)+0.5)*w
+}
+
+// Densities returns each bin's share of the total, or zeros when empty.
+func (h *Histogram) Densities() []float64 {
+	out := make([]float64, len(h.Bins))
+	if h.Total == 0 {
+		return out
+	}
+	for i, c := range h.Bins {
+		out[i] = float64(c) / float64(h.Total)
+	}
+	return out
+}
+
+// String renders a compact one-line description.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.2f q1=%.2f mean=%.2f q3=%.2f max=%.2f sd=%.2f",
+		s.Count, s.Min, s.Q1, s.Mean, s.Q3, s.Max, s.StdDev)
+}
+
+// Welford accumulates mean/variance in one pass without storing the
+// sample, for metrics that run over entire drives.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// Count returns the number of observations.
+func (w *Welford) Count() int { return w.n }
+
+// Mean returns the running mean.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the running population variance.
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// StdDev returns the running population standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Var()) }
+
+// Min returns the smallest observation (0 when empty).
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest observation (0 when empty).
+func (w *Welford) Max() float64 { return w.max }

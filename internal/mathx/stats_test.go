@@ -1,0 +1,168 @@
+package mathx
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasic(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Count != 5 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.Mean != 3 || s.Median != 3 {
+		t.Errorf("mean/median = %v/%v", s.Mean, s.Median)
+	}
+	if s.Q1 != 2 || s.Q3 != 4 {
+		t.Errorf("quartiles = %v/%v", s.Q1, s.Q3)
+	}
+	want := math.Sqrt(2) // population stddev of 1..5
+	if math.Abs(s.StdDev-want) > 1e-9 {
+		t.Errorf("stddev = %v, want %v", s.StdDev, want)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.Count != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Error("Summarize mutated its input")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	s := []float64{10, 20, 30, 40}
+	if got := Quantile(s, 0); got != 10 {
+		t.Errorf("q0 = %v", got)
+	}
+	if got := Quantile(s, 1); got != 40 {
+		t.Errorf("q1 = %v", got)
+	}
+	if got := Quantile(s, 0.5); got != 25 {
+		t.Errorf("median = %v", got)
+	}
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Errorf("empty quantile = %v", got)
+	}
+}
+
+func TestSummaryOrderingProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		sample := raw[:0]
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				sample = append(sample, math.Mod(v, 1e6))
+			}
+		}
+		if len(sample) == 0 {
+			return true
+		}
+		s := Summarize(sample)
+		return s.Min <= s.Q1 && s.Q1 <= s.Median && s.Median <= s.Q3 &&
+			s.Q3 <= s.Max && s.Min <= s.Mean && s.Mean <= s.Max &&
+			s.StdDev >= 0 && s.P95 <= s.P99+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, v := range []float64{0.5, 1, 3, 5, 7, 9, 11, -1} {
+		h.Add(v)
+	}
+	if h.Total != 8 {
+		t.Errorf("total = %d", h.Total)
+	}
+	// -1 clamps to bin 0; 11 clamps to bin 4.
+	if h.Bins[0] != 3 { // 0.5, 1, -1
+		t.Errorf("bin0 = %d (%v)", h.Bins[0], h.Bins)
+	}
+	if h.Bins[4] != 2 { // 9, 11
+		t.Errorf("bin4 = %d (%v)", h.Bins[4], h.Bins)
+	}
+	d := h.Densities()
+	sum := 0.0
+	for _, v := range d {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("density sum = %v", sum)
+	}
+	if got := h.BinCenter(0); got != 1 {
+		t.Errorf("bin center = %v", got)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewHistogram(0, 10, 0) },
+		func() { NewHistogram(5, 5, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	r := NewRNG(9)
+	var w Welford
+	var sample []float64
+	for i := 0; i < 5000; i++ {
+		v := r.NormScaled(5, 3)
+		w.Add(v)
+		sample = append(sample, v)
+	}
+	s := Summarize(sample)
+	if math.Abs(w.Mean()-s.Mean) > 1e-9 {
+		t.Errorf("welford mean %v vs batch %v", w.Mean(), s.Mean)
+	}
+	if math.Abs(w.StdDev()-s.StdDev) > 1e-6 {
+		t.Errorf("welford sd %v vs batch %v", w.StdDev(), s.StdDev)
+	}
+	if w.Min() != s.Min || w.Max() != s.Max {
+		t.Errorf("welford min/max %v/%v vs %v/%v", w.Min(), w.Max(), s.Min, s.Max)
+	}
+	if w.Count() != s.Count {
+		t.Errorf("count %d vs %d", w.Count(), s.Count)
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, a, b float64) bool {
+		sample := raw[:0]
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				sample = append(sample, math.Mod(v, 1e6))
+			}
+		}
+		if len(sample) < 2 {
+			return true
+		}
+		qa := math.Mod(math.Abs(a), 1)
+		qb := math.Mod(math.Abs(b), 1)
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		sort.Float64s(sample)
+		return quantileSorted(sample, qa) <= quantileSorted(sample, qb)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

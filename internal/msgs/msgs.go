@@ -1,0 +1,157 @@
+// Package msgs defines the concrete payload types exchanged on the
+// graph's topics — the equivalent of Autoware's message definitions
+// (sensor_msgs, autoware_msgs). All types are bag-serializable.
+package msgs
+
+import (
+	"repro/internal/geom"
+	"repro/internal/pointcloud"
+	"repro/internal/ros"
+	"repro/internal/sensor"
+)
+
+func init() {
+	ros.RegisterBagType(&PointCloud{})
+	ros.RegisterBagType(&CameraImage{})
+	ros.RegisterBagType(&GNSS{})
+	ros.RegisterBagType(&IMU{})
+	ros.RegisterBagType(&PoseStamped{})
+	ros.RegisterBagType(&DetectedObjectArray{})
+	ros.RegisterBagType(&OccupancyGrid{})
+	ros.RegisterBagType(&LaneArray{})
+	ros.RegisterBagType(&TwistStamped{})
+}
+
+// PointCloud wraps a LiDAR cloud in the ego frame.
+type PointCloud struct {
+	Cloud *pointcloud.Cloud
+}
+
+// CameraImage wraps a camera frame (pixels + ground truth for offline
+// quality evaluation; detectors only read the pixels).
+type CameraImage struct {
+	Frame *sensor.Frame
+}
+
+// GNSS is a satellite fix.
+type GNSS struct {
+	Fix sensor.GNSSFix
+}
+
+// IMU is an inertial sample.
+type IMU struct {
+	Sample sensor.IMUSample
+}
+
+// PoseStamped is a localization estimate.
+type PoseStamped struct {
+	Pose geom.Pose
+	// Fitness is the NDT matching score (lower is better); Iterations
+	// is how many Newton steps the matcher took.
+	Fitness    float64
+	Iterations int
+}
+
+// ObjectLabel is a detection class.
+type ObjectLabel string
+
+// Detection labels.
+const (
+	LabelUnknown    ObjectLabel = "unknown"
+	LabelCar        ObjectLabel = "car"
+	LabelTruck      ObjectLabel = "truck"
+	LabelPedestrian ObjectLabel = "pedestrian"
+	LabelCyclist    ObjectLabel = "cyclist"
+)
+
+// DetectedObject is one perceived traffic participant, in whatever
+// richness the producing stage could supply: LiDAR clusters carry pose,
+// hull and dimensions but LabelUnknown; vision detections carry label
+// and image rect; fusion and tracking fill in the rest.
+type DetectedObject struct {
+	ID    int
+	Label ObjectLabel
+	Score float64
+	// Pose is the object pose in the map frame (or ego frame for raw
+	// cluster output, per FrameID on the message).
+	Pose geom.Pose
+	Dim  geom.Vec3
+	// Velocity is the planar velocity, filled by tracking.
+	Velocity geom.Vec2
+	// YawRate is filled by tracking.
+	YawRate float64
+	// Hull is the ground-plane convex hull from clustering.
+	Hull geom.Polygon
+	// ImageRect is the 2D box for vision detections.
+	ImageRect    geom.Rect
+	HasImageRect bool
+	// PointCount is the number of LiDAR points supporting the object.
+	PointCount int
+	// Tracked marks objects that passed the tracker (stable IDs).
+	Tracked bool
+	// PredictedPath, filled by motion prediction: future ground-plane
+	// positions at PathDt intervals.
+	PredictedPath []geom.Vec2
+	PathDt        float64
+}
+
+// DetectedObjectArray is the standard object-list payload.
+type DetectedObjectArray struct {
+	Objects []DetectedObject
+}
+
+// OccupancyGrid is the costmap payload: row-major cells, origin at the
+// grid's minimum corner, cost 0 (free) .. 100 (occupied).
+type OccupancyGrid struct {
+	Width, Height int
+	Resolution    float64 // meters per cell
+	Origin        geom.Vec2
+	Data          []int8
+}
+
+// At returns the cost at cell (x, y); out-of-range queries return 100
+// (treat unknown as blocked).
+func (g *OccupancyGrid) At(x, y int) int8 {
+	if x < 0 || y < 0 || x >= g.Width || y >= g.Height {
+		return 100
+	}
+	return g.Data[y*g.Width+x]
+}
+
+// Set assigns the cost at cell (x, y); out-of-range is ignored.
+func (g *OccupancyGrid) Set(x, y int, v int8) {
+	if x < 0 || y < 0 || x >= g.Width || y >= g.Height {
+		return
+	}
+	g.Data[y*g.Width+x] = v
+}
+
+// CellOf maps a world point to cell coordinates.
+func (g *OccupancyGrid) CellOf(p geom.Vec2) (int, int) {
+	return int((p.X - g.Origin.X) / g.Resolution), int((p.Y - g.Origin.Y) / g.Resolution)
+}
+
+// Waypoint is one pose+speed sample of a planned lane.
+type Waypoint struct {
+	Pos   geom.Vec2
+	Yaw   float64
+	Speed float64
+}
+
+// Lane is a dense waypoint path.
+type Lane struct {
+	Waypoints []Waypoint
+	Cost      float64
+}
+
+// LaneArray carries planner output (global route or local rollouts).
+type LaneArray struct {
+	Lanes []Lane
+	// Best indexes the selected lane, -1 when none is feasible.
+	Best int
+}
+
+// TwistStamped is a velocity command.
+type TwistStamped struct {
+	Twist geom.Twist
+}

@@ -1,0 +1,301 @@
+// Package costmap implements the costmap generation nodes that close
+// the paper's computation paths: costmap_generator (the points layer,
+// fed by the non-ground cloud) and costmap_generator_obj (the objects
+// layer, fed by predicted objects), each producing an occupancy grid of
+// drivable space around the ego vehicle.
+package costmap
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/msgs"
+	"repro/internal/nodes/filters"
+	"repro/internal/nodes/localization"
+	"repro/internal/nodes/prediction"
+	"repro/internal/ros"
+	"repro/internal/work"
+)
+
+// Topic names owned by this package.
+const (
+	TopicPointsCostmap  = "/costmap/points"
+	TopicObjectsCostmap = "/costmap/objects"
+)
+
+// Config parameterizes a costmap node.
+type Config struct {
+	// SizeMeters is the square grid extent centered on the ego.
+	SizeMeters float64
+	// Resolution is meters per cell.
+	Resolution float64
+	// InflationRadius expands obstacles by this margin, meters.
+	InflationRadius float64
+	// MinHeight/MaxHeight gate points for the points layer.
+	MinHeight, MaxHeight float64
+	QueueDepth           int
+}
+
+// DefaultConfig returns the stock configuration.
+func DefaultConfig() Config {
+	return Config{
+		SizeMeters:      60,
+		Resolution:      0.5,
+		InflationRadius: 1.0,
+		MinHeight:       0.3,
+		MaxHeight:       2.5,
+		QueueDepth:      1,
+	}
+}
+
+// cells returns the grid dimension.
+func (c Config) cells() int { return int(c.SizeMeters / c.Resolution) }
+
+// PointsNode is costmap_generator: the points-layer costmap built from
+// the non-ground cloud (ego frame).
+type PointsNode struct {
+	cfg Config
+	// lastMarked counts cells written in the last frame.
+	lastMarked int
+}
+
+// NewPoints builds the points-layer node.
+func NewPoints(cfg Config) *PointsNode {
+	validate(cfg)
+	return &PointsNode{cfg: cfg}
+}
+
+func validate(cfg Config) {
+	if cfg.SizeMeters <= 0 || cfg.Resolution <= 0 {
+		panic("costmap: invalid config")
+	}
+}
+
+// Name implements ros.Node.
+func (n *PointsNode) Name() string { return "costmap_generator" }
+
+// Subscribes implements ros.Node.
+func (n *PointsNode) Subscribes() []ros.SubSpec {
+	return []ros.SubSpec{{Topic: filters.TopicPointsNoGround, Depth: n.cfg.QueueDepth}}
+}
+
+// Process implements ros.Node.
+func (n *PointsNode) Process(in *ros.Message, _ time.Duration) ros.Result {
+	pc, ok := in.Payload.(*msgs.PointCloud)
+	if !ok {
+		return ros.Result{}
+	}
+	dim := n.cfg.cells()
+	grid := &msgs.OccupancyGrid{
+		Width: dim, Height: dim,
+		Resolution: n.cfg.Resolution,
+		Origin:     geom.V2(-n.cfg.SizeMeters/2, -n.cfg.SizeMeters/2),
+		Data:       make([]int8, dim*dim),
+	}
+	marked := 0
+	for _, p := range pc.Cloud.Points {
+		if p.Pos.Z < n.cfg.MinHeight || p.Pos.Z > n.cfg.MaxHeight {
+			continue
+		}
+		x, y := grid.CellOf(p.Pos.XY())
+		if grid.At(x, y) != 100 {
+			grid.Set(x, y, 100)
+			marked++
+		}
+	}
+	marked += inflate(grid, n.cfg.InflationRadius)
+	n.lastMarked = marked
+
+	np := float64(pc.Cloud.Len())
+	mk := float64(marked)
+	cellCount := float64(dim * dim)
+	w := work.Work{
+		FPOps:        8*np + 4*mk,
+		IntOps:       14*np + 20*mk + 2*cellCount,
+		LoadOps:      8*np + 10*mk + cellCount,
+		StoreOps:     3*np + 6*mk + 0.5*cellCount,
+		BranchOps:    6*np + 5*mk + 0.5*cellCount,
+		BytesTouched: 32*np + cellCount + 24*mk,
+	}
+	return ros.Result{
+		Outputs: []ros.Output{{Topic: TopicPointsCostmap, Payload: grid, FrameID: "ego"}},
+		Work:    w,
+	}
+}
+
+// ObjectsNode is costmap_generator_obj: the objects-layer costmap built
+// from predicted objects (map frame), rasterized around the current
+// ego pose. Its per-frame cost scales with the number of objects and
+// their predicted paths — the scene-dependence behind its long tail in
+// Fig. 5.
+type ObjectsNode struct {
+	cfg      Config
+	egoPose  geom.Pose
+	havePose bool
+	// lastCellsPainted for work/µarch modeling.
+	lastCellsPainted int
+}
+
+// NewObjects builds the objects-layer node.
+func NewObjects(cfg Config) *ObjectsNode {
+	validate(cfg)
+	return &ObjectsNode{cfg: cfg}
+}
+
+// Name implements ros.Node.
+func (n *ObjectsNode) Name() string { return "costmap_generator_obj" }
+
+// Subscribes implements ros.Node.
+func (n *ObjectsNode) Subscribes() []ros.SubSpec {
+	return []ros.SubSpec{
+		{Topic: prediction.TopicPredictedObjects, Depth: n.cfg.QueueDepth},
+		{Topic: localization.TopicCurrentPose, Depth: 1},
+	}
+}
+
+// Process implements ros.Node.
+func (n *ObjectsNode) Process(in *ros.Message, _ time.Duration) ros.Result {
+	switch payload := in.Payload.(type) {
+	case *msgs.PoseStamped:
+		n.egoPose = payload.Pose
+		n.havePose = true
+		return ros.Result{Work: work.Work{IntOps: 100, LoadOps: 50, StoreOps: 25, BranchOps: 15, BytesTouched: 256}}
+	case *msgs.DetectedObjectArray:
+		return n.rasterize(payload)
+	default:
+		return ros.Result{}
+	}
+}
+
+func (n *ObjectsNode) rasterize(arr *msgs.DetectedObjectArray) ros.Result {
+	dim := n.cfg.cells()
+	center := n.egoPose.XY()
+	grid := &msgs.OccupancyGrid{
+		Width: dim, Height: dim,
+		Resolution: n.cfg.Resolution,
+		Origin:     center.Sub(geom.V2(n.cfg.SizeMeters/2, n.cfg.SizeMeters/2)),
+		Data:       make([]int8, dim*dim),
+	}
+	painted := 0
+	hullVertices := 0
+	pathSteps := 0
+	for _, o := range arr.Objects {
+		// Paint the object footprint: hull when available, else the
+		// oriented box of its dimensions.
+		poly := o.Hull
+		if len(poly) < 3 {
+			obb := geom.OBB2{
+				Center: o.Pose.XY(), Yaw: o.Pose.Yaw,
+				HalfLen: math.Max(o.Dim.X/2, 0.4), HalfWid: math.Max(o.Dim.Y/2, 0.4),
+			}
+			cs := obb.Corners()
+			poly = geom.Polygon(cs[:])
+		}
+		hullVertices += len(poly)
+		painted += paintPolygon(grid, poly, 100)
+		// Mark the predicted path with decaying cost.
+		for s, p := range o.PredictedPath {
+			cost := 80 - 20*s/int(math.Max(1, float64(len(o.PredictedPath))))
+			x, y := grid.CellOf(p)
+			// Stamp a footprint-sized disc along the path.
+			r := int(math.Max(o.Dim.Y/2, 0.4)/n.cfg.Resolution) + 1
+			for dy := -r; dy <= r; dy++ {
+				for dx := -r; dx <= r; dx++ {
+					if dx*dx+dy*dy > r*r {
+						continue
+					}
+					if grid.At(x+dx, y+dy) < int8(cost) {
+						grid.Set(x+dx, y+dy, int8(cost))
+						painted++
+					}
+				}
+			}
+			pathSteps++
+		}
+	}
+	painted += inflate(grid, n.cfg.InflationRadius)
+	n.lastCellsPainted = painted
+
+	nObj := float64(len(arr.Objects))
+	hv := float64(hullVertices)
+	ps := float64(pathSteps)
+	pt := float64(painted)
+	cellCount := float64(dim * dim)
+	// This node is compute-bound (paper Table VII: best IPC, lowest
+	// load/store share): mostly arithmetic rasterization over a dense
+	// grid that lives in cache.
+	w := work.Work{
+		FPOps:        nObj*300 + hv*120 + ps*90 + pt*14,
+		IntOps:       nObj*150 + hv*60 + ps*60 + pt*20 + cellCount,
+		LoadOps:      nObj*60 + hv*30 + ps*25 + pt*6 + 0.5*cellCount,
+		StoreOps:     nObj*30 + pt*5 + 0.25*cellCount,
+		BranchOps:    nObj*40 + hv*20 + ps*12 + pt*3,
+		BytesTouched: cellCount + pt*8 + nObj*512,
+	}
+	return ros.Result{
+		Outputs: []ros.Output{{Topic: TopicObjectsCostmap, Payload: grid, FrameID: "map"}},
+		Work:    w,
+	}
+}
+
+// paintPolygon fills a polygon's cells with cost, returning cells set.
+func paintPolygon(g *msgs.OccupancyGrid, poly geom.Polygon, cost int8) int {
+	b := poly.Bounds()
+	x0, y0 := g.CellOf(b.Min)
+	x1, y1 := g.CellOf(b.Max)
+	painted := 0
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			if x < 0 || y < 0 || x >= g.Width || y >= g.Height {
+				continue
+			}
+			cpt := geom.V2(
+				g.Origin.X+(float64(x)+0.5)*g.Resolution,
+				g.Origin.Y+(float64(y)+0.5)*g.Resolution,
+			)
+			if poly.Contains(cpt) && g.At(x, y) < cost {
+				g.Set(x, y, cost)
+				painted++
+			}
+		}
+	}
+	return painted
+}
+
+// inflate expands occupied cells (cost 100) by radius meters, writing
+// a shoulder cost of 60; returns cells written.
+func inflate(g *msgs.OccupancyGrid, radius float64) int {
+	if radius <= 0 {
+		return 0
+	}
+	r := int(radius / g.Resolution)
+	if r < 1 {
+		return 0
+	}
+	written := 0
+	// Collect occupied cells first to avoid cascading inflation.
+	type cell struct{ x, y int }
+	var occ []cell
+	for y := 0; y < g.Height; y++ {
+		for x := 0; x < g.Width; x++ {
+			if g.At(x, y) == 100 {
+				occ = append(occ, cell{x, y})
+			}
+		}
+	}
+	for _, c := range occ {
+		for dy := -r; dy <= r; dy++ {
+			for dx := -r; dx <= r; dx++ {
+				if dx*dx+dy*dy > r*r {
+					continue
+				}
+				if g.At(c.x+dx, c.y+dy) < 60 {
+					g.Set(c.x+dx, c.y+dy, 60)
+					written++
+				}
+			}
+		}
+	}
+	return written
+}

@@ -1,0 +1,153 @@
+package costmap
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/msgs"
+	"repro/internal/pointcloud"
+	"repro/internal/ros"
+)
+
+func TestPointsCostmapMarksObstacles(t *testing.T) {
+	n := NewPoints(DefaultConfig())
+	cloud := pointcloud.New(16)
+	// Obstacle points at (10, 0) at torso height; ground-level and sky
+	// points must be ignored.
+	for i := 0; i < 5; i++ {
+		cloud.Append(pointcloud.Point{Pos: geom.V3(10, 0, 1.0)})
+	}
+	cloud.Append(pointcloud.Point{Pos: geom.V3(5, 0, 0.05)}) // below MinHeight
+	cloud.Append(pointcloud.Point{Pos: geom.V3(5, 5, 5.0)})  // above MaxHeight
+	res := n.Process(&ros.Message{Payload: &msgs.PointCloud{Cloud: cloud}}, 0)
+	if len(res.Outputs) != 1 || res.Outputs[0].Topic != TopicPointsCostmap {
+		t.Fatalf("outputs = %+v", res.Outputs)
+	}
+	grid := res.Outputs[0].Payload.(*msgs.OccupancyGrid)
+	x, y := grid.CellOf(geom.V2(10, 0))
+	if grid.At(x, y) != 100 {
+		t.Errorf("obstacle cell cost = %d", grid.At(x, y))
+	}
+	x, y = grid.CellOf(geom.V2(5, 0))
+	if grid.At(x, y) == 100 {
+		t.Error("ground-level point should not mark")
+	}
+	// Inflation shoulder next to the obstacle.
+	x, y = grid.CellOf(geom.V2(10.8, 0))
+	if grid.At(x, y) != 60 {
+		t.Errorf("inflation cost = %d", grid.At(x, y))
+	}
+}
+
+func TestPointsCostmapGridGeometry(t *testing.T) {
+	cfg := DefaultConfig()
+	n := NewPoints(cfg)
+	res := n.Process(&ros.Message{Payload: &msgs.PointCloud{Cloud: pointcloud.New(0)}}, 0)
+	grid := res.Outputs[0].Payload.(*msgs.OccupancyGrid)
+	want := int(cfg.SizeMeters / cfg.Resolution)
+	if grid.Width != want || grid.Height != want {
+		t.Errorf("grid dims %dx%d, want %d", grid.Width, grid.Height, want)
+	}
+	// Out-of-range queries are blocked.
+	if grid.At(-1, 0) != 100 || grid.At(0, grid.Height) != 100 {
+		t.Error("out-of-range cells should read as blocked")
+	}
+}
+
+func TestObjectsCostmapPaintsHullAndPath(t *testing.T) {
+	n := NewObjects(DefaultConfig())
+	// Ego at origin.
+	n.Process(&ros.Message{Payload: &msgs.PoseStamped{Pose: geom.NewPose(0, 0, 0, 0)}}, 0)
+	obj := msgs.DetectedObject{
+		Pose: geom.NewPose(8, 0, 0, 0),
+		Dim:  geom.V3(4, 2, 1.5),
+		Hull: geom.Polygon{
+			geom.V2(6, -1), geom.V2(10, -1), geom.V2(10, 1), geom.V2(6, 1),
+		},
+		Velocity:      geom.V2(5, 0),
+		PredictedPath: []geom.Vec2{geom.V2(13, 0), geom.V2(18, 0)},
+	}
+	res := n.Process(&ros.Message{Payload: &msgs.DetectedObjectArray{Objects: []msgs.DetectedObject{obj}}}, 0)
+	if len(res.Outputs) != 1 || res.Outputs[0].Topic != TopicObjectsCostmap {
+		t.Fatalf("outputs = %+v", res.Outputs)
+	}
+	grid := res.Outputs[0].Payload.(*msgs.OccupancyGrid)
+	// Hull interior occupied.
+	x, y := grid.CellOf(geom.V2(8, 0))
+	if grid.At(x, y) != 100 {
+		t.Errorf("hull cell = %d", grid.At(x, y))
+	}
+	// Predicted path has decayed positive cost.
+	x, y = grid.CellOf(geom.V2(13, 0))
+	if c := grid.At(x, y); c <= 0 || c >= 100 {
+		t.Errorf("path cell = %d", c)
+	}
+	// Empty area free.
+	x, y = grid.CellOf(geom.V2(-20, -20))
+	if grid.At(x, y) != 0 {
+		t.Errorf("free cell = %d", grid.At(x, y))
+	}
+}
+
+func TestObjectsCostmapFallsBackToOBB(t *testing.T) {
+	n := NewObjects(DefaultConfig())
+	n.Process(&ros.Message{Payload: &msgs.PoseStamped{Pose: geom.NewPose(0, 0, 0, 0)}}, 0)
+	obj := msgs.DetectedObject{
+		Pose: geom.NewPose(-5, 5, 0, 0),
+		Dim:  geom.V3(4, 2, 1.5),
+		// No hull.
+	}
+	res := n.Process(&ros.Message{Payload: &msgs.DetectedObjectArray{Objects: []msgs.DetectedObject{obj}}}, 0)
+	grid := res.Outputs[0].Payload.(*msgs.OccupancyGrid)
+	x, y := grid.CellOf(geom.V2(-5, 5))
+	if grid.At(x, y) != 100 {
+		t.Errorf("OBB fallback cell = %d", grid.At(x, y))
+	}
+}
+
+func TestObjectsCostmapWorkScalesWithObjects(t *testing.T) {
+	n := NewObjects(DefaultConfig())
+	n.Process(&ros.Message{Payload: &msgs.PoseStamped{Pose: geom.NewPose(0, 0, 0, 0)}}, 0)
+	mk := func(count int) *msgs.DetectedObjectArray {
+		arr := &msgs.DetectedObjectArray{}
+		for i := 0; i < count; i++ {
+			arr.Objects = append(arr.Objects, msgs.DetectedObject{
+				Pose:          geom.NewPose(float64(5+3*i), 0, 0, 0),
+				Dim:           geom.V3(4, 2, 1.5),
+				Velocity:      geom.V2(5, 0),
+				PredictedPath: []geom.Vec2{geom.V2(float64(8+3*i), 2)},
+			})
+		}
+		return arr
+	}
+	small := n.Process(&ros.Message{Payload: mk(1)}, 0)
+	large := n.Process(&ros.Message{Payload: mk(8)}, 0)
+	if large.Work.CPUOps() <= small.Work.CPUOps() {
+		t.Errorf("work should scale with objects: %v vs %v",
+			large.Work.CPUOps(), small.Work.CPUOps())
+	}
+}
+
+func TestCostmapPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewPoints(Config{SizeMeters: 0, Resolution: 0.5})
+}
+
+func TestGridCellOfRoundTrip(t *testing.T) {
+	g := &msgs.OccupancyGrid{
+		Width: 100, Height: 100, Resolution: 0.5,
+		Origin: geom.V2(-25, -25), Data: make([]int8, 10000),
+	}
+	x, y := g.CellOf(geom.V2(0, 0))
+	if x != 50 || y != 50 {
+		t.Errorf("center cell = %d,%d", x, y)
+	}
+	x, y = g.CellOf(geom.V2(-25, -25))
+	if x != 0 || y != 0 {
+		t.Errorf("origin cell = %d,%d", x, y)
+	}
+}

@@ -1,0 +1,140 @@
+package fusion
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/msgs"
+	"repro/internal/nodes/lidardet"
+	"repro/internal/nodes/visiondet"
+	"repro/internal/ros"
+)
+
+// clusterAhead builds a DetectedObjectArray with one ego-frame cluster.
+func clusterAhead(dist float64) *msgs.DetectedObjectArray {
+	return &msgs.DetectedObjectArray{Objects: []msgs.DetectedObject{{
+		ID:    1,
+		Label: msgs.LabelUnknown,
+		Score: 0.5,
+		Pose:  geom.NewPose(dist, 0, 0.1, 0),
+		Dim:   geom.V3(4.4, 1.8, 1.4),
+		Hull: geom.Polygon{
+			geom.V2(dist-2, -1), geom.V2(dist+2, -1),
+			geom.V2(dist+2, 1), geom.V2(dist-2, 1),
+		},
+		PointCount: 80,
+	}}}
+}
+
+func TestFusionLabelsClusterFromVision(t *testing.T) {
+	n := New(DefaultConfig())
+	// Vision detection whose rect overlaps the projected cluster: get
+	// the projection from the node itself for a consistent rect.
+	rect, ok := n.projectCluster(clusterAhead(12).Objects[0])
+	if !ok {
+		t.Fatal("cluster ahead should project into the image")
+	}
+	vision := &msgs.DetectedObjectArray{Objects: []msgs.DetectedObject{{
+		ID: 1, Label: msgs.LabelCar, Score: 0.9,
+		ImageRect: rect, HasImageRect: true,
+	}}}
+	n.Process(&ros.Message{Topic: visiondet.TopicObjects, Payload: vision}, 0)
+
+	res := n.Process(&ros.Message{Topic: lidardet.TopicObjects, Payload: clusterAhead(12)}, 0)
+	if len(res.Outputs) != 1 || res.Outputs[0].Topic != TopicObjects {
+		t.Fatalf("outputs = %+v", res.Outputs)
+	}
+	fused := res.Outputs[0].Payload.(*msgs.DetectedObjectArray)
+	if len(fused.Objects) != 1 {
+		t.Fatalf("fused = %+v", fused.Objects)
+	}
+	o := fused.Objects[0]
+	if o.Label != msgs.LabelCar {
+		t.Errorf("label = %s, want car", o.Label)
+	}
+	if o.Score < 0.9 {
+		t.Errorf("score = %v", o.Score)
+	}
+	if !o.HasImageRect {
+		t.Error("fused object should carry the image rect")
+	}
+}
+
+func TestFusionKeepsUnmatchedClusterUnlabeled(t *testing.T) {
+	n := New(DefaultConfig())
+	// Vision box far from the cluster's projection.
+	vision := &msgs.DetectedObjectArray{Objects: []msgs.DetectedObject{{
+		ID: 1, Label: msgs.LabelPedestrian, Score: 0.9,
+		ImageRect: geom.NewRect(geom.V2(0, 0), geom.V2(5, 5)), HasImageRect: true,
+	}}}
+	n.Process(&ros.Message{Topic: visiondet.TopicObjects, Payload: vision}, 0)
+	res := n.Process(&ros.Message{Topic: lidardet.TopicObjects, Payload: clusterAhead(12)}, 0)
+	fused := res.Outputs[0].Payload.(*msgs.DetectedObjectArray)
+	if fused.Objects[0].Label != msgs.LabelUnknown {
+		t.Errorf("label = %s, want unknown", fused.Objects[0].Label)
+	}
+}
+
+func TestFusionTransformsToMapFrame(t *testing.T) {
+	n := New(DefaultConfig())
+	egoPose := geom.NewPose(100, 50, 0, 1.5707963267948966) // facing +Y
+	n.Process(&ros.Message{
+		Topic:   "/current_pose",
+		Payload: &msgs.PoseStamped{Pose: egoPose},
+	}, 0)
+	res := n.Process(&ros.Message{Topic: lidardet.TopicObjects, Payload: clusterAhead(10)}, 0)
+	if res.Outputs[0].FrameID != "map" {
+		t.Errorf("frame = %s", res.Outputs[0].FrameID)
+	}
+	o := res.Outputs[0].Payload.(*msgs.DetectedObjectArray).Objects[0]
+	// 10m ahead of an ego facing +Y at (100,50) => (100, 60).
+	if o.Pose.XY().Dist(geom.V2(100, 60)) > 1e-6 {
+		t.Errorf("map-frame pose = %v", o.Pose.XY())
+	}
+	// Hull transformed too.
+	if len(o.Hull) != 4 {
+		t.Fatalf("hull = %v", o.Hull)
+	}
+	if !o.Hull.Contains(geom.V2(100, 60)) {
+		t.Errorf("transformed hull should contain object center, got %v", o.Hull)
+	}
+}
+
+func TestFusionWithoutPoseStaysEgoFrame(t *testing.T) {
+	n := New(DefaultConfig())
+	res := n.Process(&ros.Message{Topic: lidardet.TopicObjects, Payload: clusterAhead(10)}, 0)
+	if res.Outputs[0].FrameID != "ego" {
+		t.Errorf("frame = %s", res.Outputs[0].FrameID)
+	}
+}
+
+func TestFusionLineageIncludesVision(t *testing.T) {
+	n := New(DefaultConfig())
+	visionMsg := &ros.Message{
+		Topic:   visiondet.TopicObjects,
+		Header:  ros.Header{Origins: []ros.Origin{{Topic: "/image_raw", Stamp: 123}}},
+		Payload: &msgs.DetectedObjectArray{},
+	}
+	n.Process(visionMsg, 0)
+	res := n.Process(&ros.Message{Topic: lidardet.TopicObjects, Payload: clusterAhead(10)}, 0)
+	if len(res.FusedInputs) != 1 || res.FusedInputs[0] != visionMsg {
+		t.Error("fusion should report the cached vision message for lineage merging")
+	}
+}
+
+func TestProjectClusterBehindCamera(t *testing.T) {
+	n := New(DefaultConfig())
+	obj := clusterAhead(-15).Objects[0]
+	if _, ok := n.projectCluster(obj); ok {
+		t.Error("cluster behind the camera should not project")
+	}
+}
+
+func TestFusionPanicsOnBadCalibration(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(Config{})
+}

@@ -1,0 +1,200 @@
+// Package motion implements the control-output nodes: pure_pursuit
+// (the geometric path follower computing linear/angular velocity) and
+// twist_filter (the low-pass smoother applied before drive-by-wire).
+package motion
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/msgs"
+	"repro/internal/nodes/localization"
+	"repro/internal/nodes/planning"
+	"repro/internal/ros"
+	"repro/internal/work"
+)
+
+// Topic names owned by this package.
+const (
+	TopicTwistRaw = "/twist_raw"
+	TopicTwistCmd = "/twist_cmd"
+)
+
+// PurePursuitConfig parameterizes the follower.
+type PurePursuitConfig struct {
+	// LookaheadGain scales the lookahead distance with speed.
+	LookaheadGain float64
+	// MinLookahead floors the lookahead, meters.
+	MinLookahead float64
+	// MaxAngular caps the commanded turn rate, rad/s.
+	MaxAngular float64
+}
+
+// DefaultPurePursuitConfig returns the stock configuration.
+func DefaultPurePursuitConfig() PurePursuitConfig {
+	return PurePursuitConfig{LookaheadGain: 0.9, MinLookahead: 4, MaxAngular: 0.6}
+}
+
+// PurePursuit is the pure_pursuit node.
+type PurePursuit struct {
+	cfg      PurePursuitConfig
+	path     *msgs.Lane
+	egoPose  geom.Pose
+	havePose bool
+}
+
+// NewPurePursuit builds the node.
+func NewPurePursuit(cfg PurePursuitConfig) *PurePursuit {
+	return &PurePursuit{cfg: cfg}
+}
+
+// Name implements ros.Node.
+func (p *PurePursuit) Name() string { return "pure_pursuit" }
+
+// Subscribes implements ros.Node.
+func (p *PurePursuit) Subscribes() []ros.SubSpec {
+	return []ros.SubSpec{
+		{Topic: planning.TopicLocalPath, Depth: 1},
+		{Topic: localization.TopicCurrentPose, Depth: 1},
+	}
+}
+
+// Command computes the twist for a pose against the current path;
+// exported for tests. ok is false without a feasible path.
+func (p *PurePursuit) Command(pose geom.Pose) (geom.Twist, bool) {
+	if p.path == nil || len(p.path.Waypoints) == 0 {
+		return geom.Twist{}, false
+	}
+	speed := p.path.Waypoints[0].Speed
+	lookahead := math.Max(p.cfg.MinLookahead, p.cfg.LookaheadGain*speed)
+	// Target: first waypoint at least lookahead away, ahead of the pose.
+	var target *msgs.Waypoint
+	for i := range p.path.Waypoints {
+		wp := &p.path.Waypoints[i]
+		rel := pose.Inverse(geom.V3(wp.Pos.X, wp.Pos.Y, 0))
+		if rel.X > 0 && wp.Pos.Dist(pose.XY()) >= lookahead {
+			target = wp
+			break
+		}
+	}
+	if target == nil {
+		target = &p.path.Waypoints[len(p.path.Waypoints)-1]
+	}
+	rel := pose.Inverse(geom.V3(target.Pos.X, target.Pos.Y, 0))
+	d2 := rel.X*rel.X + rel.Y*rel.Y
+	if d2 < 1e-6 {
+		return geom.Twist{Linear: speed}, true
+	}
+	// Pure pursuit curvature: kappa = 2*y / L^2.
+	kappa := 2 * rel.Y / d2
+	ang := geom.Clamp(speed*kappa, -p.cfg.MaxAngular, p.cfg.MaxAngular)
+	return geom.Twist{Linear: target.Speed, Angular: ang}, true
+}
+
+// Process implements ros.Node.
+func (p *PurePursuit) Process(in *ros.Message, _ time.Duration) ros.Result {
+	switch payload := in.Payload.(type) {
+	case *msgs.LaneArray:
+		if payload.Best >= 0 && payload.Best < len(payload.Lanes) {
+			p.path = &payload.Lanes[payload.Best]
+		} else {
+			p.path = nil
+		}
+		return ros.Result{Work: work.Work{IntOps: 150, LoadOps: 80, StoreOps: 30, BranchOps: 25, BytesTouched: 512}}
+	case *msgs.PoseStamped:
+		p.egoPose = payload.Pose
+		p.havePose = true
+		tw, ok := p.Command(payload.Pose)
+		n := 1.0
+		if p.path != nil {
+			n = float64(len(p.path.Waypoints))
+		}
+		w := work.Work{
+			FPOps: 40 + 18*n, IntOps: 20 + 6*n, LoadOps: 15 + 8*n,
+			StoreOps: 10, BranchOps: 8 + 3*n, BytesTouched: 256 + 24*n,
+		}
+		if !ok {
+			return ros.Result{Work: w}
+		}
+		return ros.Result{
+			Outputs: []ros.Output{{Topic: TopicTwistRaw, Payload: &msgs.TwistStamped{Twist: tw}, FrameID: "ego"}},
+			Work:    w,
+		}
+	default:
+		return ros.Result{}
+	}
+}
+
+// TwistFilterConfig parameterizes the smoother.
+type TwistFilterConfig struct {
+	// Alpha is the exponential smoothing factor in (0, 1]; 1 disables
+	// smoothing.
+	Alpha float64
+	// MaxLinearJerk caps the change in linear velocity per message.
+	MaxLinearJerk float64
+}
+
+// DefaultTwistFilterConfig returns the stock configuration.
+func DefaultTwistFilterConfig() TwistFilterConfig {
+	return TwistFilterConfig{Alpha: 0.35, MaxLinearJerk: 1.2}
+}
+
+// TwistFilter is the twist_filter node: an exponential low-pass over
+// velocity commands.
+type TwistFilter struct {
+	cfg  TwistFilterConfig
+	prev geom.Twist
+	has  bool
+}
+
+// NewTwistFilter builds the node.
+func NewTwistFilter(cfg TwistFilterConfig) *TwistFilter {
+	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
+		panic("motion: twist filter alpha out of range")
+	}
+	return &TwistFilter{cfg: cfg}
+}
+
+// Name implements ros.Node.
+func (t *TwistFilter) Name() string { return "twist_filter" }
+
+// Subscribes implements ros.Node.
+func (t *TwistFilter) Subscribes() []ros.SubSpec {
+	return []ros.SubSpec{{Topic: TopicTwistRaw, Depth: 1}}
+}
+
+// Apply smooths one command; exported for tests.
+func (t *TwistFilter) Apply(in geom.Twist) geom.Twist {
+	if !t.has {
+		t.prev = in
+		t.has = true
+		return in
+	}
+	a := t.cfg.Alpha
+	out := geom.Twist{
+		Linear:  t.prev.Linear + a*(in.Linear-t.prev.Linear),
+		Angular: t.prev.Angular + a*(in.Angular-t.prev.Angular),
+	}
+	// Jerk limit on linear velocity.
+	dv := geom.Clamp(out.Linear-t.prev.Linear, -t.cfg.MaxLinearJerk, t.cfg.MaxLinearJerk)
+	out.Linear = t.prev.Linear + dv
+	t.prev = out
+	return out
+}
+
+// Process implements ros.Node.
+func (t *TwistFilter) Process(in *ros.Message, _ time.Duration) ros.Result {
+	ts, ok := in.Payload.(*msgs.TwistStamped)
+	if !ok {
+		return ros.Result{}
+	}
+	out := t.Apply(ts.Twist)
+	return ros.Result{
+		Outputs: []ros.Output{{Topic: TopicTwistCmd, Payload: &msgs.TwistStamped{Twist: out}, FrameID: "ego"}},
+		Work: work.Work{
+			FPOps: 30, IntOps: 15, LoadOps: 12, StoreOps: 8, BranchOps: 6,
+			BytesTouched: 128,
+		},
+	}
+}

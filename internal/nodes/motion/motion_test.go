@@ -1,0 +1,133 @@
+package motion
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/msgs"
+	"repro/internal/ros"
+)
+
+func straightLane() *msgs.LaneArray {
+	lane := msgs.Lane{}
+	for x := 0.0; x < 40; x += 2 {
+		lane.Waypoints = append(lane.Waypoints, msgs.Waypoint{Pos: geom.V2(x, 0), Yaw: 0, Speed: 8})
+	}
+	return &msgs.LaneArray{Lanes: []msgs.Lane{lane}, Best: 0}
+}
+
+func TestPurePursuitStraight(t *testing.T) {
+	p := NewPurePursuit(DefaultPurePursuitConfig())
+	p.Process(&ros.Message{Payload: straightLane()}, 0)
+	res := p.Process(&ros.Message{Payload: &msgs.PoseStamped{Pose: geom.NewPose(0, 0, 0, 0)}}, 0)
+	if len(res.Outputs) != 1 || res.Outputs[0].Topic != TopicTwistRaw {
+		t.Fatalf("outputs = %+v", res.Outputs)
+	}
+	tw := res.Outputs[0].Payload.(*msgs.TwistStamped).Twist
+	if tw.Linear != 8 {
+		t.Errorf("linear = %v", tw.Linear)
+	}
+	if math.Abs(tw.Angular) > 0.05 {
+		t.Errorf("straight path should need no turn: %v", tw.Angular)
+	}
+}
+
+func TestPurePursuitSteersTowardOffsetPath(t *testing.T) {
+	p := NewPurePursuit(DefaultPurePursuitConfig())
+	// Path offset to the left (+Y) of the vehicle.
+	lane := msgs.Lane{}
+	for x := 0.0; x < 40; x += 2 {
+		lane.Waypoints = append(lane.Waypoints, msgs.Waypoint{Pos: geom.V2(x, 4), Yaw: 0, Speed: 8})
+	}
+	p.Process(&ros.Message{Payload: &msgs.LaneArray{Lanes: []msgs.Lane{lane}, Best: 0}}, 0)
+	tw, ok := p.Command(geom.NewPose(0, 0, 0, 0))
+	if !ok {
+		t.Fatal("no command")
+	}
+	if tw.Angular <= 0 {
+		t.Errorf("should steer left: %v", tw.Angular)
+	}
+}
+
+func TestPurePursuitAngularCap(t *testing.T) {
+	cfg := DefaultPurePursuitConfig()
+	p := NewPurePursuit(cfg)
+	// Path hard to the side.
+	lane := msgs.Lane{Waypoints: []msgs.Waypoint{{Pos: geom.V2(1, 20), Speed: 10}}}
+	p.Process(&ros.Message{Payload: &msgs.LaneArray{Lanes: []msgs.Lane{lane}, Best: 0}}, 0)
+	tw, _ := p.Command(geom.NewPose(0, 0, 0, 0))
+	if math.Abs(tw.Angular) > cfg.MaxAngular+1e-9 {
+		t.Errorf("angular %v exceeds cap", tw.Angular)
+	}
+}
+
+func TestPurePursuitNoPath(t *testing.T) {
+	p := NewPurePursuit(DefaultPurePursuitConfig())
+	if _, ok := p.Command(geom.NewPose(0, 0, 0, 0)); ok {
+		t.Error("command without path should fail")
+	}
+	// Infeasible lane array clears the path.
+	p.Process(&ros.Message{Payload: straightLane()}, 0)
+	p.Process(&ros.Message{Payload: &msgs.LaneArray{Lanes: []msgs.Lane{{}}, Best: -1}}, 0)
+	if _, ok := p.Command(geom.NewPose(0, 0, 0, 0)); ok {
+		t.Error("blocked lane array should clear the path")
+	}
+}
+
+func TestTwistFilterSmooths(t *testing.T) {
+	f := NewTwistFilter(DefaultTwistFilterConfig())
+	// First sample passes through.
+	out := f.Apply(geom.Twist{Linear: 5, Angular: 0.1})
+	if out.Linear != 5 {
+		t.Errorf("first sample = %v", out)
+	}
+	// A step change is smoothed, not followed instantly.
+	out = f.Apply(geom.Twist{Linear: 10, Angular: -0.4})
+	if out.Linear >= 10 || out.Linear <= 5 {
+		t.Errorf("smoothed linear = %v", out.Linear)
+	}
+	if out.Angular <= -0.4 || out.Angular >= 0.1 {
+		t.Errorf("smoothed angular = %v", out.Angular)
+	}
+}
+
+func TestTwistFilterJerkLimit(t *testing.T) {
+	cfg := DefaultTwistFilterConfig()
+	cfg.Alpha = 1 // disable smoothing to isolate the jerk limit
+	f := NewTwistFilter(cfg)
+	f.Apply(geom.Twist{Linear: 0})
+	out := f.Apply(geom.Twist{Linear: 100})
+	if out.Linear > cfg.MaxLinearJerk+1e-9 {
+		t.Errorf("jerk-limited linear = %v", out.Linear)
+	}
+}
+
+func TestTwistFilterConverges(t *testing.T) {
+	f := NewTwistFilter(DefaultTwistFilterConfig())
+	target := geom.Twist{Linear: 6, Angular: 0.2}
+	var out geom.Twist
+	for i := 0; i < 100; i++ {
+		out = f.Apply(target)
+	}
+	if math.Abs(out.Linear-6) > 0.01 || math.Abs(out.Angular-0.2) > 0.01 {
+		t.Errorf("filter did not converge: %+v", out)
+	}
+}
+
+func TestTwistFilterProcess(t *testing.T) {
+	f := NewTwistFilter(DefaultTwistFilterConfig())
+	res := f.Process(&ros.Message{Payload: &msgs.TwistStamped{Twist: geom.Twist{Linear: 3}}}, 0)
+	if len(res.Outputs) != 1 || res.Outputs[0].Topic != TopicTwistCmd {
+		t.Fatalf("outputs = %+v", res.Outputs)
+	}
+}
+
+func TestTwistFilterPanicsOnBadAlpha(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewTwistFilter(TwistFilterConfig{Alpha: 0})
+}

@@ -1,0 +1,310 @@
+// Package planning implements the actuation-layer planners: the
+// op_global_planner (A* route search over the lane network) and the
+// op_local_planner (rollout generation and costmap-based selection).
+// The paper could not stimulate these nodes for lack of HD map lane
+// annotations (Sec. III-C); our synthetic map has them, so the nodes
+// are fully functional, and — like the paper — the characterization
+// harness focuses on the perception stack and leaves them optional.
+package planning
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/msgs"
+	"repro/internal/nodes/costmap"
+	"repro/internal/nodes/localization"
+	"repro/internal/ros"
+	"repro/internal/work"
+	"repro/internal/world"
+)
+
+// Topic names owned by this package.
+const (
+	TopicGlobalRoute = "/lane_waypoints_array"
+	TopicLocalPath   = "/final_waypoints"
+	TopicGoal        = "/move_base_simple/goal"
+)
+
+// GlobalPlanner is op_global_planner: A* over the lane graph.
+type GlobalPlanner struct {
+	lanes *world.LaneNetwork
+	// Goal is set via the goal topic; the route replans on pose updates.
+	goal     geom.Vec2
+	haveGoal bool
+	// Sampling step for densifying edges into waypoints.
+	step float64
+}
+
+// NewGlobal builds the planner over a lane network.
+func NewGlobal(lanes *world.LaneNetwork) *GlobalPlanner {
+	if lanes == nil {
+		panic("planning: nil lane network")
+	}
+	return &GlobalPlanner{lanes: lanes, step: 2.0}
+}
+
+// Name implements ros.Node.
+func (g *GlobalPlanner) Name() string { return "op_global_planner" }
+
+// Subscribes implements ros.Node.
+func (g *GlobalPlanner) Subscribes() []ros.SubSpec {
+	return []ros.SubSpec{
+		{Topic: TopicGoal, Depth: 1},
+		{Topic: localization.TopicCurrentPose, Depth: 1},
+	}
+}
+
+// Plan computes a waypoint route from start to goal; exported for
+// direct use. It returns an error when no route exists.
+func (g *GlobalPlanner) Plan(start, goal geom.Vec2) (msgs.Lane, int, error) {
+	src := g.lanes.NearestNode(start)
+	dst := g.lanes.NearestNode(goal)
+	if src < 0 || dst < 0 {
+		return msgs.Lane{}, 0, fmt.Errorf("planning: no usable lane nodes")
+	}
+	type qitem struct {
+		node int
+		f    float64
+	}
+	gScore := make(map[int]float64, len(g.lanes.Nodes))
+	prev := make(map[int]int)
+	pq := &pqueue{}
+	heap.Init(pq)
+	gScore[src] = 0
+	heap.Push(pq, pqEntry{node: src, f: g.lanes.Nodes[src].Pos.Dist(g.lanes.Nodes[dst].Pos)})
+	expanded := 0
+	found := false
+	for pq.Len() > 0 {
+		cur := heap.Pop(pq).(pqEntry)
+		if cur.node == dst {
+			found = true
+			break
+		}
+		expanded++
+		for _, ei := range g.lanes.Out(cur.node) {
+			e := g.lanes.Edges[ei]
+			tentative := gScore[cur.node] + e.Length
+			if old, ok := gScore[e.To]; !ok || tentative < old {
+				gScore[e.To] = tentative
+				prev[e.To] = cur.node
+				h := g.lanes.Nodes[e.To].Pos.Dist(g.lanes.Nodes[dst].Pos)
+				heap.Push(pq, pqEntry{node: e.To, f: tentative + h})
+			}
+		}
+	}
+	if !found {
+		return msgs.Lane{}, expanded, fmt.Errorf("planning: no route from %v to %v", start, goal)
+	}
+	// Reconstruct and densify.
+	var chain []int
+	for n := dst; ; {
+		chain = append([]int{n}, chain...)
+		if n == src {
+			break
+		}
+		p, ok := prev[n]
+		if !ok {
+			return msgs.Lane{}, expanded, fmt.Errorf("planning: broken back-pointer chain")
+		}
+		n = p
+	}
+	lane := msgs.Lane{}
+	for i := 0; i+1 < len(chain); i++ {
+		a := g.lanes.Nodes[chain[i]].Pos
+		b := g.lanes.Nodes[chain[i+1]].Pos
+		d := a.Dist(b)
+		yaw := b.Sub(a).Angle()
+		steps := int(d/g.step) + 1
+		for s := 0; s < steps; s++ {
+			p := a.Lerp(b, float64(s)/float64(steps))
+			lane.Waypoints = append(lane.Waypoints, msgs.Waypoint{Pos: p, Yaw: yaw, Speed: 8})
+		}
+	}
+	if len(chain) > 0 {
+		last := g.lanes.Nodes[chain[len(chain)-1]].Pos
+		yaw := 0.0
+		if n := len(lane.Waypoints); n > 0 {
+			yaw = lane.Waypoints[n-1].Yaw
+		}
+		lane.Waypoints = append(lane.Waypoints, msgs.Waypoint{Pos: last, Yaw: yaw, Speed: 8})
+	}
+	lane.Cost = gScore[dst]
+	return lane, expanded, nil
+}
+
+// Process implements ros.Node.
+func (g *GlobalPlanner) Process(in *ros.Message, _ time.Duration) ros.Result {
+	switch payload := in.Payload.(type) {
+	case *msgs.PoseStamped:
+		if in.Topic == TopicGoal {
+			g.goal = payload.Pose.XY()
+			g.haveGoal = true
+			return ros.Result{Work: work.Work{IntOps: 100, LoadOps: 40, StoreOps: 20, BranchOps: 15, BytesTouched: 128}}
+		}
+		if !g.haveGoal {
+			return ros.Result{}
+		}
+		lane, expanded, err := g.Plan(payload.Pose.XY(), g.goal)
+		ex := float64(expanded)
+		w := work.Work{
+			FPOps:        ex * 60,
+			IntOps:       ex * 110,
+			LoadOps:      ex * 70,
+			StoreOps:     ex * 30,
+			BranchOps:    ex * 35,
+			BytesTouched: ex*160 + 4096,
+		}
+		if err != nil {
+			return ros.Result{Work: w}
+		}
+		return ros.Result{
+			Outputs: []ros.Output{{
+				Topic:   TopicGlobalRoute,
+				Payload: &msgs.LaneArray{Lanes: []msgs.Lane{lane}, Best: 0},
+				FrameID: "map",
+			}},
+			Work: w,
+		}
+	default:
+		return ros.Result{}
+	}
+}
+
+// pqueue is a min-heap on f-score for A*.
+type pqEntry struct {
+	node int
+	f    float64
+}
+type pqueue []pqEntry
+
+func (p pqueue) Len() int           { return len(p) }
+func (p pqueue) Less(i, j int) bool { return p[i].f < p[j].f }
+func (p pqueue) Swap(i, j int)      { p[i], p[j] = p[j], p[i] }
+func (p *pqueue) Push(x any)        { *p = append(*p, x.(pqEntry)) }
+func (p *pqueue) Pop() any          { old := *p; n := len(old); it := old[n-1]; *p = old[:n-1]; return it }
+
+// LocalPlanner is op_local_planner: it generates laterally offset
+// rollouts along the global route and selects the cheapest one against
+// the objects costmap.
+type LocalPlanner struct {
+	// Rollouts is the number of lateral candidates (odd; center is 0).
+	Rollouts int
+	// LateralSpacing between rollouts, meters.
+	LateralSpacing float64
+	// HorizonWaypoints limits how far ahead each rollout extends.
+	HorizonWaypoints int
+
+	route    *msgs.Lane
+	grid     *msgs.OccupancyGrid
+	egoPose  geom.Pose
+	havePose bool
+}
+
+// NewLocal builds the local planner.
+func NewLocal() *LocalPlanner {
+	return &LocalPlanner{Rollouts: 7, LateralSpacing: 0.8, HorizonWaypoints: 30}
+}
+
+// Name implements ros.Node.
+func (l *LocalPlanner) Name() string { return "op_local_planner" }
+
+// Subscribes implements ros.Node.
+func (l *LocalPlanner) Subscribes() []ros.SubSpec {
+	return []ros.SubSpec{
+		{Topic: TopicGlobalRoute, Depth: 1},
+		{Topic: costmap.TopicObjectsCostmap, Depth: 1},
+		{Topic: localization.TopicCurrentPose, Depth: 1},
+	}
+}
+
+// Process implements ros.Node.
+func (l *LocalPlanner) Process(in *ros.Message, _ time.Duration) ros.Result {
+	switch payload := in.Payload.(type) {
+	case *msgs.LaneArray:
+		if payload.Best >= 0 && payload.Best < len(payload.Lanes) {
+			l.route = &payload.Lanes[payload.Best]
+		}
+		return ros.Result{Work: work.Work{IntOps: 200, LoadOps: 100, StoreOps: 50, BranchOps: 30, BytesTouched: 1024}}
+	case *msgs.PoseStamped:
+		l.egoPose = payload.Pose
+		l.havePose = true
+		return ros.Result{Work: work.Work{IntOps: 80, LoadOps: 40, StoreOps: 20, BranchOps: 12, BytesTouched: 128}}
+	case *msgs.OccupancyGrid:
+		l.grid = payload
+		if l.route == nil || !l.havePose {
+			return ros.Result{Work: work.Work{IntOps: 300, LoadOps: 150, BranchOps: 60, BytesTouched: 2048}}
+		}
+		return l.plan()
+	default:
+		return ros.Result{}
+	}
+}
+
+func (l *LocalPlanner) plan() ros.Result {
+	// Find the closest route waypoint ahead of the ego.
+	best, bestD := -1, math.Inf(1)
+	for i, wp := range l.route.Waypoints {
+		if d := wp.Pos.DistSq(l.egoPose.XY()); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	lanes := make([]msgs.Lane, 0, l.Rollouts)
+	evaluated := 0
+	bestLane, bestCost := -1, math.Inf(1)
+	for r := 0; r < l.Rollouts; r++ {
+		offset := (float64(r) - float64(l.Rollouts-1)/2) * l.LateralSpacing
+		lane := msgs.Lane{}
+		cost := math.Abs(offset) * 2 // prefer the centerline
+		blocked := false
+		for i := best; i < len(l.route.Waypoints) && i < best+l.HorizonWaypoints; i++ {
+			wp := l.route.Waypoints[i]
+			lateral := geom.V2(1, 0).Rotate(wp.Yaw).Perp().Scale(offset)
+			p := wp.Pos.Add(lateral)
+			lane.Waypoints = append(lane.Waypoints, msgs.Waypoint{Pos: p, Yaw: wp.Yaw, Speed: wp.Speed})
+			x, y := l.grid.CellOf(p)
+			if x < 0 || y < 0 || x >= l.grid.Width || y >= l.grid.Height {
+				// Beyond costmap coverage: stop extending, score what
+				// we have (unknown is not the same as blocked here).
+				break
+			}
+			c := l.grid.At(x, y)
+			evaluated++
+			if c >= 100 {
+				blocked = true
+				break
+			}
+			cost += float64(c) * 0.1
+		}
+		if blocked {
+			cost = math.Inf(1)
+		}
+		lane.Cost = cost
+		lanes = append(lanes, lane)
+		if cost < bestCost {
+			bestCost, bestLane = cost, r
+		}
+	}
+	if math.IsInf(bestCost, 1) {
+		bestLane = -1 // all rollouts blocked
+	}
+	ev := float64(evaluated)
+	return ros.Result{
+		Outputs: []ros.Output{{
+			Topic:   TopicLocalPath,
+			Payload: &msgs.LaneArray{Lanes: lanes, Best: bestLane},
+			FrameID: "map",
+		}},
+		Work: work.Work{
+			FPOps:        ev * 35,
+			IntOps:       ev * 25,
+			LoadOps:      ev * 20,
+			StoreOps:     ev * 10,
+			BranchOps:    ev * 8,
+			BytesTouched: ev*48 + 8192,
+		},
+	}
+}

@@ -1,0 +1,143 @@
+// Package prediction implements naive_motion_predict: constant
+// velocity/turn-rate extrapolation of tracked objects into short-term
+// future paths, plus the ukf_track_relay pass-through node that sits
+// between the tracker and the predictor in the paper's computation
+// paths (Table IV).
+package prediction
+
+import (
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/msgs"
+	"repro/internal/nodes/tracking"
+	"repro/internal/ros"
+	"repro/internal/work"
+)
+
+// Topic names owned by this package.
+const (
+	TopicRelayedObjects   = "/detection/objects"
+	TopicPredictedObjects = "/prediction/motion_predictor/objects"
+)
+
+// Relay is ukf_track_relay: it republishes tracker output on the
+// canonical /detection/objects topic.
+type Relay struct{}
+
+// NewRelay builds the relay node.
+func NewRelay() *Relay { return &Relay{} }
+
+// Name implements ros.Node.
+func (r *Relay) Name() string { return "ukf_track_relay" }
+
+// Subscribes implements ros.Node.
+func (r *Relay) Subscribes() []ros.SubSpec {
+	return []ros.SubSpec{{Topic: tracking.TopicObjects, Depth: 2}}
+}
+
+// Process implements ros.Node.
+func (r *Relay) Process(in *ros.Message, _ time.Duration) ros.Result {
+	arr, ok := in.Payload.(*msgs.DetectedObjectArray)
+	if !ok {
+		return ros.Result{}
+	}
+	n := float64(len(arr.Objects))
+	return ros.Result{
+		Outputs: []ros.Output{{Topic: TopicRelayedObjects, Payload: arr, FrameID: "map"}},
+		Work: work.Work{
+			IntOps: 150 + 8*n, LoadOps: 60 + 6*n, StoreOps: 40 + 6*n,
+			BranchOps: 20 + n, BytesTouched: 512 + 128*n,
+		},
+	}
+}
+
+// Config parameterizes the predictor.
+type Config struct {
+	// Horizon is how far ahead to extrapolate, seconds.
+	Horizon float64
+	// Dt is the sample interval of the predicted path, seconds.
+	Dt float64
+	// MinSpeed suppresses paths for near-stationary objects.
+	MinSpeed   float64
+	QueueDepth int
+}
+
+// DefaultConfig returns the stock configuration (3 s at 0.5 s steps,
+// matching Autoware's default prediction window).
+func DefaultConfig() Config {
+	return Config{Horizon: 3.0, Dt: 0.5, MinSpeed: 0.3, QueueDepth: 2}
+}
+
+// Predictor is the naive_motion_predict node.
+type Predictor struct {
+	cfg Config
+}
+
+// New builds the node.
+func New(cfg Config) *Predictor {
+	if cfg.Horizon <= 0 || cfg.Dt <= 0 {
+		panic("prediction: invalid config")
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 1
+	}
+	return &Predictor{cfg: cfg}
+}
+
+// Name implements ros.Node.
+func (p *Predictor) Name() string { return "naive_motion_predict" }
+
+// Subscribes implements ros.Node.
+func (p *Predictor) Subscribes() []ros.SubSpec {
+	return []ros.SubSpec{{Topic: TopicRelayedObjects, Depth: p.cfg.QueueDepth}}
+}
+
+// PredictPath extrapolates one object; exported for tests.
+func (p *Predictor) PredictPath(o msgs.DetectedObject) []geom.Vec2 {
+	speed := o.Velocity.Norm()
+	if speed < p.cfg.MinSpeed {
+		return nil
+	}
+	steps := int(p.cfg.Horizon/p.cfg.Dt + 0.5)
+	path := make([]geom.Vec2, 0, steps)
+	pose := geom.Pose{Pos: o.Pose.Pos, Yaw: o.Pose.Yaw}
+	tw := geom.Twist{Linear: speed, Angular: o.YawRate}
+	for s := 0; s < steps; s++ {
+		pose = tw.Integrate(pose, p.cfg.Dt)
+		path = append(path, pose.XY())
+	}
+	return path
+}
+
+// Process implements ros.Node.
+func (p *Predictor) Process(in *ros.Message, _ time.Duration) ros.Result {
+	arr, ok := in.Payload.(*msgs.DetectedObjectArray)
+	if !ok {
+		return ros.Result{}
+	}
+	out := make([]msgs.DetectedObject, len(arr.Objects))
+	totalSteps := 0
+	for i, o := range arr.Objects {
+		o.PredictedPath = p.PredictPath(o)
+		o.PathDt = p.cfg.Dt
+		totalSteps += len(o.PredictedPath)
+		out[i] = o
+	}
+	n := float64(len(arr.Objects))
+	st := float64(totalSteps)
+	return ros.Result{
+		Outputs: []ros.Output{{
+			Topic:   TopicPredictedObjects,
+			Payload: &msgs.DetectedObjectArray{Objects: out},
+			FrameID: "map",
+		}},
+		Work: work.Work{
+			FPOps:   n*40 + st*30,
+			IntOps:  n*25 + st*8,
+			LoadOps: n*30 + st*10, StoreOps: n*20 + st*8,
+			BranchOps:    n*10 + st*3,
+			BytesTouched: n*256 + st*24 + 1024,
+		},
+	}
+}

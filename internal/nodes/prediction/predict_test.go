@@ -1,0 +1,105 @@
+package prediction
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/msgs"
+	"repro/internal/ros"
+)
+
+func TestRelayPassesThrough(t *testing.T) {
+	r := NewRelay()
+	if r.Name() != "ukf_track_relay" {
+		t.Error("name mismatch")
+	}
+	arr := &msgs.DetectedObjectArray{Objects: []msgs.DetectedObject{{ID: 7}}}
+	res := r.Process(&ros.Message{Payload: arr}, 0)
+	if len(res.Outputs) != 1 || res.Outputs[0].Topic != TopicRelayedObjects {
+		t.Fatalf("outputs = %+v", res.Outputs)
+	}
+	if res.Outputs[0].Payload.(*msgs.DetectedObjectArray).Objects[0].ID != 7 {
+		t.Error("payload altered")
+	}
+	if res.Work.CPUOps() <= 0 {
+		t.Error("relay work missing")
+	}
+}
+
+func TestPredictStraightPath(t *testing.T) {
+	p := New(DefaultConfig())
+	o := msgs.DetectedObject{
+		Pose:     geom.NewPose(0, 0, 0, 0),
+		Velocity: geom.V2(10, 0),
+	}
+	path := p.PredictPath(o)
+	if len(path) != 6 { // 3s / 0.5s
+		t.Fatalf("path length = %d", len(path))
+	}
+	// Last point: 3 seconds at 10 m/s heading east.
+	last := path[len(path)-1]
+	if math.Abs(last.X-30) > 1e-6 || math.Abs(last.Y) > 1e-6 {
+		t.Errorf("end of path = %v", last)
+	}
+}
+
+func TestPredictTurningPath(t *testing.T) {
+	p := New(DefaultConfig())
+	o := msgs.DetectedObject{
+		Pose:     geom.NewPose(0, 0, 0, 0),
+		Velocity: geom.V2(10, 0),
+		YawRate:  0.5,
+	}
+	path := p.PredictPath(o)
+	if len(path) == 0 {
+		t.Fatal("empty path")
+	}
+	// Turning left: final Y clearly positive and curling.
+	if path[len(path)-1].Y < 5 {
+		t.Errorf("turn path end = %v", path[len(path)-1])
+	}
+}
+
+func TestPredictStationarySuppressed(t *testing.T) {
+	p := New(DefaultConfig())
+	o := msgs.DetectedObject{Pose: geom.NewPose(5, 5, 0, 0), Velocity: geom.V2(0.05, 0)}
+	if path := p.PredictPath(o); path != nil {
+		t.Errorf("stationary object should have no path, got %v", path)
+	}
+}
+
+func TestPredictorProcess(t *testing.T) {
+	p := New(DefaultConfig())
+	arr := &msgs.DetectedObjectArray{Objects: []msgs.DetectedObject{
+		{Pose: geom.NewPose(0, 0, 0, 0), Velocity: geom.V2(5, 0)},
+		{Pose: geom.NewPose(10, 10, 0, 0), Velocity: geom.V2(0, 0)},
+	}}
+	res := p.Process(&ros.Message{Payload: arr}, 0)
+	if len(res.Outputs) != 1 || res.Outputs[0].Topic != TopicPredictedObjects {
+		t.Fatalf("outputs = %+v", res.Outputs)
+	}
+	out := res.Outputs[0].Payload.(*msgs.DetectedObjectArray).Objects
+	if len(out[0].PredictedPath) == 0 {
+		t.Error("moving object lost its path")
+	}
+	if len(out[1].PredictedPath) != 0 {
+		t.Error("stationary object gained a path")
+	}
+	if out[0].PathDt != 0.5 {
+		t.Errorf("path dt = %v", out[0].PathDt)
+	}
+	// Input array untouched (predictor copies).
+	if len(arr.Objects[0].PredictedPath) != 0 {
+		t.Error("input mutated")
+	}
+}
+
+func TestPredictorPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(Config{Horizon: -1, Dt: 0.5})
+}

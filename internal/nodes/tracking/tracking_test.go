@@ -1,0 +1,234 @@
+package tracking
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/mathx"
+	"repro/internal/msgs"
+	"repro/internal/ros"
+)
+
+func det(x, y float64, label msgs.ObjectLabel) msgs.DetectedObject {
+	return msgs.DetectedObject{
+		Label: label, Score: 0.8,
+		Pose: geom.NewPose(x, y, 0, 0),
+		Dim:  geom.V3(4.4, 1.8, 1.5),
+	}
+}
+
+func TestUKFPredictStraightLine(t *testing.T) {
+	u := NewUKF(ModelCV, geom.V2(0, 0))
+	// Fix a moving state: 10 m/s heading east.
+	u.X.Set(iv, 0, 10)
+	u.X.Set(iyaw, 0, 0)
+	u.P = mathx.Identity(stateDim).Scale(0.01)
+	if err := u.Predict(1.0); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(u.Pos().X-10) > 0.2 || math.Abs(u.Pos().Y) > 0.2 {
+		t.Errorf("CV predict = %v", u.Pos())
+	}
+}
+
+func TestUKFPredictTurn(t *testing.T) {
+	u := NewUKF(ModelCTRV, geom.V2(0, 0))
+	u.X.Set(iv, 0, 10)
+	u.X.Set(iyawd, 0, 0.5)
+	u.P = mathx.Identity(stateDim).Scale(0.01)
+	if err := u.Predict(1.0); err != nil {
+		t.Fatal(err)
+	}
+	// Turning left: Y must be clearly positive.
+	if u.Pos().Y < 1 {
+		t.Errorf("CTRV turn predict = %v", u.Pos())
+	}
+	if math.Abs(u.Yaw()-0.5) > 0.1 {
+		t.Errorf("yaw after turn = %v", u.Yaw())
+	}
+}
+
+func TestUKFConvergesOnStationaryTarget(t *testing.T) {
+	u := NewUKF(ModelCV, geom.V2(5, 5))
+	z := mathx.NewMat(measDim, 1)
+	z.Set(0, 0, 6)
+	z.Set(1, 0, 4)
+	for i := 0; i < 20; i++ {
+		if err := u.Predict(0.1); err != nil {
+			t.Fatal(err)
+		}
+		mp, err := u.PredictMeasurement(0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u.UpdatePDA(mp, []*mathx.Mat{z}, []float64{0.95, 0.05})
+	}
+	if u.Pos().Dist(geom.V2(6, 4)) > 0.3 {
+		t.Errorf("did not converge: %v", u.Pos())
+	}
+	// Position variance should have shrunk well under the prior.
+	if u.P.At(ix, ix) > 0.5 {
+		t.Errorf("variance did not contract: %v", u.P.At(ix, ix))
+	}
+}
+
+func TestIMMPrefersCTRVWhileTurning(t *testing.T) {
+	m := NewIMM(geom.V2(0, 0))
+	// Simulate a target on a circle: radius 20, angular rate 0.3 rad/s.
+	stamp := 0.0
+	for i := 0; i < 40; i++ {
+		stamp += 0.1
+		ang := 0.3 * stamp
+		z := mathx.NewMat(measDim, 1)
+		z.Set(0, 0, 20*math.Sin(ang))
+		z.Set(1, 0, 20*(1-math.Cos(ang)))
+		if err := m.Predict(0.1); err != nil {
+			t.Fatal(err)
+		}
+		err := m.Update(0.3, []*mathx.Mat{z}, func(mp *MeasurementPrediction) []float64 {
+			return []float64{0.95, 0.05}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Mu[ModelCTRV] < m.Mu[ModelRM] {
+		t.Errorf("turning target should not favor RM: mu = %v", m.Mu)
+	}
+	if m.FPOps() <= 0 {
+		t.Error("op accounting missing")
+	}
+}
+
+func TestTrackerConfirmsAndTracksMovingObject(t *testing.T) {
+	tr := New(DefaultConfig())
+	// Object moving east at 8 m/s, observed at 10 Hz with small noise.
+	rng := mathx.NewRNG(3)
+	var confirmed []*Track
+	for i := 0; i < 30; i++ {
+		ts := time.Duration(i) * 100 * time.Millisecond
+		x := 8 * float64(i) * 0.1
+		d := det(x+rng.NormScaled(0, 0.1), rng.NormScaled(0, 0.1), msgs.LabelCar)
+		confirmed = tr.Step([]msgs.DetectedObject{d}, ts)
+	}
+	if len(confirmed) != 1 {
+		t.Fatalf("confirmed tracks = %d", len(confirmed))
+	}
+	tk := confirmed[0]
+	v := tk.IMM.Velocity()
+	if math.Abs(v.X-8) > 1.5 || math.Abs(v.Y) > 1.5 {
+		t.Errorf("velocity estimate = %v, want ~(8,0)", v)
+	}
+	if tk.Label != msgs.LabelCar {
+		t.Errorf("label = %s", tk.Label)
+	}
+}
+
+func TestTrackerKeepsStableIDs(t *testing.T) {
+	tr := New(DefaultConfig())
+	var firstID int
+	for i := 0; i < 20; i++ {
+		ts := time.Duration(i) * 100 * time.Millisecond
+		confirmed := tr.Step([]msgs.DetectedObject{det(float64(i)*0.5, 0, msgs.LabelCar)}, ts)
+		if len(confirmed) > 0 {
+			if firstID == 0 {
+				firstID = confirmed[0].ID
+			} else if confirmed[0].ID != firstID {
+				t.Fatalf("track ID changed: %d -> %d", firstID, confirmed[0].ID)
+			}
+		}
+	}
+	if firstID == 0 {
+		t.Fatal("track never confirmed")
+	}
+}
+
+func TestTrackerDropsStaleTracks(t *testing.T) {
+	tr := New(DefaultConfig())
+	for i := 0; i < 5; i++ {
+		tr.Step([]msgs.DetectedObject{det(0, 0, msgs.LabelCar)}, time.Duration(i)*100*time.Millisecond)
+	}
+	if len(tr.Tracks()) != 1 {
+		t.Fatalf("tracks = %d", len(tr.Tracks()))
+	}
+	// Starve it.
+	for i := 5; i < 12; i++ {
+		tr.Step(nil, time.Duration(i)*100*time.Millisecond)
+	}
+	if len(tr.Tracks()) != 0 {
+		t.Errorf("stale track survived: %d", len(tr.Tracks()))
+	}
+}
+
+func TestTrackerSeparatesTwoObjects(t *testing.T) {
+	tr := New(DefaultConfig())
+	var confirmed []*Track
+	for i := 0; i < 20; i++ {
+		ts := time.Duration(i) * 100 * time.Millisecond
+		confirmed = tr.Step([]msgs.DetectedObject{
+			det(float64(i)*0.8, 0, msgs.LabelCar),
+			det(float64(i)*0.8, 15, msgs.LabelPedestrian),
+		}, ts)
+	}
+	if len(confirmed) != 2 {
+		t.Fatalf("confirmed = %d, want 2", len(confirmed))
+	}
+	if confirmed[0].ID == confirmed[1].ID {
+		t.Error("distinct objects share an ID")
+	}
+}
+
+func TestTrackerProcessPublishesTrackedObjects(t *testing.T) {
+	tr := New(DefaultConfig())
+	var res ros.Result
+	for i := 0; i < 10; i++ {
+		res = tr.Process(&ros.Message{
+			Header:  ros.Header{Stamp: time.Duration(i) * 100 * time.Millisecond},
+			Payload: &msgs.DetectedObjectArray{Objects: []msgs.DetectedObject{det(float64(i), 0, msgs.LabelCar)}},
+		}, 0)
+	}
+	if len(res.Outputs) != 1 || res.Outputs[0].Topic != TopicObjects {
+		t.Fatalf("outputs = %+v", res.Outputs)
+	}
+	arr := res.Outputs[0].Payload.(*msgs.DetectedObjectArray)
+	if len(arr.Objects) != 1 || !arr.Objects[0].Tracked {
+		t.Fatalf("tracked objects = %+v", arr.Objects)
+	}
+	if res.Work.FPOps <= 0 {
+		t.Error("work not accounted")
+	}
+}
+
+func TestPDABetasSumToOne(t *testing.T) {
+	tr := New(DefaultConfig())
+	u := NewUKF(ModelCTRV, geom.V2(0, 0))
+	mp, err := u.PredictMeasurement(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z1 := mathx.NewMat(2, 1)
+	z2 := mathx.NewMat(2, 1)
+	z2.Set(0, 0, 0.5)
+	betas := tr.pdaBetas(mp, []*mathx.Mat{z1, z2})
+	sum := 0.0
+	for _, b := range betas {
+		if b < 0 {
+			t.Fatalf("negative beta: %v", betas)
+		}
+		sum += b
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("betas sum = %v", sum)
+	}
+}
+
+func TestModelNames(t *testing.T) {
+	if ModelName(ModelCV) != "CV" || ModelName(ModelCTRV) != "CTRV" || ModelName(ModelRM) != "RM" {
+		t.Error("model names wrong")
+	}
+	if ModelName(99) != "model99" {
+		t.Error("unknown model name")
+	}
+}

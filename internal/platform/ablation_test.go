@@ -1,0 +1,70 @@
+package platform
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/work"
+)
+
+func TestGPUMultiChannelOverlaps(t *testing.T) {
+	cfg := DefaultGPUConfig()
+	cfg.Channels = 2
+	sim := NewSim()
+	g := NewGPU(cfg, sim)
+	k := work.GPUKernel{FMAs: 4.4e10, Efficiency: 1} // 10ms
+	d1 := g.Submit("a", []work.GPUKernel{k})
+	d2 := g.Submit("b", []work.GPUKernel{k})
+	// Two channels: both finish at ~10ms.
+	if d2 > d1+time.Millisecond {
+		t.Errorf("two-channel submissions should overlap: %v, %v", d1, d2)
+	}
+	// Third kernel queues behind the earlier channel.
+	d3 := g.Submit("c", []work.GPUKernel{k})
+	if d3 < d1+9*time.Millisecond {
+		t.Errorf("third kernel should queue: %v", d3)
+	}
+	if g.BusyUntil() != d3 {
+		t.Errorf("BusyUntil = %v, want %v", g.BusyUntil(), d3)
+	}
+}
+
+func TestCPUFIFORunToCompletion(t *testing.T) {
+	cfg := DefaultCPUConfig()
+	cfg.Cores = 1
+	cfg.FIFO = true
+	sim := NewSim()
+	c := NewCPU(cfg, sim)
+	var aDone, bDone time.Duration
+	c.Submit("a", 0.1, 0, func() { aDone = sim.Now() })
+	c.Submit("b", 0.1, 0, func() { bDone = sim.Now() })
+	sim.Run(time.Second)
+	// FIFO: a finishes at 100ms (not stretched), b at 200ms.
+	if aDone > 101*time.Millisecond {
+		t.Errorf("FIFO first task done at %v, want ~100ms", aDone)
+	}
+	if bDone < 199*time.Millisecond {
+		t.Errorf("FIFO second task done at %v, want ~200ms", bDone)
+	}
+}
+
+func TestCPUFIFOAdmitsUpToCores(t *testing.T) {
+	cfg := DefaultCPUConfig()
+	cfg.Cores = 2
+	cfg.FIFO = true
+	sim := NewSim()
+	c := NewCPU(cfg, sim)
+	var done [3]time.Duration
+	for i := 0; i < 3; i++ {
+		i := i
+		c.Submit("n", 0.1, 0, func() { done[i] = sim.Now() })
+	}
+	sim.Run(time.Second)
+	// First two run concurrently (~100ms); third queues (~200ms).
+	if done[0] > 101*time.Millisecond || done[1] > 101*time.Millisecond {
+		t.Errorf("first two should finish at ~100ms: %v, %v", done[0], done[1])
+	}
+	if done[2] < 199*time.Millisecond {
+		t.Errorf("third should queue: %v", done[2])
+	}
+}

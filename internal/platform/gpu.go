@@ -1,0 +1,142 @@
+package platform
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/work"
+)
+
+// GPUConfig describes the simulated accelerator.
+type GPUConfig struct {
+	// PeakFMAs is the peak fused-multiply-add rate, FMA/second.
+	PeakFMAs float64
+	// MemBandwidth is the device memory bandwidth, bytes/second.
+	MemBandwidth float64
+	// LaunchOverhead is the fixed host+driver cost per kernel.
+	LaunchOverhead time.Duration
+	// IdlePower and MaxDynPower parameterize the power model:
+	// P = IdlePower while idle; while a kernel runs,
+	// P = IdlePower + MaxDynPower * (0.25 + 0.75*efficiency).
+	IdlePower   float64
+	MaxDynPower float64
+	// Channels is the number of concurrently executing kernel queues
+	// (1 = the CUDA default-stream FIFO the profiled stack uses; >1
+	// models multi-stream/MPS overlap for the ablation benches).
+	Channels int
+}
+
+// DefaultGPUConfig models a high-end discrete part of the paper's era
+// (GTX 1080-class: ~8.9 TFLOP/s, ~320 GB/s).
+func DefaultGPUConfig() GPUConfig {
+	return GPUConfig{
+		PeakFMAs:       4.4e12,
+		MemBandwidth:   3.2e11,
+		LaunchOverhead: 12 * time.Microsecond,
+		IdlePower:      25,
+		MaxDynPower:    390,
+	}
+}
+
+// GPU is a FIFO, non-preemptive kernel queue — the execution model of
+// the CUDA default stream the profiled detectors use.
+type GPU struct {
+	cfg       GPUConfig
+	sim       *Sim
+	busyUntil []time.Duration
+
+	busyByOwner map[string]float64 // busy seconds per owner
+	busyTotal   float64
+	// dynEnergy integrates kernel dynamic power over time (joules,
+	// excluding idle power which the sampler adds analytically).
+	dynEnergy float64
+	// queueWait accumulates time kernels spent waiting behind others.
+	queueWait float64
+}
+
+// NewGPU creates the device bound to a simulation clock.
+func NewGPU(cfg GPUConfig, sim *Sim) *GPU {
+	if cfg.PeakFMAs <= 0 || cfg.MemBandwidth <= 0 {
+		panic("platform: invalid GPU config")
+	}
+	ch := cfg.Channels
+	if ch < 1 {
+		ch = 1
+	}
+	return &GPU{
+		cfg: cfg, sim: sim,
+		busyUntil:   make([]time.Duration, ch),
+		busyByOwner: make(map[string]float64),
+	}
+}
+
+// Config returns the device configuration.
+func (g *GPU) Config() GPUConfig { return g.cfg }
+
+// KernelDuration returns the modeled execution time of one kernel.
+func (g *GPU) KernelDuration(k work.GPUKernel) time.Duration {
+	eff := k.Efficiency
+	if eff <= 0 {
+		eff = 1
+	}
+	compute := k.FMAs / (g.cfg.PeakFMAs * eff)
+	memory := k.Bytes / (g.cfg.MemBandwidth * eff)
+	return g.cfg.LaunchOverhead + time.Duration(math.Max(compute, memory)*float64(time.Second))
+}
+
+// Submit enqueues the kernel chain at the current time and returns the
+// virtual completion time. The chain runs back to back after whatever
+// is already queued.
+func (g *GPU) Submit(owner string, kernels []work.GPUKernel) time.Duration {
+	// Pick the channel that drains first.
+	ch := 0
+	for i := 1; i < len(g.busyUntil); i++ {
+		if g.busyUntil[i] < g.busyUntil[ch] {
+			ch = i
+		}
+	}
+	start := g.sim.Now()
+	if g.busyUntil[ch] > start {
+		g.queueWait += (g.busyUntil[ch] - start).Seconds()
+		start = g.busyUntil[ch]
+	}
+	t := start
+	for _, k := range kernels {
+		d := g.KernelDuration(k)
+		eff := k.Efficiency
+		if eff <= 0 {
+			eff = 1
+		}
+		sec := d.Seconds()
+		g.busyByOwner[owner] += sec
+		g.busyTotal += sec
+		g.dynEnergy += sec * g.cfg.MaxDynPower * (0.25 + 0.75*eff)
+		t += d
+	}
+	g.busyUntil[ch] = t
+	return t
+}
+
+// BusyTotal returns total busy seconds so far.
+func (g *GPU) BusyTotal() float64 { return g.busyTotal }
+
+// BusyByOwner returns busy seconds per owner (live snapshot; callers
+// must not mutate).
+func (g *GPU) BusyByOwner() map[string]float64 { return g.busyByOwner }
+
+// DynEnergy returns the integrated dynamic energy in joules.
+func (g *GPU) DynEnergy() float64 { return g.dynEnergy }
+
+// QueueWait returns total seconds kernels waited behind other kernels.
+func (g *GPU) QueueWait() float64 { return g.queueWait }
+
+// BusyUntil returns the time the device drains all channels.
+func (g *GPU) BusyUntil() time.Duration {
+	var max time.Duration
+	for _, b := range g.busyUntil {
+		if b > max {
+			max = b
+		}
+	}
+	return max
+}

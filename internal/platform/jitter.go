@@ -1,0 +1,55 @@
+package platform
+
+import "repro/internal/mathx"
+
+// JitterConfig models operating-system noise on task durations:
+// scheduler ticks, page faults, interrupts — the irreducible
+// variability the paper's latency distributions carry even for
+// fixed-size inputs.
+type JitterConfig struct {
+	// RelSigma is the relative half-normal spread applied to every task.
+	RelSigma float64
+	// SpikeProb is the chance of a preemption spike per task.
+	SpikeProb float64
+	// SpikeMean is the mean added delay of a spike, seconds.
+	SpikeMean float64
+	Seed      uint64
+}
+
+// DefaultJitterConfig returns a mild desktop-Linux-like noise profile.
+func DefaultJitterConfig() JitterConfig {
+	return JitterConfig{
+		RelSigma:  0.015,
+		SpikeProb: 0.02,
+		SpikeMean: 0.006,
+		Seed:      0x0511CE,
+	}
+}
+
+// Jitter is the noise source. One instance per executor; draws are
+// deterministic in dispatch order.
+type Jitter struct {
+	cfg JitterConfig
+	rng *mathx.RNG
+}
+
+// NewJitter builds the source.
+func NewJitter(cfg JitterConfig) *Jitter {
+	return &Jitter{cfg: cfg, rng: mathx.NewRNG(cfg.Seed)}
+}
+
+// Apply perturbs a task duration (seconds) and returns the noisy value.
+func (j *Jitter) Apply(seconds float64) float64 {
+	if j == nil {
+		return seconds
+	}
+	n := j.rng.Norm()
+	if n < 0 {
+		n = -n
+	}
+	out := seconds * (1 + j.cfg.RelSigma*n)
+	if j.cfg.SpikeProb > 0 && j.rng.Bool(j.cfg.SpikeProb) {
+		out += j.rng.Exp(j.cfg.SpikeMean)
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+// Package platform is the discrete-event hardware model the stack runs
+// on: a multicore CPU with processor-sharing scheduling and memory-
+// bandwidth interference, a FIFO GPU, an OS-jitter model, and the
+// executor that binds ROS nodes to them. Node algorithms run for real;
+// only *time* is simulated — which is what lets the reproduction
+// deterministically exhibit the contention, queueing and tail-latency
+// phenomena the paper measures on real hardware.
+package platform
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Event is a scheduled callback.
+type event struct {
+	at  time.Duration
+	seq uint64 // tie-break for determinism
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is the deterministic event loop. All times are virtual.
+type Sim struct {
+	now    time.Duration
+	events eventHeap
+	seq    uint64
+}
+
+// NewSim creates an empty simulation at time zero.
+func NewSim() *Sim {
+	s := &Sim{}
+	heap.Init(&s.events)
+	return s
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// Schedule runs fn at the given virtual time (clamped to now).
+func (s *Sim) Schedule(at time.Duration, fn func()) {
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	heap.Push(&s.events, &event{at: at, seq: s.seq, fn: fn})
+}
+
+// After schedules fn delay after now.
+func (s *Sim) After(delay time.Duration, fn func()) {
+	s.Schedule(s.now+delay, fn)
+}
+
+// Run processes events until the horizon (inclusive) or until the queue
+// drains. It returns the number of events processed.
+func (s *Sim) Run(until time.Duration) int {
+	n := 0
+	for s.events.Len() > 0 {
+		e := s.events[0]
+		if e.at > until {
+			break
+		}
+		heap.Pop(&s.events)
+		s.now = e.at
+		e.fn()
+		n++
+	}
+	if s.now < until {
+		s.now = until
+	}
+	return n
+}
+
+// Pending returns the number of queued events.
+func (s *Sim) Pending() int { return s.events.Len() }

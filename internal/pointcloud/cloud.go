@@ -1,0 +1,92 @@
+// Package pointcloud implements the point-cloud substrate that the
+// LiDAR-driven nodes operate on: the cloud container, voxel-grid
+// downsampling (the voxel_grid_filter core) and a k-d tree used by
+// euclidean clustering and NDT neighbor queries. It is this codebase's
+// stand-in for the Point Cloud Library the paper's nodes link against.
+package pointcloud
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// Point is a single LiDAR return. Ring records which laser beam produced
+// it (used by the ray ground filter); Intensity is a synthetic surface
+// reflectivity.
+type Point struct {
+	Pos       geom.Vec3
+	Intensity float64
+	Ring      int
+}
+
+// Cloud is an ordered collection of points. Nodes treat clouds as
+// immutable inputs; filters allocate fresh clouds for their outputs.
+type Cloud struct {
+	Points []Point
+}
+
+// New returns an empty cloud with the given capacity hint.
+func New(capacity int) *Cloud {
+	return &Cloud{Points: make([]Point, 0, capacity)}
+}
+
+// FromPositions builds a cloud from bare positions (ring 0, intensity 0).
+func FromPositions(pos []geom.Vec3) *Cloud {
+	c := New(len(pos))
+	for _, p := range pos {
+		c.Points = append(c.Points, Point{Pos: p})
+	}
+	return c
+}
+
+// Len returns the number of points.
+func (c *Cloud) Len() int { return len(c.Points) }
+
+// Append adds a point.
+func (c *Cloud) Append(p Point) { c.Points = append(c.Points, p) }
+
+// Clone returns a deep copy of the cloud.
+func (c *Cloud) Clone() *Cloud {
+	out := &Cloud{Points: make([]Point, len(c.Points))}
+	copy(out.Points, c.Points)
+	return out
+}
+
+// Bounds returns the axis-aligned bounding box of the cloud; an empty
+// cloud yields an invalid box.
+func (c *Cloud) Bounds() geom.AABB3 {
+	b := geom.EmptyAABB3()
+	for _, p := range c.Points {
+		b.Expand(p.Pos)
+	}
+	return b
+}
+
+// Centroid returns the mean position, or the zero vector when empty.
+func (c *Cloud) Centroid() geom.Vec3 {
+	if len(c.Points) == 0 {
+		return geom.Vec3{}
+	}
+	var s geom.Vec3
+	for _, p := range c.Points {
+		s = s.Add(p.Pos)
+	}
+	return s.Scale(1 / float64(len(c.Points)))
+}
+
+// Transform returns a new cloud with every point mapped through pose
+// (local -> world).
+func (c *Cloud) Transform(pose geom.Pose) *Cloud {
+	out := &Cloud{Points: make([]Point, len(c.Points))}
+	for i, p := range c.Points {
+		out.Points[i] = p
+		out.Points[i].Pos = pose.Transform(p.Pos)
+	}
+	return out
+}
+
+// String implements fmt.Stringer.
+func (c *Cloud) String() string {
+	return fmt.Sprintf("cloud{%d points}", len(c.Points))
+}

@@ -1,0 +1,150 @@
+package pointcloud
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// KDTree is a 3-dimensional k-d tree over cloud point indices. It backs
+// radius queries for euclidean clustering. Construction is O(n log n);
+// the tree refers to the positions slice it was built from and must not
+// outlive it.
+type KDTree struct {
+	pts   []geom.Vec3
+	nodes []kdNode
+	root  int32
+	// TraversalSteps counts nodes visited across all queries since the
+	// last ResetCounters call. The µarch trace generators use it to size
+	// the pointer-chasing access stream that gives euclidean_cluster its
+	// poor-locality cache signature (Table VII).
+	TraversalSteps int
+}
+
+type kdNode struct {
+	idx         int32 // index into pts
+	axis        int8  // 0=X 1=Y 2=Z
+	left, right int32 // node indices, -1 for none
+}
+
+// NewKDTree builds a balanced tree over the given positions.
+func NewKDTree(pts []geom.Vec3) *KDTree {
+	t := &KDTree{pts: pts, root: -1}
+	if len(pts) == 0 {
+		return t
+	}
+	idx := make([]int32, len(pts))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	t.nodes = make([]kdNode, 0, len(pts))
+	t.root = t.build(idx, 0)
+	return t
+}
+
+func (t *KDTree) build(idx []int32, depth int) int32 {
+	if len(idx) == 0 {
+		return -1
+	}
+	axis := depth % 3
+	sort.Slice(idx, func(a, b int) bool {
+		return coord(t.pts[idx[a]], axis) < coord(t.pts[idx[b]], axis)
+	})
+	mid := len(idx) / 2
+	nodeIdx := int32(len(t.nodes))
+	t.nodes = append(t.nodes, kdNode{idx: idx[mid], axis: int8(axis), left: -1, right: -1})
+	left := t.build(idx[:mid], depth+1)
+	right := t.build(idx[mid+1:], depth+1)
+	t.nodes[nodeIdx].left = left
+	t.nodes[nodeIdx].right = right
+	return nodeIdx
+}
+
+func coord(v geom.Vec3, axis int) float64 {
+	switch axis {
+	case 0:
+		return v.X
+	case 1:
+		return v.Y
+	default:
+		return v.Z
+	}
+}
+
+// Radius appends to out the indices of all points within r of q and
+// returns the extended slice. Passing a reused out slice avoids
+// allocation in the clustering hot loop.
+func (t *KDTree) Radius(q geom.Vec3, r float64, out []int32) []int32 {
+	if t.root < 0 {
+		return out
+	}
+	r2 := r * r
+	return t.radius(t.root, q, r, r2, out)
+}
+
+func (t *KDTree) radius(node int32, q geom.Vec3, r, r2 float64, out []int32) []int32 {
+	n := &t.nodes[node]
+	t.TraversalSteps++
+	p := t.pts[n.idx]
+	if p.DistSq(q) <= r2 {
+		out = append(out, n.idx)
+	}
+	delta := coord(q, int(n.axis)) - coord(p, int(n.axis))
+	var near, far int32
+	if delta < 0 {
+		near, far = n.left, n.right
+	} else {
+		near, far = n.right, n.left
+	}
+	if near >= 0 {
+		out = t.radius(near, q, r, r2, out)
+	}
+	if far >= 0 && delta*delta <= r2 {
+		out = t.radius(far, q, r, r2, out)
+	}
+	return out
+}
+
+// Nearest returns the index of the closest point to q and its squared
+// distance; (-1, 0) for an empty tree.
+func (t *KDTree) Nearest(q geom.Vec3) (int32, float64) {
+	if t.root < 0 {
+		return -1, 0
+	}
+	best := int32(-1)
+	bestD2 := 0.0
+	first := true
+	t.nearest(t.root, q, &best, &bestD2, &first)
+	return best, bestD2
+}
+
+func (t *KDTree) nearest(node int32, q geom.Vec3, best *int32, bestD2 *float64, first *bool) {
+	n := &t.nodes[node]
+	t.TraversalSteps++
+	p := t.pts[n.idx]
+	d2 := p.DistSq(q)
+	if *first || d2 < *bestD2 {
+		*best = n.idx
+		*bestD2 = d2
+		*first = false
+	}
+	delta := coord(q, int(n.axis)) - coord(p, int(n.axis))
+	var near, far int32
+	if delta < 0 {
+		near, far = n.left, n.right
+	} else {
+		near, far = n.right, n.left
+	}
+	if near >= 0 {
+		t.nearest(near, q, best, bestD2, first)
+	}
+	if far >= 0 && delta*delta < *bestD2 {
+		t.nearest(far, q, best, bestD2, first)
+	}
+}
+
+// Len returns the number of indexed points.
+func (t *KDTree) Len() int { return len(t.pts) }
+
+// ResetCounters zeroes the traversal-step counter.
+func (t *KDTree) ResetCounters() { t.TraversalSteps = 0 }

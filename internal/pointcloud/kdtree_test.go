@@ -1,0 +1,152 @@
+package pointcloud
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/mathx"
+)
+
+func randomPoints(rng *mathx.RNG, n int, span float64) []geom.Vec3 {
+	pts := make([]geom.Vec3, n)
+	for i := range pts {
+		pts[i] = geom.V3(rng.Range(-span, span), rng.Range(-span, span), rng.Range(-span, span))
+	}
+	return pts
+}
+
+func bruteRadius(pts []geom.Vec3, q geom.Vec3, r float64) []int32 {
+	var out []int32
+	r2 := r * r
+	for i, p := range pts {
+		if p.DistSq(q) <= r2 {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+func sortedEq(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestKDTreeEmpty(t *testing.T) {
+	tree := NewKDTree(nil)
+	if got := tree.Radius(geom.V3(0, 0, 0), 1, nil); len(got) != 0 {
+		t.Errorf("empty radius = %v", got)
+	}
+	if idx, _ := tree.Nearest(geom.V3(0, 0, 0)); idx != -1 {
+		t.Errorf("empty nearest = %d", idx)
+	}
+	if tree.Len() != 0 {
+		t.Errorf("len = %d", tree.Len())
+	}
+}
+
+func TestKDTreeRadiusMatchesBruteForce(t *testing.T) {
+	rng := mathx.NewRNG(13)
+	pts := randomPoints(rng, 500, 20)
+	tree := NewKDTree(pts)
+	for trial := 0; trial < 50; trial++ {
+		q := geom.V3(rng.Range(-20, 20), rng.Range(-20, 20), rng.Range(-20, 20))
+		r := rng.Range(0.5, 8)
+		got := tree.Radius(q, r, nil)
+		want := bruteRadius(pts, q, r)
+		if !sortedEq(got, want) {
+			t.Fatalf("radius mismatch at trial %d: got %d, want %d points", trial, len(got), len(want))
+		}
+	}
+}
+
+func TestKDTreeNearestMatchesBruteForce(t *testing.T) {
+	rng := mathx.NewRNG(17)
+	pts := randomPoints(rng, 300, 15)
+	tree := NewKDTree(pts)
+	for trial := 0; trial < 50; trial++ {
+		q := geom.V3(rng.Range(-15, 15), rng.Range(-15, 15), rng.Range(-15, 15))
+		gotIdx, gotD2 := tree.Nearest(q)
+		bestIdx, bestD2 := -1, 0.0
+		for i, p := range pts {
+			d2 := p.DistSq(q)
+			if bestIdx < 0 || d2 < bestD2 {
+				bestIdx, bestD2 = i, d2
+			}
+		}
+		if gotD2 != bestD2 {
+			t.Fatalf("nearest dist mismatch: got (%d,%v), want (%d,%v)", gotIdx, gotD2, bestIdx, bestD2)
+		}
+	}
+}
+
+func TestKDTreeSinglePoint(t *testing.T) {
+	tree := NewKDTree([]geom.Vec3{geom.V3(1, 2, 3)})
+	idx, d2 := tree.Nearest(geom.V3(1, 2, 4))
+	if idx != 0 || d2 != 1 {
+		t.Errorf("nearest = %d, %v", idx, d2)
+	}
+	got := tree.Radius(geom.V3(1, 2, 3), 0.5, nil)
+	if len(got) != 1 || got[0] != 0 {
+		t.Errorf("radius = %v", got)
+	}
+}
+
+func TestKDTreeDuplicatePoints(t *testing.T) {
+	pts := []geom.Vec3{
+		geom.V3(1, 1, 1), geom.V3(1, 1, 1), geom.V3(1, 1, 1), geom.V3(5, 5, 5),
+	}
+	tree := NewKDTree(pts)
+	got := tree.Radius(geom.V3(1, 1, 1), 0.1, nil)
+	if len(got) != 3 {
+		t.Errorf("duplicates: got %d points", len(got))
+	}
+}
+
+func TestKDTreeTraversalCounter(t *testing.T) {
+	rng := mathx.NewRNG(29)
+	tree := NewKDTree(randomPoints(rng, 200, 10))
+	tree.ResetCounters()
+	if tree.TraversalSteps != 0 {
+		t.Error("counter should reset")
+	}
+	tree.Radius(geom.V3(0, 0, 0), 2, nil)
+	if tree.TraversalSteps == 0 {
+		t.Error("counter should advance during query")
+	}
+}
+
+func TestKDTreeRadiusReusesSlice(t *testing.T) {
+	pts := []geom.Vec3{geom.V3(0, 0, 0), geom.V3(1, 0, 0)}
+	tree := NewKDTree(pts)
+	buf := make([]int32, 0, 16)
+	out := tree.Radius(geom.V3(0, 0, 0), 5, buf)
+	if len(out) != 2 {
+		t.Errorf("radius with buffer = %v", out)
+	}
+}
+
+func TestKDTreePropertyRandomized(t *testing.T) {
+	rng := mathx.NewRNG(41)
+	f := func() bool {
+		n := 1 + rng.Intn(100)
+		pts := randomPoints(rng, n, 5)
+		tree := NewKDTree(pts)
+		q := geom.V3(rng.Range(-5, 5), rng.Range(-5, 5), rng.Range(-5, 5))
+		r := rng.Range(0, 5)
+		return sortedEq(tree.Radius(q, r, nil), bruteRadius(pts, q, r))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

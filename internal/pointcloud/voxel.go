@@ -1,0 +1,165 @@
+package pointcloud
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// VoxelKey identifies a cubic cell of the voxel grid.
+type VoxelKey struct {
+	X, Y, Z int32
+}
+
+// KeyFor returns the voxel containing p for the given leaf size.
+func KeyFor(p geom.Vec3, leaf float64) VoxelKey {
+	return VoxelKey{
+		X: int32(math.Floor(p.X / leaf)),
+		Y: int32(math.Floor(p.Y / leaf)),
+		Z: int32(math.Floor(p.Z / leaf)),
+	}
+}
+
+// VoxelDownsample reduces a cloud to one point per occupied voxel — the
+// centroid of the points that fell in it, as PCL's VoxelGrid does. This
+// is the computational core of the voxel_grid_filter node. It returns
+// the filtered cloud and the number of occupied voxels.
+func VoxelDownsample(c *Cloud, leaf float64) (*Cloud, int) {
+	if leaf <= 0 {
+		panic("pointcloud: non-positive voxel leaf size")
+	}
+	type acc struct {
+		sum       geom.Vec3
+		intensity float64
+		n         int
+		ring      int
+	}
+	cells := make(map[VoxelKey]*acc, c.Len()/4+1)
+	for _, p := range c.Points {
+		k := KeyFor(p.Pos, leaf)
+		a := cells[k]
+		if a == nil {
+			a = &acc{}
+			cells[k] = a
+		}
+		a.sum = a.sum.Add(p.Pos)
+		a.intensity += p.Intensity
+		a.ring = p.Ring
+		a.n++
+	}
+	out := New(len(cells))
+	for _, a := range cells {
+		inv := 1 / float64(a.n)
+		out.Append(Point{
+			Pos:       a.sum.Scale(inv),
+			Intensity: a.intensity * inv,
+			Ring:      a.ring,
+		})
+	}
+	return out, len(cells)
+}
+
+// VoxelStats holds the Gaussian statistics of the points inside one
+// voxel: mean, covariance and its inverse. This is the per-cell model of
+// the Normal Distributions Transform used by ndt_matching and built by
+// the hdmap package.
+type VoxelStats struct {
+	Mean   geom.Vec3
+	Cov    [3][3]float64
+	InvCov [3][3]float64
+	N      int
+	// OK is false when the voxel had too few points or a degenerate
+	// covariance and must be skipped during matching.
+	OK bool
+}
+
+// BuildVoxelStats accumulates per-voxel Gaussian statistics for a cloud.
+// Voxels with fewer than minPoints points are marked not OK.
+func BuildVoxelStats(c *Cloud, leaf float64, minPoints int) map[VoxelKey]*VoxelStats {
+	if leaf <= 0 {
+		panic("pointcloud: non-positive voxel leaf size")
+	}
+	type acc struct {
+		sum geom.Vec3
+		// Upper triangle of the second-moment matrix.
+		xx, xy, xz, yy, yz, zz float64
+		n                      int
+	}
+	cells := make(map[VoxelKey]*acc)
+	for _, p := range c.Points {
+		k := KeyFor(p.Pos, leaf)
+		a := cells[k]
+		if a == nil {
+			a = &acc{}
+			cells[k] = a
+		}
+		v := p.Pos
+		a.sum = a.sum.Add(v)
+		a.xx += v.X * v.X
+		a.xy += v.X * v.Y
+		a.xz += v.X * v.Z
+		a.yy += v.Y * v.Y
+		a.yz += v.Y * v.Z
+		a.zz += v.Z * v.Z
+		a.n++
+	}
+	out := make(map[VoxelKey]*VoxelStats, len(cells))
+	for k, a := range cells {
+		vs := &VoxelStats{N: a.n}
+		inv := 1 / float64(a.n)
+		m := a.sum.Scale(inv)
+		vs.Mean = m
+		if a.n >= minPoints {
+			cov := [3][3]float64{
+				{a.xx*inv - m.X*m.X, a.xy*inv - m.X*m.Y, a.xz*inv - m.X*m.Z},
+				{a.xy*inv - m.X*m.Y, a.yy*inv - m.Y*m.Y, a.yz*inv - m.Y*m.Z},
+				{a.xz*inv - m.X*m.Z, a.yz*inv - m.Y*m.Z, a.zz*inv - m.Z*m.Z},
+			}
+			// Regularize: NDT implementations inflate near-singular
+			// covariances so planar surfaces (rank-2 covariance) stay
+			// invertible while preserving the anisotropy that makes the
+			// match informative. The floor scales with the total spread
+			// of the cell, echoing PCL's eigenvalue clamping.
+			minVar := math.Max(1e-4, 0.004*(cov[0][0]+cov[1][1]+cov[2][2]))
+			for i := 0; i < 3; i++ {
+				cov[i][i] += minVar
+			}
+			vs.Cov = cov
+			if ic, ok := invert3(cov); ok {
+				vs.InvCov = ic
+				vs.OK = true
+			}
+		}
+		out[k] = vs
+	}
+	return out
+}
+
+// invert3 inverts a 3x3 matrix via the adjugate; ok is false when the
+// determinant is numerically zero.
+func invert3(m [3][3]float64) ([3][3]float64, bool) {
+	a, b, c := m[0][0], m[0][1], m[0][2]
+	d, e, f := m[1][0], m[1][1], m[1][2]
+	g, h, i := m[2][0], m[2][1], m[2][2]
+	det := a*(e*i-f*h) - b*(d*i-f*g) + c*(d*h-e*g)
+	if math.Abs(det) < 1e-12 {
+		return [3][3]float64{}, false
+	}
+	inv := 1 / det
+	return [3][3]float64{
+		{(e*i - f*h) * inv, (c*h - b*i) * inv, (b*f - c*e) * inv},
+		{(f*g - d*i) * inv, (a*i - c*g) * inv, (c*d - a*f) * inv},
+		{(d*h - e*g) * inv, (b*g - a*h) * inv, (a*e - b*d) * inv},
+	}, true
+}
+
+// MahalanobisSq returns (p-mean)' InvCov (p-mean) for the voxel model.
+func (vs *VoxelStats) MahalanobisSq(p geom.Vec3) float64 {
+	d := p.Sub(vs.Mean)
+	v := [3]float64{d.X, d.Y, d.Z}
+	var t [3]float64
+	for i := 0; i < 3; i++ {
+		t[i] = vs.InvCov[i][0]*v[0] + vs.InvCov[i][1]*v[1] + vs.InvCov[i][2]*v[2]
+	}
+	return v[0]*t[0] + v[1]*t[1] + v[2]*t[2]
+}

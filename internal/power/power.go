@@ -1,0 +1,173 @@
+// Package power models platform power draw and implements the
+// atop/nvidia-smi-style 1 Hz samplers the paper's Tables V and VI are
+// built from: per-interval CPU/GPU utilization and power readings,
+// plus whole-run per-node utilization shares.
+package power
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/mathx"
+	"repro/internal/platform"
+)
+
+// CPUModel parameterizes socket power: idle floor plus a per-active-core
+// dynamic term.
+type CPUModel struct {
+	Idle          float64 // watts with no load
+	PerCoreActive float64 // watts per fully busy core
+}
+
+// DefaultCPUModel approximates the paper's desktop part (~43 W mean
+// under the stack's light load).
+func DefaultCPUModel() CPUModel {
+	return CPUModel{Idle: 37, PerCoreActive: 5.5}
+}
+
+// Sample is one 1 Hz reading.
+type Sample struct {
+	At      time.Duration
+	CPUUtil float64 // busy cores / total cores, 0..1
+	GPUUtil float64 // busy fraction, 0..1
+	CPUW    float64
+	GPUW    float64
+}
+
+// Sampler periodically reads the platform counters, like the paper's
+// atop + nvidia-smi loop.
+type Sampler struct {
+	cpuModel CPUModel
+	cpu      *platform.CPU
+	gpu      *platform.GPU
+	interval time.Duration
+
+	samples []Sample
+
+	lastCPUBusy float64
+	lastGPUBusy float64
+	lastGPUDynE float64
+}
+
+// NewSampler builds a sampler; call Start to begin the 1 Hz schedule.
+func NewSampler(cpuModel CPUModel, cpu *platform.CPU, gpu *platform.GPU) *Sampler {
+	return &Sampler{
+		cpuModel: cpuModel,
+		cpu:      cpu,
+		gpu:      gpu,
+		interval: time.Second,
+	}
+}
+
+// Start schedules periodic sampling on the simulation.
+func (s *Sampler) Start(sim *platform.Sim) {
+	var tick func()
+	tick = func() {
+		s.take(sim.Now())
+		sim.After(s.interval, tick)
+	}
+	sim.After(s.interval, tick)
+}
+
+func (s *Sampler) take(at time.Duration) {
+	sec := s.interval.Seconds()
+	cpuBusy := s.cpu.BusyTotal()
+	gpuBusy := s.gpu.BusyTotal()
+	gpuDynE := s.gpu.DynEnergy()
+
+	busyCores := (cpuBusy - s.lastCPUBusy) / sec
+	gpuFrac := (gpuBusy - s.lastGPUBusy) / sec
+	if gpuFrac > 1 {
+		gpuFrac = 1
+	}
+	dynW := (gpuDynE - s.lastGPUDynE) / sec
+
+	s.samples = append(s.samples, Sample{
+		At:      at,
+		CPUUtil: busyCores / float64(s.cpu.Config().Cores),
+		GPUUtil: gpuFrac,
+		CPUW:    s.cpuModel.Idle + s.cpuModel.PerCoreActive*busyCores,
+		GPUW:    s.gpu.Config().IdlePower + dynW,
+	})
+	s.lastCPUBusy = cpuBusy
+	s.lastGPUBusy = gpuBusy
+	s.lastGPUDynE = gpuDynE
+}
+
+// Samples returns the collected series.
+func (s *Sampler) Samples() []Sample { return s.samples }
+
+// MeanCPUPower returns the average CPU power over all samples.
+func (s *Sampler) MeanCPUPower() float64 { return s.mean(func(x Sample) float64 { return x.CPUW }) }
+
+// MeanGPUPower returns the average GPU power over all samples.
+func (s *Sampler) MeanGPUPower() float64 { return s.mean(func(x Sample) float64 { return x.GPUW }) }
+
+// MeanCPUUtil returns the average CPU utilization (0..1).
+func (s *Sampler) MeanCPUUtil() float64 { return s.mean(func(x Sample) float64 { return x.CPUUtil }) }
+
+// MeanGPUUtil returns the average GPU utilization (0..1).
+func (s *Sampler) MeanGPUUtil() float64 { return s.mean(func(x Sample) float64 { return x.GPUUtil }) }
+
+func (s *Sampler) mean(f func(Sample) float64) float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	var w mathx.Welford
+	for _, smp := range s.samples {
+		w.Add(f(smp))
+	}
+	return w.Mean()
+}
+
+// Energy integrates total energy in joules over the sampled window.
+func (s *Sampler) Energy() float64 {
+	sec := s.interval.Seconds()
+	var e float64
+	for _, smp := range s.samples {
+		e += (smp.CPUW + smp.GPUW) * sec
+	}
+	return e
+}
+
+// UtilizationRow is one row of the Table V-style report.
+type UtilizationRow struct {
+	Node     string
+	CPUShare float64 // core-seconds / (cores * horizon), like atop %CPU/cores
+	GPUShare float64 // busy-seconds / horizon
+}
+
+// UtilizationReport summarizes per-node platform shares over a horizon,
+// sorted by CPU share descending (the Table V ordering).
+func UtilizationReport(cpu *platform.CPU, gpu *platform.GPU, horizon time.Duration) []UtilizationRow {
+	sec := horizon.Seconds()
+	if sec <= 0 {
+		return nil
+	}
+	rows := map[string]*UtilizationRow{}
+	get := func(name string) *UtilizationRow {
+		r := rows[name]
+		if r == nil {
+			r = &UtilizationRow{Node: name}
+			rows[name] = r
+		}
+		return r
+	}
+	for node, busy := range cpu.BusyByOwner() {
+		get(node).CPUShare = busy / sec / float64(cpu.Config().Cores)
+	}
+	for node, busy := range gpu.BusyByOwner() {
+		get(node).GPUShare = busy / sec
+	}
+	out := make([]UtilizationRow, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].CPUShare != out[j].CPUShare {
+			return out[i].CPUShare > out[j].CPUShare
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}

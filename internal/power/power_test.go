@@ -1,0 +1,96 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/platform"
+	"repro/internal/work"
+)
+
+func TestSamplerIdleReadsIdlePower(t *testing.T) {
+	sim := platform.NewSim()
+	cpu := platform.NewCPU(platform.DefaultCPUConfig(), sim)
+	gpu := platform.NewGPU(platform.DefaultGPUConfig(), sim)
+	s := NewSampler(DefaultCPUModel(), cpu, gpu)
+	s.Start(sim)
+	sim.Run(5 * time.Second)
+	if len(s.Samples()) != 5 {
+		t.Fatalf("samples = %d", len(s.Samples()))
+	}
+	if got := s.MeanCPUPower(); got != DefaultCPUModel().Idle {
+		t.Errorf("idle CPU power = %v", got)
+	}
+	if got := s.MeanGPUPower(); got != gpu.Config().IdlePower {
+		t.Errorf("idle GPU power = %v", got)
+	}
+	if s.MeanCPUUtil() != 0 || s.MeanGPUUtil() != 0 {
+		t.Error("idle utilization should be zero")
+	}
+}
+
+func TestSamplerTracksLoad(t *testing.T) {
+	sim := platform.NewSim()
+	cpu := platform.NewCPU(platform.DefaultCPUConfig(), sim)
+	gpu := platform.NewGPU(platform.DefaultGPUConfig(), sim)
+	s := NewSampler(DefaultCPUModel(), cpu, gpu)
+	s.Start(sim)
+	// Keep one core fully busy: submit a 10-second task.
+	cpu.Submit("hog", 10, 0, func() {})
+	// Keep the GPU ~50% busy: a 0.5 s dense kernel each second.
+	for i := 0; i < 10; i++ {
+		at := time.Duration(i) * time.Second
+		sim.Schedule(at, func() {
+			gpu.Submit("g", []work.GPUKernel{{FMAs: 4.4e12 * 0.5 * 0.6, Efficiency: 0.6}})
+		})
+	}
+	sim.Run(10 * time.Second)
+	wantCPUUtil := 1.0 / float64(cpu.Config().Cores)
+	if got := s.MeanCPUUtil(); math.Abs(got-wantCPUUtil) > 0.01 {
+		t.Errorf("cpu util = %v, want %v", got, wantCPUUtil)
+	}
+	if got := s.MeanGPUUtil(); math.Abs(got-0.5) > 0.05 {
+		t.Errorf("gpu util = %v, want ~0.5", got)
+	}
+	// CPU power = idle + 1 core active.
+	m := DefaultCPUModel()
+	if got := s.MeanCPUPower(); math.Abs(got-(m.Idle+m.PerCoreActive)) > 0.5 {
+		t.Errorf("cpu power = %v", got)
+	}
+	// GPU power > idle under load.
+	if s.MeanGPUPower() <= gpu.Config().IdlePower+10 {
+		t.Errorf("gpu power = %v", s.MeanGPUPower())
+	}
+	if s.Energy() <= 0 {
+		t.Error("energy should accumulate")
+	}
+}
+
+func TestUtilizationReport(t *testing.T) {
+	sim := platform.NewSim()
+	cpu := platform.NewCPU(platform.DefaultCPUConfig(), sim)
+	gpu := platform.NewGPU(platform.DefaultGPUConfig(), sim)
+	cpu.Submit("big", 4, 0, func() {})
+	cpu.Submit("small", 1, 0, func() {})
+	gpu.Submit("big", []work.GPUKernel{{FMAs: 4.4e12, Efficiency: 1}}) // 1 s
+	sim.Run(10 * time.Second)
+	rows := UtilizationReport(cpu, gpu, 10*time.Second)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	// Sorted by CPU share descending.
+	if rows[0].Node != "big" || rows[1].Node != "small" {
+		t.Errorf("ordering = %v, %v", rows[0].Node, rows[1].Node)
+	}
+	wantBig := 4.0 / 10 / float64(cpu.Config().Cores)
+	if math.Abs(rows[0].CPUShare-wantBig) > 1e-6 {
+		t.Errorf("big cpu share = %v, want %v", rows[0].CPUShare, wantBig)
+	}
+	if math.Abs(rows[0].GPUShare-0.1) > 1e-4 { // launch overhead included
+		t.Errorf("big gpu share = %v, want 0.1", rows[0].GPUShare)
+	}
+	if UtilizationReport(cpu, gpu, 0) != nil {
+		t.Error("zero horizon should yield nil")
+	}
+}

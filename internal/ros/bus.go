@@ -1,0 +1,178 @@
+package ros
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// SubSpec declares one subscription of a node: the topic it listens to
+// and the queue depth for that subscription. Autoware nodes typically
+// use shallow queues (depth 1-10), which is exactly what makes message
+// dropping observable under load.
+type SubSpec struct {
+	Topic string
+	Depth int
+}
+
+// Subscription is a live binding of a subscriber node to a topic.
+type Subscription struct {
+	Topic      string
+	Subscriber string
+	Queue      *Queue
+}
+
+// Bus is the middleware fabric: it owns every topic and delivers
+// published messages into subscriber queues. The Bus itself is
+// timing-free; the platform layer decides *when* publishes happen and
+// models the transport/serialization delay.
+type Bus struct {
+	topics map[string]*topicState
+	// subsByNode indexes subscriptions per subscriber for executors.
+	subsByNode map[string][]*Subscription
+	// onDeliver, when set, observes every enqueue (for tracing).
+	onDeliver func(sub *Subscription, m *Message)
+	// onDrop observes every eviction.
+	onDrop func(sub *Subscription, evicted *Message)
+	// stats, when enabled, accumulates per-topic traffic counters.
+	stats *statsCollector
+}
+
+type topicState struct {
+	name string
+	seq  uint64
+	subs []*Subscription
+}
+
+// NewBus creates an empty fabric.
+func NewBus() *Bus {
+	return &Bus{
+		topics:     make(map[string]*topicState),
+		subsByNode: make(map[string][]*Subscription),
+	}
+}
+
+// Subscribe registers a subscriber queue on a topic, creating the topic
+// on first use.
+func (b *Bus) Subscribe(nodeName string, spec SubSpec) *Subscription {
+	ts := b.topic(spec.Topic)
+	sub := &Subscription{
+		Topic:      spec.Topic,
+		Subscriber: nodeName,
+		Queue:      NewQueue(spec.Depth),
+	}
+	ts.subs = append(ts.subs, sub)
+	b.subsByNode[nodeName] = append(b.subsByNode[nodeName], sub)
+	return sub
+}
+
+func (b *Bus) topic(name string) *topicState {
+	ts := b.topics[name]
+	if ts == nil {
+		ts = &topicState{name: name}
+		b.topics[name] = ts
+	}
+	return ts
+}
+
+// Publish stamps the message and delivers it to every subscriber queue.
+// It returns the number of subscribers reached.
+func (b *Bus) Publish(topic string, stamp time.Duration, payload any, origins []Origin) int {
+	ts := b.topic(topic)
+	ts.seq++
+	m := &Message{
+		Topic: topic,
+		Header: Header{
+			Seq:     ts.seq,
+			Stamp:   stamp,
+			Origins: origins,
+		},
+		Payload: payload,
+	}
+	b.recordPublish(ts, stamp, payload)
+	for _, sub := range ts.subs {
+		evicted := sub.Queue.Push(m)
+		if evicted != nil && b.onDrop != nil {
+			b.onDrop(sub, evicted)
+		}
+		if b.onDeliver != nil {
+			b.onDeliver(sub, m)
+		}
+	}
+	return len(ts.subs)
+}
+
+// SetObservers installs delivery/drop hooks (either may be nil).
+func (b *Bus) SetObservers(onDeliver func(*Subscription, *Message), onDrop func(*Subscription, *Message)) {
+	b.onDeliver = onDeliver
+	b.onDrop = onDrop
+}
+
+// SubscriptionsOf returns the subscriptions held by a node, in
+// registration order.
+func (b *Bus) SubscriptionsOf(nodeName string) []*Subscription {
+	return b.subsByNode[nodeName]
+}
+
+// DropReport is one row of the dropped-message table.
+type DropReport struct {
+	Topic      string
+	Subscriber string
+	Arrived    uint64
+	Dropped    uint64
+	Rate       float64
+}
+
+// DropReports returns drop statistics for every subscription that saw
+// at least one arrival, sorted by topic then subscriber.
+func (b *Bus) DropReports() []DropReport {
+	var out []DropReport
+	for _, ts := range b.topics {
+		for _, sub := range ts.subs {
+			arrived, _, dropped := sub.Queue.Stats()
+			if arrived == 0 {
+				continue
+			}
+			out = append(out, DropReport{
+				Topic:      ts.name,
+				Subscriber: sub.Subscriber,
+				Arrived:    arrived,
+				Dropped:    dropped,
+				Rate:       sub.Queue.DropRate(),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Topic != out[j].Topic {
+			return out[i].Topic < out[j].Topic
+		}
+		return out[i].Subscriber < out[j].Subscriber
+	})
+	return out
+}
+
+// Topics returns the sorted list of known topic names.
+func (b *Bus) Topics() []string {
+	out := make([]string, 0, len(b.topics))
+	for name := range b.topics {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Validate checks that every topic referenced by a subscription exists
+// (trivially true by construction) and that no node subscribed twice to
+// the same topic, which would double-process messages.
+func (b *Bus) Validate() error {
+	for node, subs := range b.subsByNode {
+		seen := map[string]bool{}
+		for _, s := range subs {
+			if seen[s.Topic] {
+				return fmt.Errorf("ros: node %q subscribed twice to %q", node, s.Topic)
+			}
+			seen[s.Topic] = true
+		}
+	}
+	return nil
+}

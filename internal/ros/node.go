@@ -1,0 +1,40 @@
+package ros
+
+import (
+	"time"
+
+	"repro/internal/work"
+)
+
+// Output is one message a node wants published after a callback.
+type Output struct {
+	Topic   string
+	Payload any
+	FrameID string
+}
+
+// Result is everything a callback execution produced: the outputs to
+// publish, the machine work the computation represents, and — for nodes
+// that fuse internally cached inputs from other topics — the extra
+// input messages whose origin lineage the outputs inherit.
+type Result struct {
+	Outputs []Output
+	Work    work.Work
+	// FusedInputs lists previously received messages (from other
+	// subscriptions) whose origins must be merged into the outputs'
+	// lineage, in addition to the triggering input.
+	FusedInputs []*Message
+}
+
+// Node is a computation unit in the graph. Process is pure computation:
+// it must not block or sleep — the platform layer assigns it virtual
+// time based on the returned Work.
+type Node interface {
+	// Name returns the unique node name (matches the paper's node names).
+	Name() string
+	// Subscribes declares the node's input topics and queue depths.
+	Subscribes() []SubSpec
+	// Process handles one input message and returns outputs and cost.
+	// now is the virtual time at which the callback started.
+	Process(in *Message, now time.Duration) Result
+}

@@ -1,0 +1,82 @@
+package ros
+
+// Queue is a bounded FIFO of messages with ROS subscriber semantics:
+// when a new message arrives at a full queue, the oldest queued message
+// is dropped to make room. Dropped and delivered counts feed the
+// dropped-message statistics of Table III.
+type Queue struct {
+	depth int
+	buf   []*Message
+	head  int
+	count int
+
+	delivered uint64 // total pushes that ultimately got consumed or queued
+	dropped   uint64 // messages evicted before consumption
+	arrived   uint64 // total pushes
+}
+
+// NewQueue creates a queue with the given depth (>= 1).
+func NewQueue(depth int) *Queue {
+	if depth < 1 {
+		panic("ros: queue depth must be >= 1")
+	}
+	return &Queue{depth: depth, buf: make([]*Message, depth)}
+}
+
+// Push enqueues m, evicting the oldest message when full. It returns
+// the evicted message (nil when nothing was dropped).
+func (q *Queue) Push(m *Message) *Message {
+	q.arrived++
+	var evicted *Message
+	if q.count == q.depth {
+		evicted = q.buf[q.head]
+		q.buf[q.head] = nil
+		q.head = (q.head + 1) % q.depth
+		q.count--
+		q.dropped++
+	}
+	tail := (q.head + q.count) % q.depth
+	q.buf[tail] = m
+	q.count++
+	return evicted
+}
+
+// Pop removes and returns the oldest message, or nil when empty.
+func (q *Queue) Pop() *Message {
+	if q.count == 0 {
+		return nil
+	}
+	m := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % q.depth
+	q.count--
+	q.delivered++
+	return m
+}
+
+// Peek returns the oldest message without removing it, or nil.
+func (q *Queue) Peek() *Message {
+	if q.count == 0 {
+		return nil
+	}
+	return q.buf[q.head]
+}
+
+// Len returns the number of queued messages.
+func (q *Queue) Len() int { return q.count }
+
+// Depth returns the configured capacity.
+func (q *Queue) Depth() int { return q.depth }
+
+// Stats returns (arrived, delivered, dropped) counts.
+func (q *Queue) Stats() (arrived, delivered, dropped uint64) {
+	return q.arrived, q.delivered, q.dropped
+}
+
+// DropRate returns dropped/arrived in [0, 1]; 0 when nothing arrived.
+func (q *Queue) DropRate() float64 {
+	if q.arrived == 0 {
+		return 0
+	}
+	return float64(q.dropped) / float64(q.arrived)
+}

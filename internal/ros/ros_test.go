@@ -1,0 +1,313 @@
+package ros
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue(3)
+	for i := 1; i <= 3; i++ {
+		if evicted := q.Push(&Message{Header: Header{Seq: uint64(i)}}); evicted != nil {
+			t.Fatalf("unexpected eviction at %d", i)
+		}
+	}
+	for i := 1; i <= 3; i++ {
+		m := q.Pop()
+		if m == nil || m.Header.Seq != uint64(i) {
+			t.Fatalf("pop %d = %v", i, m)
+		}
+	}
+	if q.Pop() != nil {
+		t.Error("empty pop should be nil")
+	}
+}
+
+func TestQueueDropOldest(t *testing.T) {
+	q := NewQueue(2)
+	q.Push(&Message{Header: Header{Seq: 1}})
+	q.Push(&Message{Header: Header{Seq: 2}})
+	evicted := q.Push(&Message{Header: Header{Seq: 3}})
+	if evicted == nil || evicted.Header.Seq != 1 {
+		t.Fatalf("evicted = %v", evicted)
+	}
+	arrived, delivered, dropped := q.Stats()
+	if arrived != 3 || dropped != 1 || delivered != 0 {
+		t.Errorf("stats = %d %d %d", arrived, delivered, dropped)
+	}
+	if m := q.Pop(); m.Header.Seq != 2 {
+		t.Errorf("head after drop = %v", m)
+	}
+	if got := q.DropRate(); got != 1.0/3.0 {
+		t.Errorf("drop rate = %v", got)
+	}
+}
+
+func TestQueuePeek(t *testing.T) {
+	q := NewQueue(2)
+	if q.Peek() != nil {
+		t.Error("peek empty should be nil")
+	}
+	q.Push(&Message{Header: Header{Seq: 9}})
+	if q.Peek().Header.Seq != 9 || q.Len() != 1 {
+		t.Error("peek should not consume")
+	}
+}
+
+func TestQueueDepthOne(t *testing.T) {
+	q := NewQueue(1)
+	q.Push(&Message{Header: Header{Seq: 1}})
+	ev := q.Push(&Message{Header: Header{Seq: 2}})
+	if ev == nil || ev.Header.Seq != 1 {
+		t.Errorf("depth-1 eviction = %v", ev)
+	}
+	if q.Pop().Header.Seq != 2 {
+		t.Error("latest should survive")
+	}
+}
+
+func TestQueueInvariantProperty(t *testing.T) {
+	f := func(ops []bool, depthRaw uint8) bool {
+		depth := int(depthRaw%8) + 1
+		q := NewQueue(depth)
+		seq := uint64(0)
+		var model []uint64 // reference FIFO
+		for _, push := range ops {
+			if push {
+				seq++
+				q.Push(&Message{Header: Header{Seq: seq}})
+				model = append(model, seq)
+				if len(model) > depth {
+					model = model[1:]
+				}
+			} else {
+				m := q.Pop()
+				if len(model) == 0 {
+					if m != nil {
+						return false
+					}
+				} else {
+					if m == nil || m.Header.Seq != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			}
+			if q.Len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQueuePanicsOnBadDepth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewQueue(0)
+}
+
+func TestBusPublishDeliver(t *testing.T) {
+	b := NewBus()
+	s1 := b.Subscribe("nodeA", SubSpec{Topic: "/points_raw", Depth: 2})
+	s2 := b.Subscribe("nodeB", SubSpec{Topic: "/points_raw", Depth: 2})
+	n := b.Publish("/points_raw", time.Millisecond, "payload", nil)
+	if n != 2 {
+		t.Errorf("reached %d subscribers", n)
+	}
+	m1, m2 := s1.Queue.Pop(), s2.Queue.Pop()
+	if m1 == nil || m2 == nil || m1 != m2 {
+		t.Error("both subscribers should see the same message value")
+	}
+	if m1.Header.Seq != 1 || m1.Header.Stamp != time.Millisecond {
+		t.Errorf("header = %+v", m1.Header)
+	}
+	// Second publish increments seq.
+	b.Publish("/points_raw", 2*time.Millisecond, "p2", nil)
+	if s1.Queue.Pop().Header.Seq != 2 {
+		t.Error("seq should increment per topic")
+	}
+}
+
+func TestBusPublishNoSubscribers(t *testing.T) {
+	b := NewBus()
+	if n := b.Publish("/nothing", 0, "x", nil); n != 0 {
+		t.Errorf("reached %d", n)
+	}
+}
+
+func TestBusObservers(t *testing.T) {
+	b := NewBus()
+	b.Subscribe("n", SubSpec{Topic: "/t", Depth: 1})
+	var delivers, drops int
+	b.SetObservers(
+		func(sub *Subscription, m *Message) { delivers++ },
+		func(sub *Subscription, m *Message) { drops++ },
+	)
+	b.Publish("/t", 0, 1, nil)
+	b.Publish("/t", 0, 2, nil) // evicts the first
+	if delivers != 2 || drops != 1 {
+		t.Errorf("delivers=%d drops=%d", delivers, drops)
+	}
+}
+
+func TestBusDropReports(t *testing.T) {
+	b := NewBus()
+	b.Subscribe("slow", SubSpec{Topic: "/image_raw", Depth: 1})
+	for i := 0; i < 10; i++ {
+		b.Publish("/image_raw", time.Duration(i), i, nil)
+	}
+	reports := b.DropReports()
+	if len(reports) != 1 {
+		t.Fatalf("reports = %+v", reports)
+	}
+	r := reports[0]
+	if r.Topic != "/image_raw" || r.Subscriber != "slow" || r.Arrived != 10 || r.Dropped != 9 {
+		t.Errorf("report = %+v", r)
+	}
+}
+
+func TestBusValidateDoubleSubscribe(t *testing.T) {
+	b := NewBus()
+	b.Subscribe("n", SubSpec{Topic: "/t", Depth: 1})
+	if err := b.Validate(); err != nil {
+		t.Errorf("single subscribe should validate: %v", err)
+	}
+	b.Subscribe("n", SubSpec{Topic: "/t", Depth: 1})
+	if err := b.Validate(); err == nil {
+		t.Error("double subscribe should fail validation")
+	}
+}
+
+func TestMergeOrigins(t *testing.T) {
+	m1 := &Message{Header: Header{Origins: []Origin{{Topic: "/points_raw", Stamp: 100}}}}
+	m2 := &Message{Header: Header{Origins: []Origin{
+		{Topic: "/image_raw", Stamp: 50},
+		{Topic: "/points_raw", Stamp: 200},
+	}}}
+	merged := MergeOrigins(m1, m2, nil)
+	if len(merged) != 2 {
+		t.Fatalf("merged = %+v", merged)
+	}
+	byTopic := map[string]time.Duration{}
+	for _, o := range merged {
+		byTopic[o.Topic] = o.Stamp
+	}
+	if byTopic["/points_raw"] != 100 {
+		t.Errorf("earliest stamp should win: %v", byTopic["/points_raw"])
+	}
+	if byTopic["/image_raw"] != 50 {
+		t.Errorf("image origin = %v", byTopic["/image_raw"])
+	}
+}
+
+func TestBagRoundTrip(t *testing.T) {
+	RegisterBagType("")
+	var buf bytes.Buffer
+	w, err := NewBagWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []BagRecord{
+		{Topic: "/b", Stamp: 20, Payload: "two"},
+		{Topic: "/a", Stamp: 10, Payload: "one"},
+		{Topic: "/c", Stamp: 30, Payload: "three"},
+	}
+	for _, rec := range recs {
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 3 {
+		t.Errorf("count = %d", w.Count())
+	}
+	r, err := NewBagReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d records", len(got))
+	}
+	// ReadAll sorts by stamp.
+	if got[0].Topic != "/a" || got[1].Topic != "/b" || got[2].Topic != "/c" {
+		t.Errorf("order = %v %v %v", got[0].Topic, got[1].Topic, got[2].Topic)
+	}
+	if got[0].Payload != "one" {
+		t.Errorf("payload = %v", got[0].Payload)
+	}
+}
+
+func TestBagReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewBagReader(bytes.NewReader([]byte("not a bag"))); err == nil {
+		t.Error("garbage should fail")
+	}
+}
+
+func TestBagNextEOF(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewBagWriter(&buf)
+	_ = w
+	r, err := NewBagReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); !errors.Is(err, io.EOF) {
+		t.Errorf("want EOF, got %v", err)
+	}
+}
+
+func TestTopicStats(t *testing.T) {
+	b := NewBus()
+	if b.TopicStats() != nil {
+		t.Error("stats should be nil before EnableStats")
+	}
+	b.EnableStats(func(payload any) float64 {
+		if s, ok := payload.(string); ok {
+			return float64(len(s))
+		}
+		return 0
+	})
+	b.Subscribe("n", SubSpec{Topic: "/t", Depth: 4})
+	// 11 messages over 1 second: 10 Hz.
+	for i := 0; i <= 10; i++ {
+		b.Publish("/t", time.Duration(i)*100*time.Millisecond, "xxxx", nil)
+	}
+	stats := b.TopicStats()
+	if len(stats) != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	s := stats[0]
+	if s.Topic != "/t" || s.Messages != 11 || s.Subscribers != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if r := s.Rate(); r < 9.9 || r > 10.1 {
+		t.Errorf("rate = %v", r)
+	}
+	if bw := s.Bandwidth(); bw < 43 || bw > 45 { // 44 bytes over 1 s
+		t.Errorf("bandwidth = %v", bw)
+	}
+}
+
+func TestTopicStatsDegenerate(t *testing.T) {
+	b := NewBus()
+	b.EnableStats(nil)
+	b.Publish("/solo", time.Second, 1, nil)
+	s := b.TopicStats()[0]
+	if s.Rate() != 0 || s.Bandwidth() != 0 {
+		t.Errorf("single-message stats should have zero rate/bw: %+v", s)
+	}
+}

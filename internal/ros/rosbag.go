@@ -1,0 +1,113 @@
+package ros
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// BagRecord is one recorded message: the topic, the capture time and
+// the payload. Payload types must be registered with RegisterBagType
+// before writing or reading.
+type BagRecord struct {
+	Topic   string
+	Stamp   time.Duration
+	FrameID string
+	Payload any
+}
+
+// RegisterBagType registers a payload type for bag serialization. Call
+// once per concrete payload type (typically from an init function in
+// the message-definition package).
+func RegisterBagType(value any) {
+	gob.Register(value)
+}
+
+// BagWriter streams records to an underlying writer.
+type BagWriter struct {
+	enc   *gob.Encoder
+	count int
+}
+
+// NewBagWriter wraps w. The header is written immediately.
+func NewBagWriter(w io.Writer) (*BagWriter, error) {
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(bagHeader{Magic: bagMagic, Version: 1}); err != nil {
+		return nil, fmt.Errorf("ros: writing bag header: %w", err)
+	}
+	return &BagWriter{enc: enc}, nil
+}
+
+type bagHeader struct {
+	Magic   string
+	Version int
+}
+
+const bagMagic = "AVBAG"
+
+// Write appends one record.
+func (bw *BagWriter) Write(rec BagRecord) error {
+	if err := bw.enc.Encode(rec); err != nil {
+		return fmt.Errorf("ros: writing bag record: %w", err)
+	}
+	bw.count++
+	return nil
+}
+
+// Count returns the number of records written.
+func (bw *BagWriter) Count() int { return bw.count }
+
+// BagReader reads records back.
+type BagReader struct {
+	dec *gob.Decoder
+}
+
+// NewBagReader wraps r and validates the header.
+func NewBagReader(r io.Reader) (*BagReader, error) {
+	dec := gob.NewDecoder(r)
+	var h bagHeader
+	if err := dec.Decode(&h); err != nil {
+		return nil, fmt.Errorf("ros: reading bag header: %w", err)
+	}
+	if h.Magic != bagMagic {
+		return nil, fmt.Errorf("ros: not a bag file (magic %q)", h.Magic)
+	}
+	if h.Version != 1 {
+		return nil, fmt.Errorf("ros: unsupported bag version %d", h.Version)
+	}
+	return &BagReader{dec: dec}, nil
+}
+
+// Next returns the next record, or io.EOF at end of bag.
+func (br *BagReader) Next() (BagRecord, error) {
+	var rec BagRecord
+	err := br.dec.Decode(&rec)
+	if errors.Is(err, io.EOF) {
+		return rec, io.EOF
+	}
+	if err != nil {
+		return rec, fmt.Errorf("ros: reading bag record: %w", err)
+	}
+	return rec, nil
+}
+
+// ReadAll drains the reader, returning records sorted by stamp (stable
+// for equal stamps, preserving recording order).
+func (br *BagReader) ReadAll() ([]BagRecord, error) {
+	var out []BagRecord
+	for {
+		rec, err := br.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Stamp < out[j].Stamp })
+	return out, nil
+}

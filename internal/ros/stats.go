@@ -1,0 +1,88 @@
+package ros
+
+import (
+	"sort"
+	"time"
+)
+
+// TopicStats summarizes one topic's traffic, the `rostopic hz/bw`
+// style observability used by the bag tool and the stack's reporting.
+type TopicStats struct {
+	Topic       string
+	Messages    uint64
+	Subscribers int
+	// First and Last are the stamps of the earliest/latest publication.
+	First, Last time.Duration
+	// Bytes is accumulated payload volume (when a sizer is installed).
+	Bytes float64
+}
+
+// Rate returns the mean publication rate in Hz over the observed span.
+func (s TopicStats) Rate() float64 {
+	span := (s.Last - s.First).Seconds()
+	if span <= 0 || s.Messages < 2 {
+		return 0
+	}
+	return float64(s.Messages-1) / span
+}
+
+// Bandwidth returns mean payload bytes/second over the observed span.
+func (s TopicStats) Bandwidth() float64 {
+	span := (s.Last - s.First).Seconds()
+	if span <= 0 {
+		return 0
+	}
+	return s.Bytes / span
+}
+
+// statsCollector accumulates per-topic counters inside the bus.
+type statsCollector struct {
+	byTopic map[string]*TopicStats
+	sizer   func(payload any) float64
+}
+
+// EnableStats turns on per-topic accounting. sizer estimates payload
+// bytes (nil counts zero bytes but still tracks rates).
+func (b *Bus) EnableStats(sizer func(payload any) float64) {
+	b.stats = &statsCollector{
+		byTopic: make(map[string]*TopicStats),
+		sizer:   sizer,
+	}
+}
+
+// recordPublish updates stats for one publication (no-op when disabled).
+func (b *Bus) recordPublish(ts *topicState, stamp time.Duration, payload any) {
+	if b.stats == nil {
+		return
+	}
+	s := b.stats.byTopic[ts.name]
+	if s == nil {
+		s = &TopicStats{Topic: ts.name, First: stamp}
+		b.stats.byTopic[ts.name] = s
+	}
+	s.Messages++
+	s.Subscribers = len(ts.subs)
+	if stamp < s.First {
+		s.First = stamp
+	}
+	if stamp > s.Last {
+		s.Last = stamp
+	}
+	if b.stats.sizer != nil {
+		s.Bytes += b.stats.sizer(payload)
+	}
+}
+
+// TopicStats returns per-topic statistics sorted by topic name; nil
+// when stats were never enabled.
+func (b *Bus) TopicStats() []TopicStats {
+	if b.stats == nil {
+		return nil
+	}
+	out := make([]TopicStats, 0, len(b.stats.byTopic))
+	for _, s := range b.stats.byTopic {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Topic < out[j].Topic })
+	return out
+}

@@ -1,0 +1,234 @@
+package sensor
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/mathx"
+	"repro/internal/world"
+)
+
+// Image is a dense RGB image in planar (channel, row, col) layout with
+// float32 pixels in [0, 1], the input format of the DNN engine.
+type Image struct {
+	W, H int
+	Pix  []float32 // len = 3*W*H, plane-major (R plane, G plane, B plane)
+}
+
+// NewImage allocates a black image.
+func NewImage(w, h int) *Image {
+	return &Image{W: w, H: h, Pix: make([]float32, 3*w*h)}
+}
+
+// At returns channel ch at (x, y).
+func (im *Image) At(ch, x, y int) float32 { return im.Pix[ch*im.W*im.H+y*im.W+x] }
+
+// Set assigns channel ch at (x, y).
+func (im *Image) Set(ch, x, y int, v float32) { im.Pix[ch*im.W*im.H+y*im.W+x] = v }
+
+// GTBox is a ground-truth 2D detection attached to a camera frame. It
+// is used only for evaluating detector quality, never by the detectors
+// themselves.
+type GTBox struct {
+	Rect    geom.Rect
+	Kind    world.ActorKind
+	ActorID int
+	// Dist is the range from the camera to the actor, meters.
+	Dist float64
+}
+
+// Frame is one camera capture: pixels plus ground truth.
+type Frame struct {
+	Image *Image
+	GT    []GTBox
+}
+
+// CameraConfig describes the pinhole camera.
+type CameraConfig struct {
+	Width, Height int
+	// HFovDeg is the horizontal field of view in degrees.
+	HFovDeg float64
+	// Mount is the camera pose in the ego frame (looking along +X).
+	Mount    geom.Pose
+	MaxRange float64
+	// PixelNoise is the 1-sigma additive pixel noise.
+	PixelNoise float64
+	Seed       uint64
+}
+
+// DefaultCameraConfig returns the front camera used by the drive. The
+// resolution is the functional DNN input resolution; the analytic DNN
+// workload model separately accounts for full-size sensor frames.
+func DefaultCameraConfig() CameraConfig {
+	return CameraConfig{
+		Width:      128,
+		Height:     96,
+		HFovDeg:    80,
+		Mount:      geom.NewPose(1.5, 0, 1.4, 0),
+		MaxRange:   70,
+		PixelNoise: 0.02,
+		Seed:       0xCA3E2A,
+	}
+}
+
+// Camera renders synthetic frames from world snapshots.
+type Camera struct {
+	cfg  CameraConfig
+	rng  *mathx.RNG
+	fx   float64 // focal length in pixels
+	cx   float64
+	cy   float64
+	city *world.City
+}
+
+// NewCamera builds the camera.
+func NewCamera(cfg CameraConfig, city *world.City) *Camera {
+	if cfg.Width <= 0 || cfg.Height <= 0 || cfg.HFovDeg <= 0 || cfg.HFovDeg >= 180 {
+		panic("sensor: invalid camera config")
+	}
+	fx := float64(cfg.Width) / 2 / math.Tan(cfg.HFovDeg/2*math.Pi/180)
+	return &Camera{
+		cfg:  cfg,
+		rng:  mathx.NewRNG(cfg.Seed),
+		fx:   fx,
+		cx:   float64(cfg.Width) / 2,
+		cy:   float64(cfg.Height) / 2,
+		city: city,
+	}
+}
+
+// kindColor returns the body color signature used to render each actor
+// kind. The vision detectors classify by recovering this signature, so
+// classification is a real function of pixel content.
+func kindColor(k world.ActorKind) [3]float32 {
+	switch k {
+	case world.KindCar:
+		return [3]float32{0.95, 0.25, 0.2}
+	case world.KindTruck:
+		return [3]float32{0.9, 0.75, 0.15}
+	case world.KindPedestrian:
+		return [3]float32{0.2, 0.55, 0.95}
+	case world.KindCyclist:
+		return [3]float32{0.25, 0.9, 0.4}
+	default:
+		return [3]float32{1, 1, 1}
+	}
+}
+
+// Capture renders the frame for a snapshot.
+func (c *Camera) Capture(snap *world.Snapshot) *Frame {
+	im := NewImage(c.cfg.Width, c.cfg.Height)
+	camPose := snap.Ego.Pose.Compose(c.cfg.Mount)
+
+	// Background: dark road up close, lighter sky above the horizon,
+	// with mild noise so convolution layers see texture.
+	horizon := int(c.cy)
+	for y := 0; y < c.cfg.Height; y++ {
+		var base float32
+		if y < horizon {
+			base = 0.55 - 0.2*float32(y)/float32(horizon+1) // sky
+		} else {
+			base = 0.12 + 0.05*float32(y-horizon)/float32(c.cfg.Height-horizon) // road
+		}
+		for x := 0; x < c.cfg.Width; x++ {
+			n := float32(c.rng.NormScaled(0, c.cfg.PixelNoise))
+			im.Set(0, x, y, clamp01(base+n))
+			im.Set(1, x, y, clamp01(base+n))
+			im.Set(2, x, y, clamp01(base*1.1+n))
+		}
+	}
+
+	frame := &Frame{Image: im}
+
+	// Render actors back to front so nearer ones overdraw.
+	type rendered struct {
+		rect geom.Rect
+		gt   GTBox
+	}
+	var items []rendered
+	for _, a := range snap.Actors {
+		rect, dist, ok := c.project(camPose, a)
+		if !ok {
+			continue
+		}
+		items = append(items, rendered{
+			rect: rect,
+			gt:   GTBox{Rect: rect, Kind: a.Kind, ActorID: a.ID, Dist: dist},
+		})
+	}
+	// Sort by distance descending (far first) — insertion sort, the list
+	// is short.
+	for i := 1; i < len(items); i++ {
+		for j := i; j > 0 && items[j].gt.Dist > items[j-1].gt.Dist; j-- {
+			items[j], items[j-1] = items[j-1], items[j]
+		}
+	}
+	for _, it := range items {
+		c.fillRect(im, it.rect, kindColor(it.gt.Kind), it.gt.Dist)
+		frame.GT = append(frame.GT, it.gt)
+	}
+	return frame
+}
+
+// project maps an actor body box into the image, returning its 2D rect,
+// camera distance, and whether it is visible and at least a few pixels.
+func (c *Camera) project(camPose geom.Pose, a world.ActorState) (geom.Rect, float64, bool) {
+	// Eight corners of the body box in world space.
+	fp := a.Footprint()
+	corners2 := fp.Corners()
+	rect := geom.Rect{Min: geom.V2(math.Inf(1), math.Inf(1)), Max: geom.V2(math.Inf(-1), math.Inf(-1))}
+	anyFront := false
+	var minDepth float64 = math.Inf(1)
+	for _, c2 := range corners2 {
+		for _, z := range []float64{a.Pose.Pos.Z, a.Pose.Pos.Z + a.Dim.Z} {
+			local := camPose.Inverse(geom.V3(c2.X, c2.Y, z))
+			if local.X < 0.5 { // behind or grazing the image plane
+				continue
+			}
+			anyFront = true
+			if local.X < minDepth {
+				minDepth = local.X
+			}
+			u := c.cx - c.fx*local.Y/local.X
+			v := c.cy - c.fx*local.Z/local.X
+			rect.Expand(geom.V2(u, v))
+		}
+	}
+	if !anyFront || minDepth > c.cfg.MaxRange {
+		return geom.Rect{}, 0, false
+	}
+	// Clip to image bounds.
+	rect = rect.Intersect(geom.NewRect(geom.V2(0, 0), geom.V2(float64(c.cfg.Width-1), float64(c.cfg.Height-1))))
+	if rect.Width() < 2 || rect.Height() < 2 {
+		return geom.Rect{}, 0, false
+	}
+	return rect, minDepth, true
+}
+
+// fillRect paints an actor body with its kind color, shaded by distance.
+func (c *Camera) fillRect(im *Image, r geom.Rect, color [3]float32, dist float64) {
+	shade := float32(1 - 0.5*geom.Clamp(dist/c.cfg.MaxRange, 0, 1))
+	x0, x1 := int(r.Min.X), int(r.Max.X)
+	y0, y1 := int(r.Min.Y), int(r.Max.Y)
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			n := float32(c.rng.NormScaled(0, c.cfg.PixelNoise))
+			im.Set(0, x, y, clamp01(color[0]*shade+n))
+			im.Set(1, x, y, clamp01(color[1]*shade+n))
+			im.Set(2, x, y, clamp01(color[2]*shade+n))
+		}
+	}
+}
+
+func clamp01(v float32) float32 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Config returns the camera configuration.
+func (c *Camera) Config() CameraConfig { return c.cfg }

@@ -1,0 +1,90 @@
+package sensor
+
+import (
+	"repro/internal/geom"
+	"repro/internal/mathx"
+	"repro/internal/world"
+)
+
+// GNSSFix is one satellite position fix with meter-level noise — the
+// coarse initializer the localization search starts from.
+type GNSSFix struct {
+	Pos geom.Vec3
+	// Sigma is the advertised 1-sigma horizontal accuracy, meters.
+	Sigma float64
+}
+
+// GNSS models the satellite receiver.
+type GNSS struct {
+	rng   *mathx.RNG
+	sigma float64
+}
+
+// NewGNSS builds a receiver with the given 1-sigma noise.
+func NewGNSS(sigma float64, seed uint64) *GNSS {
+	return &GNSS{rng: mathx.NewRNG(seed), sigma: sigma}
+}
+
+// Fix produces a noisy position for the snapshot.
+func (g *GNSS) Fix(snap *world.Snapshot) GNSSFix {
+	p := snap.Ego.Pose.Pos
+	return GNSSFix{
+		Pos: geom.V3(
+			p.X+g.rng.NormScaled(0, g.sigma),
+			p.Y+g.rng.NormScaled(0, g.sigma),
+			p.Z,
+		),
+		Sigma: g.sigma,
+	}
+}
+
+// IMUSample is one inertial measurement: yaw rate and forward speed
+// (wheel-odometry fused, as Autoware's twist input provides).
+type IMUSample struct {
+	YawRate float64 // rad/s
+	Speed   float64 // m/s
+	Yaw     float64 // integrated heading estimate, rad
+}
+
+// IMU models the inertial unit with bias and white noise.
+type IMU struct {
+	rng       *mathx.RNG
+	gyroBias  float64
+	gyroNoise float64
+	spdNoise  float64
+	lastYaw   float64
+	havePrev  bool
+	prevTime  float64
+}
+
+// NewIMU builds an inertial unit.
+func NewIMU(seed uint64) *IMU {
+	rng := mathx.NewRNG(seed)
+	return &IMU{
+		rng:       rng,
+		gyroBias:  rng.NormScaled(0, 0.002),
+		gyroNoise: 0.004,
+		spdNoise:  0.08,
+	}
+}
+
+// Sample measures the snapshot. Yaw rate is differenced from successive
+// ground-truth headings, so calls must be in time order.
+func (m *IMU) Sample(snap *world.Snapshot) IMUSample {
+	yaw := snap.Ego.Pose.Yaw
+	rate := 0.0
+	if m.havePrev {
+		dt := snap.Time - m.prevTime
+		if dt > 1e-6 {
+			rate = geom.AngleDiff(yaw, m.lastYaw) / dt
+		}
+	}
+	m.lastYaw = yaw
+	m.prevTime = snap.Time
+	m.havePrev = true
+	return IMUSample{
+		YawRate: rate + m.gyroBias + m.rng.NormScaled(0, m.gyroNoise),
+		Speed:   snap.Ego.Speed + m.rng.NormScaled(0, m.spdNoise),
+		Yaw:     yaw + m.rng.NormScaled(0, 0.01),
+	}
+}

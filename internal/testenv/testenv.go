@@ -1,0 +1,56 @@
+// Package testenv caches the expensive shared fixtures (scenario, HD
+// map, sensors) used across the repository's test packages, so each is
+// built once per test binary.
+package testenv
+
+import (
+	"sync"
+
+	"repro/internal/hdmap"
+	"repro/internal/sensor"
+	"repro/internal/world"
+)
+
+var (
+	once sync.Once
+	scen *world.Scenario
+	hmap *hdmap.Map
+)
+
+// Scenario returns the shared default scenario.
+func Scenario() *world.Scenario {
+	build()
+	return scen
+}
+
+// Map returns the shared HD map (built with coarse scan spacing for
+// test speed; coverage is still complete).
+func Map() *hdmap.Map {
+	build()
+	return hmap
+}
+
+func build() {
+	once.Do(func() {
+		scen = world.NewScenario(world.DefaultScenarioConfig())
+		cfg := hdmap.DefaultConfig()
+		cfg.ScanSpacing = 10
+		m, err := hdmap.Build(scen, cfg)
+		if err != nil {
+			panic(err)
+		}
+		hmap = m
+	})
+}
+
+// LiDAR returns a fresh default scanner bound to the shared city.
+func LiDAR() *sensor.LiDAR {
+	build()
+	return sensor.NewLiDAR(sensor.DefaultLiDARConfig(), scen.City)
+}
+
+// Camera returns a fresh default camera bound to the shared city.
+func Camera() *sensor.Camera {
+	build()
+	return sensor.NewCamera(sensor.DefaultCameraConfig(), scen.City)
+}

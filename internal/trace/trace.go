@@ -1,0 +1,213 @@
+// Package trace implements the measurement layer of the paper's
+// methodology: per-node latency recording (queue wait + compute +
+// offload, from input arrival to output ready) and end-to-end
+// computation-path tracing through message header lineage — the
+// "longest path" definition of perception latency (Fig. 4/6).
+package trace
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/mathx"
+	"repro/internal/platform"
+	"repro/internal/ros"
+	"repro/internal/work"
+)
+
+// PathSpec defines one computation path: a name, the sensor origin
+// topic it starts at, and the terminal topic whose publication closes
+// the path.
+type PathSpec struct {
+	Name     string
+	Origin   string
+	Terminal string
+}
+
+// StandardPaths are the four computation paths of Table IV.
+func StandardPaths() []PathSpec {
+	return []PathSpec{
+		{Name: "localization", Origin: "/points_raw", Terminal: "/current_pose"},
+		{Name: "costmap_points", Origin: "/points_raw", Terminal: "/costmap/points"},
+		{Name: "costmap_vision_obj", Origin: "/image_raw", Terminal: "/costmap/objects"},
+		{Name: "costmap_cluster_obj", Origin: "/points_raw", Terminal: "/costmap/objects"},
+	}
+}
+
+// Recorder collects single-node latencies, CPU/GPU phase splits, and
+// end-to-end path samples from executor hooks.
+type Recorder struct {
+	// nodeLatency[node] holds per-callback latencies in seconds.
+	nodeLatency map[string][]float64
+	// cpuSeconds/gpuSeconds accumulate per node phase time.
+	cpuSeconds map[string]float64
+	gpuSeconds map[string]float64
+	callbacks  map[string]int
+	workSum    map[string]work.Work
+
+	paths   []PathSpec
+	pathLat map[string][]float64
+
+	// Warmup discards samples before this virtual time (pipeline fill).
+	Warmup time.Duration
+}
+
+// NewRecorder creates an empty recorder for the given paths.
+func NewRecorder(paths []PathSpec) *Recorder {
+	return &Recorder{
+		nodeLatency: make(map[string][]float64),
+		cpuSeconds:  make(map[string]float64),
+		gpuSeconds:  make(map[string]float64),
+		callbacks:   make(map[string]int),
+		workSum:     make(map[string]work.Work),
+		paths:       paths,
+		pathLat:     make(map[string][]float64),
+	}
+}
+
+// Attach installs the recorder's hooks on an executor. It chains with
+// any hooks already installed.
+func (r *Recorder) Attach(ex *platform.Executor) {
+	prevDone := ex.OnDone
+	ex.OnDone = func(d platform.DoneInfo) {
+		r.OnDone(d)
+		if prevDone != nil {
+			prevDone(d)
+		}
+	}
+	prevPub := ex.OnPublish
+	ex.OnPublish = func(topic string, h ros.Header) {
+		r.OnPublish(topic, h)
+		if prevPub != nil {
+			prevPub(topic, h)
+		}
+	}
+}
+
+// OnDone records one completed callback.
+func (r *Recorder) OnDone(d platform.DoneInfo) {
+	if d.Finished < r.Warmup {
+		return
+	}
+	// Only callbacks that produced output count toward the latency
+	// distribution (the paper's "input arrives ... until the output is
+	// ready"); cache-update callbacks (IMU, pose, buffered detections)
+	// still contribute to phase-time accounting below.
+	if d.Outputs > 0 {
+		lat := (d.Finished - d.Arrived).Seconds()
+		r.nodeLatency[d.Node] = append(r.nodeLatency[d.Node], lat)
+	}
+	r.cpuSeconds[d.Node] += (d.CPUDone - d.Started).Seconds()
+	r.gpuSeconds[d.Node] += (d.Finished - d.CPUDone).Seconds()
+	r.callbacks[d.Node]++
+	ws := r.workSum[d.Node]
+	ws.Add(d.Work)
+	r.workSum[d.Node] = ws
+}
+
+// NodeWork returns the accumulated Work a node reported across all its
+// callbacks — the measured instruction mix source for Fig. 7/Table VII.
+func (r *Recorder) NodeWork(node string) work.Work { return r.workSum[node] }
+
+// OnPublish closes computation paths that terminate on this topic.
+func (r *Recorder) OnPublish(topic string, h ros.Header) {
+	if h.Stamp < r.Warmup {
+		return
+	}
+	for _, p := range r.paths {
+		if p.Terminal != topic {
+			continue
+		}
+		for _, o := range h.Origins {
+			if o.Topic == p.Origin {
+				r.pathLat[p.Name] = append(r.pathLat[p.Name], (h.Stamp - o.Stamp).Seconds())
+			}
+		}
+	}
+}
+
+// NodeNames returns nodes with at least one sample, sorted.
+func (r *Recorder) NodeNames() []string {
+	out := make([]string, 0, len(r.nodeLatency))
+	for n := range r.nodeLatency {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NodeLatency returns the latency summary (milliseconds) for a node.
+func (r *Recorder) NodeLatency(node string) mathx.Summary {
+	return mathx.Summarize(toMillis(r.nodeLatency[node]))
+}
+
+// NodeSamples returns the raw latency samples (milliseconds).
+func (r *Recorder) NodeSamples(node string) []float64 {
+	return toMillis(r.nodeLatency[node])
+}
+
+// PathLatency returns the latency summary (milliseconds) for a path.
+func (r *Recorder) PathLatency(path string) mathx.Summary {
+	return mathx.Summarize(toMillis(r.pathLat[path]))
+}
+
+// PathSamples returns raw path samples (milliseconds).
+func (r *Recorder) PathSamples(path string) []float64 {
+	return toMillis(r.pathLat[path])
+}
+
+// PathNames returns configured path names in order.
+func (r *Recorder) PathNames() []string {
+	out := make([]string, len(r.paths))
+	for i, p := range r.paths {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// EndToEnd returns, per the paper's definition, the worst path: the
+// name and summary of the path with the largest mean latency.
+func (r *Recorder) EndToEnd() (string, mathx.Summary) {
+	var worst string
+	var worstSum mathx.Summary
+	for _, p := range r.paths {
+		s := r.PathLatency(p.Name)
+		if s.Count == 0 {
+			continue
+		}
+		if worst == "" || s.Mean > worstSum.Mean {
+			worst, worstSum = p.Name, s
+		}
+	}
+	return worst, worstSum
+}
+
+// CPUShare and GPUShare report the per-node phase-time split of total
+// callback time, the Fig. 8 quantity.
+func (r *Recorder) CPUShare(node string) float64 {
+	c, g := r.cpuSeconds[node], r.gpuSeconds[node]
+	if c+g == 0 {
+		return 0
+	}
+	return c / (c + g)
+}
+
+// GPUShare is 1 - CPUShare for nodes with samples.
+func (r *Recorder) GPUShare(node string) float64 {
+	c, g := r.cpuSeconds[node], r.gpuSeconds[node]
+	if c+g == 0 {
+		return 0
+	}
+	return g / (c + g)
+}
+
+// Callbacks returns how many callbacks a node completed.
+func (r *Recorder) Callbacks(node string) int { return r.callbacks[node] }
+
+func toMillis(sec []float64) []float64 {
+	out := make([]float64, len(sec))
+	for i, v := range sec {
+		out[i] = v * 1000
+	}
+	return out
+}

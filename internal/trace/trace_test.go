@@ -1,0 +1,151 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/platform"
+	"repro/internal/ros"
+	"repro/internal/work"
+)
+
+func done(node string, arrived, started, cpuDone, finished time.Duration, outputs int) platform.DoneInfo {
+	return platform.DoneInfo{
+		Node:    node,
+		Input:   &ros.Message{Header: ros.Header{Stamp: arrived}},
+		Arrived: arrived, Started: started, CPUDone: cpuDone, Finished: finished,
+		Outputs: outputs,
+		Work:    work.Work{IntOps: 100},
+	}
+}
+
+func TestRecorderNodeLatency(t *testing.T) {
+	r := NewRecorder(StandardPaths())
+	r.OnDone(done("a", 0, time.Millisecond, 6*time.Millisecond, 10*time.Millisecond, 1))
+	r.OnDone(done("a", 0, time.Millisecond, 11*time.Millisecond, 20*time.Millisecond, 1))
+	s := r.NodeLatency("a")
+	if s.Count != 2 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Mean != 15 { // (10 + 20)/2 ms
+		t.Errorf("mean = %v", s.Mean)
+	}
+	if len(r.NodeNames()) != 1 || r.NodeNames()[0] != "a" {
+		t.Errorf("names = %v", r.NodeNames())
+	}
+	if r.Callbacks("a") != 2 {
+		t.Errorf("callbacks = %d", r.Callbacks("a"))
+	}
+}
+
+func TestRecorderSkipsZeroOutputCallbacksForLatency(t *testing.T) {
+	r := NewRecorder(nil)
+	r.OnDone(done("n", 0, 0, time.Millisecond, time.Millisecond, 0))
+	if r.NodeLatency("n").Count != 0 {
+		t.Error("cache-update callback should not enter the latency distribution")
+	}
+	// But phase accounting still happens.
+	if r.CPUShare("n") != 1 {
+		t.Errorf("cpu share = %v", r.CPUShare("n"))
+	}
+	if r.Callbacks("n") != 1 {
+		t.Error("callback count should include cache updates")
+	}
+}
+
+func TestRecorderWarmupFilter(t *testing.T) {
+	r := NewRecorder(StandardPaths())
+	r.Warmup = time.Second
+	r.OnDone(done("a", 0, 0, 0, 500*time.Millisecond, 1))
+	r.OnDone(done("a", time.Second, time.Second, time.Second, 1500*time.Millisecond, 1))
+	if got := r.NodeLatency("a").Count; got != 1 {
+		t.Errorf("warmup not applied: count = %d", got)
+	}
+}
+
+func TestRecorderCPUGPUShares(t *testing.T) {
+	r := NewRecorder(nil)
+	// 6ms CPU phase, 4ms GPU phase.
+	r.OnDone(done("v", 0, 0, 6*time.Millisecond, 10*time.Millisecond, 1))
+	if got := r.CPUShare("v"); got != 0.6 {
+		t.Errorf("cpu share = %v", got)
+	}
+	if got := r.GPUShare("v"); got != 0.4 {
+		t.Errorf("gpu share = %v", got)
+	}
+	if r.CPUShare("missing") != 0 || r.GPUShare("missing") != 0 {
+		t.Error("missing node shares should be zero")
+	}
+}
+
+func TestRecorderPathTracing(t *testing.T) {
+	r := NewRecorder(StandardPaths())
+	// A costmap publication tracing back to both sensors.
+	r.OnPublish("/costmap/objects", ros.Header{
+		Stamp: 200 * time.Millisecond,
+		Origins: []ros.Origin{
+			{Topic: "/points_raw", Stamp: 50 * time.Millisecond},
+			{Topic: "/image_raw", Stamp: 80 * time.Millisecond},
+		},
+	})
+	cluster := r.PathLatency("costmap_cluster_obj")
+	visionPath := r.PathLatency("costmap_vision_obj")
+	if cluster.Count != 1 || cluster.Mean != 150 {
+		t.Errorf("cluster path = %+v", cluster)
+	}
+	if visionPath.Count != 1 || visionPath.Mean != 120 {
+		t.Errorf("vision path = %+v", visionPath)
+	}
+	// Unrelated topic ignored.
+	r.OnPublish("/other", ros.Header{Stamp: time.Second, Origins: []ros.Origin{{Topic: "/points_raw"}}})
+	if r.PathLatency("costmap_cluster_obj").Count != 1 {
+		t.Error("unrelated topic leaked into path")
+	}
+}
+
+func TestRecorderEndToEndPicksWorstPath(t *testing.T) {
+	r := NewRecorder(StandardPaths())
+	r.OnPublish("/current_pose", ros.Header{
+		Stamp:   100 * time.Millisecond,
+		Origins: []ros.Origin{{Topic: "/points_raw", Stamp: 70 * time.Millisecond}},
+	})
+	r.OnPublish("/costmap/objects", ros.Header{
+		Stamp:   300 * time.Millisecond,
+		Origins: []ros.Origin{{Topic: "/image_raw", Stamp: 100 * time.Millisecond}},
+	})
+	name, sum := r.EndToEnd()
+	if name != "costmap_vision_obj" {
+		t.Errorf("worst path = %s", name)
+	}
+	if sum.Mean != 200 {
+		t.Errorf("worst mean = %v", sum.Mean)
+	}
+}
+
+func TestRecorderEndToEndEmpty(t *testing.T) {
+	r := NewRecorder(StandardPaths())
+	name, sum := r.EndToEnd()
+	if name != "" || sum.Count != 0 {
+		t.Errorf("empty end-to-end = %q %+v", name, sum)
+	}
+}
+
+func TestStandardPathsMatchTableIV(t *testing.T) {
+	paths := StandardPaths()
+	if len(paths) != 4 {
+		t.Fatalf("paths = %d", len(paths))
+	}
+	byName := map[string]PathSpec{}
+	for _, p := range paths {
+		byName[p.Name] = p
+	}
+	if byName["localization"].Origin != "/points_raw" {
+		t.Error("localization origin")
+	}
+	if byName["costmap_vision_obj"].Origin != "/image_raw" {
+		t.Error("vision path origin")
+	}
+	if byName["costmap_cluster_obj"].Terminal != byName["costmap_vision_obj"].Terminal {
+		t.Error("both object paths should share the terminal costmap topic")
+	}
+}

@@ -1,0 +1,59 @@
+package uarch
+
+// GShare is a global-history branch predictor with 2-bit saturating
+// counters, the classic baseline that modern predictors refine. Data-
+// dependent branches (sort comparisons on unsorted data) defeat it,
+// reproducing SSD512's outlier misprediction rate.
+type GShare struct {
+	historyBits uint
+	history     uint64
+	table       []uint8 // 2-bit counters, initialized weakly taken
+	Accesses    uint64
+	Mispredicts uint64
+}
+
+// NewGShare builds a predictor with 2^historyBits counters.
+func NewGShare(historyBits uint) *GShare {
+	if historyBits == 0 || historyBits > 24 {
+		panic("uarch: history bits out of range")
+	}
+	t := make([]uint8, 1<<historyBits)
+	for i := range t {
+		t[i] = 2 // weakly taken
+	}
+	return &GShare{historyBits: historyBits, table: t}
+}
+
+// Access predicts the branch at pc, then updates with the actual
+// outcome; returns true when the prediction was correct.
+func (g *GShare) Access(pc uint64, taken bool) bool {
+	mask := uint64(len(g.table) - 1)
+	idx := (pc ^ g.history) & mask
+	pred := g.table[idx] >= 2
+	correct := pred == taken
+	g.Accesses++
+	if !correct {
+		g.Mispredicts++
+	}
+	// Update counter.
+	if taken && g.table[idx] < 3 {
+		g.table[idx]++
+	}
+	if !taken && g.table[idx] > 0 {
+		g.table[idx]--
+	}
+	// Update history.
+	g.history = (g.history << 1) & mask
+	if taken {
+		g.history |= 1
+	}
+	return correct
+}
+
+// MispredictRate returns mispredictions / accesses.
+func (g *GShare) MispredictRate() float64 {
+	if g.Accesses == 0 {
+		return 0
+	}
+	return float64(g.Mispredicts) / float64(g.Accesses)
+}

@@ -1,0 +1,153 @@
+// Package uarch is the hardware-counter substitute: a set-associative
+// L1 data-cache simulator, a gshare branch predictor, and a pipeline
+// model that together produce the per-node microarchitectural profile
+// of the paper's Table VII and the instruction mix of Fig. 7. Each node
+// contributes a memory/branch trace generator that is structurally
+// derived from its real data structures (k-d tree pointer chasing,
+// voxel hash probing, dense grid rasterization, per-class ranking
+// sorts), so the counters respond to algorithm structure rather than
+// being dialed in directly.
+package uarch
+
+// CacheConfig describes one cache level.
+type CacheConfig struct {
+	SizeBytes int
+	LineBytes int
+	Ways      int
+}
+
+// DefaultL1D is a contemporary 32 KiB, 8-way, 64 B-line L1 data cache.
+func DefaultL1D() CacheConfig {
+	return CacheConfig{SizeBytes: 32 << 10, LineBytes: 64, Ways: 8}
+}
+
+// CacheStats accumulates access outcomes.
+type CacheStats struct {
+	ReadAccesses  uint64
+	ReadMisses    uint64
+	WriteAccesses uint64
+	WriteMisses   uint64
+}
+
+// ReadMissRate returns read misses / read accesses.
+func (s CacheStats) ReadMissRate() float64 {
+	if s.ReadAccesses == 0 {
+		return 0
+	}
+	return float64(s.ReadMisses) / float64(s.ReadAccesses)
+}
+
+// WriteMissRate returns write misses / write accesses.
+func (s CacheStats) WriteMissRate() float64 {
+	if s.WriteAccesses == 0 {
+		return 0
+	}
+	return float64(s.WriteMisses) / float64(s.WriteAccesses)
+}
+
+// Cache is a set-associative write-allocate cache with LRU replacement.
+type Cache struct {
+	cfg      CacheConfig
+	sets     int
+	lineBits uint
+	// tags[set][way]; lru[set][way] holds recency counters.
+	tags  [][]uint64
+	valid [][]bool
+	lru   [][]uint64
+	clock uint64
+	Stats CacheStats
+}
+
+// NewCache builds the cache; the configuration must be power-of-two
+// consistent (size divisible by line*ways).
+func NewCache(cfg CacheConfig) *Cache {
+	if cfg.SizeBytes <= 0 || cfg.LineBytes <= 0 || cfg.Ways <= 0 {
+		panic("uarch: invalid cache config")
+	}
+	sets := cfg.SizeBytes / (cfg.LineBytes * cfg.Ways)
+	if sets < 1 {
+		panic("uarch: cache too small for associativity")
+	}
+	lineBits := uint(0)
+	for l := cfg.LineBytes; l > 1; l >>= 1 {
+		lineBits++
+	}
+	c := &Cache{cfg: cfg, sets: sets, lineBits: lineBits}
+	c.tags = make([][]uint64, sets)
+	c.valid = make([][]bool, sets)
+	c.lru = make([][]uint64, sets)
+	for i := range c.tags {
+		c.tags[i] = make([]uint64, cfg.Ways)
+		c.valid[i] = make([]bool, cfg.Ways)
+		c.lru[i] = make([]uint64, cfg.Ways)
+	}
+	return c
+}
+
+// install fills the line containing addr without touching the stats —
+// the prefetch path.
+func (c *Cache) install(addr uint64) {
+	c.clock++
+	line := addr >> c.lineBits
+	set := int(line % uint64(c.sets))
+	tag := line / uint64(c.sets)
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.valid[set][w] && c.tags[set][w] == tag {
+			c.lru[set][w] = c.clock
+			return
+		}
+	}
+	victim := 0
+	for w := 1; w < c.cfg.Ways; w++ {
+		if !c.valid[set][w] {
+			victim = w
+			break
+		}
+		if c.lru[set][w] < c.lru[set][victim] {
+			victim = w
+		}
+	}
+	c.tags[set][victim] = tag
+	c.valid[set][victim] = true
+	c.lru[set][victim] = c.clock
+}
+
+// Access simulates one access; returns true on hit.
+func (c *Cache) Access(addr uint64, write bool) bool {
+	c.clock++
+	line := addr >> c.lineBits
+	set := int(line % uint64(c.sets))
+	tag := line / uint64(c.sets)
+	if write {
+		c.Stats.WriteAccesses++
+	} else {
+		c.Stats.ReadAccesses++
+	}
+	// Lookup.
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.valid[set][w] && c.tags[set][w] == tag {
+			c.lru[set][w] = c.clock
+			return true
+		}
+	}
+	// Miss: fill LRU way.
+	if write {
+		c.Stats.WriteMisses++
+	} else {
+		c.Stats.ReadMisses++
+	}
+	victim := 0
+	for w := 1; w < c.cfg.Ways; w++ {
+		if !c.valid[set][w] {
+			victim = w
+			break
+		}
+		if c.lru[set][w] < c.lru[set][victim] {
+			victim = w
+		}
+	}
+	c.tags[set][victim] = tag
+	c.valid[set][victim] = true
+	c.lru[set][victim] = c.clock
+	return false
+}

@@ -1,0 +1,58 @@
+package uarch
+
+// Level identifies where an access was served.
+type Level int
+
+// Access outcomes.
+const (
+	HitL1 Level = iota + 1
+	HitL2
+	HitMemory
+)
+
+// Hierarchy is a two-level inclusive cache: misses in the L1 probe the
+// L2, misses in the L2 go to memory and fill both levels.
+type Hierarchy struct {
+	L1 *Cache
+	L2 *Cache
+}
+
+// DefaultL2 is a 512 KiB, 8-way unified second level.
+func DefaultL2() CacheConfig {
+	return CacheConfig{SizeBytes: 512 << 10, LineBytes: 64, Ways: 8}
+}
+
+// NewHierarchy builds the two-level structure.
+func NewHierarchy(l1, l2 CacheConfig) *Hierarchy {
+	return &Hierarchy{L1: NewCache(l1), L2: NewCache(l2)}
+}
+
+// Access simulates one access and returns the serving level. A simple
+// next-line stream prefetcher fills the L2 on demand misses, so
+// sequential scans are served from the L2 after their first line — the
+// behaviour hardware prefetchers give streaming workloads.
+func (h *Hierarchy) Access(addr uint64, write bool) Level {
+	if h.L1.Access(addr, write) {
+		return HitL1
+	}
+	if h.L2.Access(addr, write) {
+		return HitL2
+	}
+	// Demand miss to memory: prefetch the next line into the L2
+	// without charging its stats.
+	next := addr + uint64(h.L2.cfg.LineBytes)
+	h.L2.install(next)
+	return HitMemory
+}
+
+// L2MissRatio returns L2 misses per *L1 access* for reads and writes —
+// the per-instruction memory-traffic rates the pipeline model charges.
+func (h *Hierarchy) L2MissRatio() (read, write float64) {
+	if h.L1.Stats.ReadAccesses > 0 {
+		read = float64(h.L2.Stats.ReadMisses) / float64(h.L1.Stats.ReadAccesses)
+	}
+	if h.L1.Stats.WriteAccesses > 0 {
+		write = float64(h.L2.Stats.WriteMisses) / float64(h.L1.Stats.WriteAccesses)
+	}
+	return read, write
+}

@@ -1,0 +1,268 @@
+package uarch
+
+import (
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/work"
+)
+
+func TestCacheSequentialMissesOncePerLine(t *testing.T) {
+	c := NewCache(DefaultL1D())
+	// 8-byte strides over fresh memory: one miss per 64B line.
+	for i := 0; i < 8000; i++ {
+		c.Access(uint64(1<<40)+uint64(i*8), false)
+	}
+	rate := c.Stats.ReadMissRate()
+	if rate < 0.115 || rate > 0.135 {
+		t.Errorf("sequential miss rate = %v, want ~1/8", rate)
+	}
+}
+
+func TestCacheHotSetHits(t *testing.T) {
+	c := NewCache(DefaultL1D())
+	rng := mathx.NewRNG(1)
+	// 4 KiB working set fits easily: after warmup, ~0 misses.
+	for i := 0; i < 50000; i++ {
+		c.Access(uint64(rng.Intn(4096)), false)
+	}
+	if rate := c.Stats.ReadMissRate(); rate > 0.01 {
+		t.Errorf("hot-set miss rate = %v", rate)
+	}
+}
+
+func TestCacheThrashingWorkingSet(t *testing.T) {
+	c := NewCache(DefaultL1D())
+	rng := mathx.NewRNG(2)
+	// 4 MiB random accesses: mostly misses.
+	for i := 0; i < 50000; i++ {
+		c.Access(uint64(rng.Intn(4<<20)), false)
+	}
+	if rate := c.Stats.ReadMissRate(); rate < 0.9 {
+		t.Errorf("thrashing miss rate = %v, want ~1", rate)
+	}
+}
+
+func TestCacheAssociativityConflicts(t *testing.T) {
+	// Direct-mapped cache: two lines mapping to the same set thrash.
+	c := NewCache(CacheConfig{SizeBytes: 4096, LineBytes: 64, Ways: 1})
+	for i := 0; i < 1000; i++ {
+		c.Access(0, false)
+		c.Access(4096, false) // same set, different tag
+	}
+	if rate := c.Stats.ReadMissRate(); rate < 0.99 {
+		t.Errorf("conflict miss rate = %v", rate)
+	}
+	// 2-way tolerates the pair.
+	c2 := NewCache(CacheConfig{SizeBytes: 4096, LineBytes: 64, Ways: 2})
+	for i := 0; i < 1000; i++ {
+		c2.Access(0, false)
+		c2.Access(4096, false)
+	}
+	if rate := c2.Stats.ReadMissRate(); rate > 0.01 {
+		t.Errorf("2-way conflict miss rate = %v", rate)
+	}
+}
+
+func TestCacheWriteStats(t *testing.T) {
+	c := NewCache(DefaultL1D())
+	c.Access(0, true)
+	c.Access(0, true)
+	if c.Stats.WriteAccesses != 2 || c.Stats.WriteMisses != 1 {
+		t.Errorf("write stats = %+v", c.Stats)
+	}
+}
+
+func TestGSharePredictsBiasedBranches(t *testing.T) {
+	g := NewGShare(12)
+	rng := mathx.NewRNG(3)
+	for i := 0; i < 100000; i++ {
+		g.Access(0x400+uint64(rng.Intn(16))*4, rng.Bool(0.98))
+	}
+	if rate := g.MispredictRate(); rate > 0.05 {
+		t.Errorf("biased mispredict rate = %v", rate)
+	}
+}
+
+func TestGShareDefeatedByRandomBranches(t *testing.T) {
+	g := NewGShare(12)
+	rng := mathx.NewRNG(4)
+	for i := 0; i < 100000; i++ {
+		g.Access(0x400, rng.Bool(0.5))
+	}
+	rate := g.MispredictRate()
+	if rate < 0.4 || rate > 0.6 {
+		t.Errorf("random mispredict rate = %v, want ~0.5", rate)
+	}
+}
+
+func TestGShareLearnsPattern(t *testing.T) {
+	g := NewGShare(12)
+	// Strict alternation is learnable from history.
+	for i := 0; i < 10000; i++ {
+		g.Access(0x400, i%2 == 0)
+	}
+	if rate := g.MispredictRate(); rate > 0.05 {
+		t.Errorf("alternating pattern mispredict = %v", rate)
+	}
+}
+
+func TestMixFromWork(t *testing.T) {
+	w := work.Work{IntOps: 10, FPOps: 20, LoadOps: 30, StoreOps: 25, BranchOps: 15}
+	m := MixFromWork(w)
+	if m.Int != 0.1 || m.FP != 0.2 || m.Load != 0.3 || m.Store != 0.25 || m.Branch != 0.15 {
+		t.Errorf("mix = %+v", m)
+	}
+	if MixFromWork(work.Work{}) != (InstrMix{}) {
+		t.Error("empty work should give zero mix")
+	}
+}
+
+// tableVIIMixes approximates Fig. 7's measured mixes for the pipeline
+// model inputs.
+func tableVIIMixes() map[string]InstrMix {
+	return map[string]InstrMix{
+		"SSD512":                {Int: 0.23, FP: 0.15, Load: 0.30, Store: 0.12, Branch: 0.20},
+		"YOLOv3-416":            {Int: 0.25, FP: 0.20, Load: 0.28, Store: 0.12, Branch: 0.15},
+		"euclidean_cluster":     {Int: 0.18, FP: 0.15, Load: 0.32, Store: 0.18, Branch: 0.17},
+		"ndt_matching":          {Int: 0.14, FP: 0.19, Load: 0.36, Store: 0.16, Branch: 0.15},
+		"imm_ukf_pda_tracker":   {Int: 0.22, FP: 0.22, Load: 0.24, Store: 0.14, Branch: 0.18},
+		"costmap_generator_obj": {Int: 0.33, FP: 0.27, Load: 0.18, Store: 0.10, Branch: 0.12},
+	}
+}
+
+func TestSimulateReproducesTableVIIShape(t *testing.T) {
+	mixes := tableVIIMixes()
+	profiles := map[string]Profile{}
+	for name, spec := range Specs() {
+		profiles[name] = Simulate(spec, mixes[name], 400000, 400000, 42)
+	}
+
+	p := func(n string) Profile { return profiles[n] }
+
+	// Ordering relations from Table VII.
+	if !(p("euclidean_cluster").L1ReadMissRate > p("SSD512").L1ReadMissRate) {
+		t.Errorf("euclid read miss (%v) should exceed SSD512 (%v)",
+			p("euclidean_cluster").L1ReadMissRate, p("SSD512").L1ReadMissRate)
+	}
+	if !(p("euclidean_cluster").L1WriteMissRate > 3*p("ndt_matching").L1WriteMissRate) {
+		t.Errorf("euclid write miss (%v) should dwarf ndt (%v)",
+			p("euclidean_cluster").L1WriteMissRate, p("ndt_matching").L1WriteMissRate)
+	}
+	if !(p("SSD512").BranchMissRate > 0.05) {
+		t.Errorf("SSD512 branch miss = %v, want ~0.1", p("SSD512").BranchMissRate)
+	}
+	if !(p("YOLOv3-416").BranchMissRate < 0.01) {
+		t.Errorf("YOLO branch miss = %v, want tiny", p("YOLOv3-416").BranchMissRate)
+	}
+	if !(p("costmap_generator_obj").IPC > 1.8) {
+		t.Errorf("costmap IPC = %v, want ~2", p("costmap_generator_obj").IPC)
+	}
+	// SSD512 worst IPC of the table.
+	for name, prof := range profiles {
+		if name == "SSD512" {
+			continue
+		}
+		if prof.IPC <= p("SSD512").IPC {
+			t.Errorf("%s IPC (%v) should exceed SSD512's (%v)", name, prof.IPC, p("SSD512").IPC)
+		}
+	}
+	// Magnitudes within a factor of ~2 of the paper's numbers.
+	checks := []struct {
+		name  string
+		field func(Profile) float64
+		lo    float64
+		hi    float64
+	}{
+		{"SSD512", func(p Profile) float64 { return p.BranchMissRate }, 0.05, 0.15},
+		{"SSD512", func(p Profile) float64 { return p.IPC }, 0.7, 1.4},
+		{"euclidean_cluster", func(p Profile) float64 { return p.L1ReadMissRate }, 0.023, 0.09},
+		{"euclidean_cluster", func(p Profile) float64 { return p.L1WriteMissRate }, 0.025, 0.10},
+		{"ndt_matching", func(p Profile) float64 { return p.L1ReadMissRate }, 0.006, 0.03},
+		{"costmap_generator_obj", func(p Profile) float64 { return p.L1ReadMissRate }, 0.0, 0.006},
+		{"costmap_generator_obj", func(p Profile) float64 { return p.IPC }, 1.7, 2.6},
+		{"imm_ukf_pda_tracker", func(p Profile) float64 { return p.IPC }, 0.9, 1.5},
+	}
+	for _, c := range checks {
+		v := c.field(profiles[c.name])
+		if v < c.lo || v > c.hi {
+			t.Errorf("%s: value %v outside [%v, %v]", c.name, v, c.lo, c.hi)
+		}
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	spec, err := SpecFor("ndt_matching")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := tableVIIMixes()["ndt_matching"]
+	a := Simulate(spec, mix, 100000, 100000, 7)
+	b := Simulate(spec, mix, 100000, 100000, 7)
+	if a != b {
+		t.Error("simulation not deterministic")
+	}
+}
+
+func TestSpecForUnknown(t *testing.T) {
+	if _, err := SpecFor("nope"); err == nil {
+		t.Error("unknown spec should fail")
+	}
+}
+
+func TestCachePanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewCache(CacheConfig{})
+}
+
+func TestGSharePanicsOnBadBits(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewGShare(0)
+}
+
+func TestHierarchyLevels(t *testing.T) {
+	h := NewHierarchy(DefaultL1D(), DefaultL2())
+	// First touch: memory. Second: L1.
+	if got := h.Access(0x1000, false); got != HitMemory {
+		t.Errorf("cold access = %v", got)
+	}
+	if got := h.Access(0x1000, false); got != HitL1 {
+		t.Errorf("warm access = %v", got)
+	}
+	// A working set larger than L1 but inside L2 serves from L2 after
+	// warmup.
+	rng := mathx.NewRNG(5)
+	const ws = 256 << 10
+	for i := 0; i < 200000; i++ {
+		h.Access(uint64(1<<32)+uint64(rng.Intn(ws)), false)
+	}
+	l2Read, _ := h.L2MissRatio()
+	l1Miss := h.L1.Stats.ReadMissRate()
+	if l1Miss < 0.5 {
+		t.Errorf("256KB set should thrash a 32KB L1: miss=%v", l1Miss)
+	}
+	if l2Read > 0.05 {
+		t.Errorf("256KB set should live in the 512KB L2: l2 miss ratio=%v", l2Read)
+	}
+}
+
+func TestHierarchyMemoryBound(t *testing.T) {
+	h := NewHierarchy(DefaultL1D(), DefaultL2())
+	rng := mathx.NewRNG(6)
+	// 8 MB working set misses both levels.
+	for i := 0; i < 200000; i++ {
+		h.Access(uint64(rng.Intn(8<<20)), false)
+	}
+	l2Read, _ := h.L2MissRatio()
+	if l2Read < 0.8 {
+		t.Errorf("8MB random should miss L2: ratio=%v", l2Read)
+	}
+}

@@ -1,0 +1,186 @@
+package world
+
+import (
+	"repro/internal/geom"
+	"repro/internal/mathx"
+)
+
+// City is the static environment: a rectangular street grid with
+// box-shaped buildings filling the blocks, plus street furniture
+// (poles). Streets run every BlockSize meters in both axes.
+type City struct {
+	// Blocks is the number of city blocks per axis.
+	Blocks int
+	// BlockSize is the street-to-street pitch in meters.
+	BlockSize float64
+	// StreetWidth is the drivable width of each street.
+	StreetWidth float64
+	Buildings   []Building
+	// index is a coarse uniform grid over building indices for fast ray
+	// queries from the LiDAR model.
+	index     map[[2]int][]int32
+	indexCell float64
+}
+
+// CityConfig parameterizes city generation.
+type CityConfig struct {
+	Blocks      int
+	BlockSize   float64
+	StreetWidth float64
+	Seed        uint64
+	// BuildingDensity in [0,1] is the chance a lot inside a block gets
+	// a building.
+	BuildingDensity float64
+}
+
+// DefaultCityConfig mirrors a dense mid-rise urban district, matching
+// the "city of Nagoya" drive context in scale.
+func DefaultCityConfig() CityConfig {
+	return CityConfig{
+		Blocks:          8,
+		BlockSize:       100,
+		StreetWidth:     14,
+		Seed:            0xA07A0,
+		BuildingDensity: 0.85,
+	}
+}
+
+// NewCity deterministically generates a city from the config.
+func NewCity(cfg CityConfig) *City {
+	if cfg.Blocks <= 0 || cfg.BlockSize <= 0 {
+		panic("world: invalid city config")
+	}
+	rng := mathx.NewRNG(cfg.Seed)
+	c := &City{
+		Blocks:      cfg.Blocks,
+		BlockSize:   cfg.BlockSize,
+		StreetWidth: cfg.StreetWidth,
+		indexCell:   cfg.BlockSize / 2,
+	}
+	inner := cfg.BlockSize - cfg.StreetWidth // usable block interior
+	lotsPerSide := 3
+	lot := inner / float64(lotsPerSide)
+	for bx := 0; bx < cfg.Blocks; bx++ {
+		for by := 0; by < cfg.Blocks; by++ {
+			// Block interior origin (after the half street on each side).
+			ox := float64(bx)*cfg.BlockSize + cfg.StreetWidth/2
+			oy := float64(by)*cfg.BlockSize + cfg.StreetWidth/2
+			for lx := 0; lx < lotsPerSide; lx++ {
+				for ly := 0; ly < lotsPerSide; ly++ {
+					if !rng.Bool(cfg.BuildingDensity) {
+						continue
+					}
+					// Building footprint inside the lot with a margin.
+					margin := rng.Range(1, 4)
+					w := lot - 2*margin
+					if w < 4 {
+						continue
+					}
+					h := rng.Range(6, 30) // building height
+					x0 := ox + float64(lx)*lot + margin
+					y0 := oy + float64(ly)*lot + margin
+					c.Buildings = append(c.Buildings, Building{
+						Box: geom.NewAABB3(geom.V3(x0, y0, 0), geom.V3(x0+w, y0+w, h)),
+					})
+				}
+			}
+		}
+	}
+	// Street furniture: poles at intersection corners.
+	for ix := 0; ix <= cfg.Blocks; ix++ {
+		for iy := 0; iy <= cfg.Blocks; iy++ {
+			if !rng.Bool(0.6) {
+				continue
+			}
+			px := float64(ix)*cfg.BlockSize + cfg.StreetWidth/2 + 1
+			py := float64(iy)*cfg.BlockSize + cfg.StreetWidth/2 + 1
+			if px+0.15 > c.Size() || py+0.15 > c.Size() {
+				continue
+			}
+			c.Buildings = append(c.Buildings, Building{
+				Box: geom.NewAABB3(geom.V3(px-0.15, py-0.15, 0), geom.V3(px+0.15, py+0.15, 6)),
+			})
+		}
+	}
+	c.buildIndex()
+	return c
+}
+
+func (c *City) buildIndex() {
+	c.index = make(map[[2]int][]int32)
+	for i, b := range c.Buildings {
+		min := b.Box.Min
+		max := b.Box.Max
+		x0 := int(min.X / c.indexCell)
+		x1 := int(max.X / c.indexCell)
+		y0 := int(min.Y / c.indexCell)
+		y1 := int(max.Y / c.indexCell)
+		for x := x0; x <= x1; x++ {
+			for y := y0; y <= y1; y++ {
+				k := [2]int{x, y}
+				c.index[k] = append(c.index[k], int32(i))
+			}
+		}
+	}
+}
+
+// Size returns the total extent of the city per axis, meters.
+func (c *City) Size() float64 { return float64(c.Blocks) * c.BlockSize }
+
+// StreetCenter returns the centerline coordinate of street index i
+// (streets are at multiples of BlockSize).
+func (c *City) StreetCenter(i int) float64 { return float64(i) * c.BlockSize }
+
+// CastRay intersects a ray with the static environment (ground plane at
+// z=0 plus buildings) and returns the hit distance and whether anything
+// was hit within maxRange.
+func (c *City) CastRay(origin, dir geom.Vec3, maxRange float64) (float64, bool) {
+	best := maxRange
+	hit := false
+	// Ground plane z=0.
+	if dir.Z < -1e-9 {
+		t := -origin.Z / dir.Z
+		if t > 0 && t < best {
+			best = t
+			hit = true
+		}
+	}
+	// Walk the coarse grid cells along the ray's ground projection.
+	// For simplicity and robustness we visit every cell in the bounding
+	// region of the clipped ray; rays are at most maxRange long.
+	end := origin.Add(dir.Scale(best))
+	x0 := int(minf(origin.X, end.X) / c.indexCell)
+	x1 := int(maxf(origin.X, end.X) / c.indexCell)
+	y0 := int(minf(origin.Y, end.Y) / c.indexCell)
+	y1 := int(maxf(origin.Y, end.Y) / c.indexCell)
+	seen := make(map[int32]struct{}, 8)
+	for x := x0; x <= x1; x++ {
+		for y := y0; y <= y1; y++ {
+			for _, bi := range c.index[[2]int{x, y}] {
+				if _, dup := seen[bi]; dup {
+					continue
+				}
+				seen[bi] = struct{}{}
+				if t, ok := c.Buildings[bi].Box.RayHit(origin, dir, best); ok && t < best {
+					best = t
+					hit = true
+				}
+			}
+		}
+	}
+	return best, hit
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

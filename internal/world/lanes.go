@@ -1,0 +1,109 @@
+package world
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// LaneNode is an intersection in the lane graph.
+type LaneNode struct {
+	ID  int
+	Pos geom.Vec2
+}
+
+// LaneEdge is a directed drivable connection between intersections.
+type LaneEdge struct {
+	From, To   int
+	Length     float64
+	SpeedLimit float64
+}
+
+// LaneNetwork is the road topology the planners operate on — the part
+// of an HD map annotation (allowed ways, speed limits) our synthetic
+// map does carry, unlike the paper's un-annotated Nagoya point cloud.
+type LaneNetwork struct {
+	Nodes []LaneNode
+	Edges []LaneEdge
+	// adj[n] lists indices into Edges leaving node n.
+	adj [][]int
+}
+
+// NewLaneNetworkForCity builds the grid lane graph for a city: one node
+// per intersection, bidirectional edges along every street.
+func NewLaneNetworkForCity(c *City, speedLimit float64) *LaneNetwork {
+	n := c.Blocks + 1
+	ln := &LaneNetwork{}
+	id := func(ix, iy int) int { return iy*n + ix }
+	for iy := 0; iy < n; iy++ {
+		for ix := 0; ix < n; ix++ {
+			ln.Nodes = append(ln.Nodes, LaneNode{
+				ID:  id(ix, iy),
+				Pos: geom.V2(c.StreetCenter(ix), c.StreetCenter(iy)),
+			})
+		}
+	}
+	addBoth := func(a, b int) {
+		l := ln.Nodes[a].Pos.Dist(ln.Nodes[b].Pos)
+		ln.Edges = append(ln.Edges,
+			LaneEdge{From: a, To: b, Length: l, SpeedLimit: speedLimit},
+			LaneEdge{From: b, To: a, Length: l, SpeedLimit: speedLimit},
+		)
+	}
+	for iy := 0; iy < n; iy++ {
+		for ix := 0; ix < n; ix++ {
+			if ix+1 < n {
+				addBoth(id(ix, iy), id(ix+1, iy))
+			}
+			if iy+1 < n {
+				addBoth(id(ix, iy), id(ix, iy+1))
+			}
+		}
+	}
+	ln.buildAdj()
+	return ln
+}
+
+func (ln *LaneNetwork) buildAdj() {
+	ln.adj = make([][]int, len(ln.Nodes))
+	for i, e := range ln.Edges {
+		ln.adj[e.From] = append(ln.adj[e.From], i)
+	}
+}
+
+// Out returns the indices of edges leaving node id.
+func (ln *LaneNetwork) Out(id int) []int {
+	if id < 0 || id >= len(ln.adj) {
+		return nil
+	}
+	return ln.adj[id]
+}
+
+// NearestNode returns the id of the node closest to p.
+func (ln *LaneNetwork) NearestNode(p geom.Vec2) int {
+	best, bestD := -1, 0.0
+	for i, n := range ln.Nodes {
+		d := n.Pos.DistSq(p)
+		if best < 0 || d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// Validate checks structural invariants and returns an error describing
+// the first violation found.
+func (ln *LaneNetwork) Validate() error {
+	for i, e := range ln.Edges {
+		if e.From < 0 || e.From >= len(ln.Nodes) || e.To < 0 || e.To >= len(ln.Nodes) {
+			return fmt.Errorf("world: edge %d references missing node", i)
+		}
+		if e.Length <= 0 {
+			return fmt.Errorf("world: edge %d has non-positive length", i)
+		}
+		if e.SpeedLimit <= 0 {
+			return fmt.Errorf("world: edge %d has non-positive speed limit", i)
+		}
+	}
+	return nil
+}

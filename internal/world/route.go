@@ -1,0 +1,156 @@
+package world
+
+import (
+	"repro/internal/geom"
+)
+
+// Route is a polyline path with a piecewise-constant speed profile,
+// parameterized by time. It drives both the ego vehicle and scripted
+// traffic. Dwell segments (speed 0) model stops at intersections.
+type Route struct {
+	waypoints []geom.Vec2
+	// segTime[i] is the time spent on segment i; segSpeed[i] its speed.
+	segTime  []float64
+	segSpeed []float64
+	// cumTime[i] is the time at which segment i starts.
+	cumTime []float64
+	total   float64
+	loop    bool
+	z       float64
+}
+
+// RouteBuilder assembles a route incrementally.
+type RouteBuilder struct {
+	r Route
+}
+
+// NewRouteBuilder starts a route at the given ground point.
+func NewRouteBuilder(start geom.Vec2, z float64) *RouteBuilder {
+	b := &RouteBuilder{}
+	b.r.waypoints = append(b.r.waypoints, start)
+	b.r.z = z
+	return b
+}
+
+// DriveTo appends a straight segment to p traversed at speed (m/s).
+// Zero-length segments are ignored.
+func (b *RouteBuilder) DriveTo(p geom.Vec2, speed float64) *RouteBuilder {
+	if speed <= 0 {
+		panic("world: DriveTo needs positive speed")
+	}
+	last := b.r.waypoints[len(b.r.waypoints)-1]
+	d := last.Dist(p)
+	if d < 1e-9 {
+		return b
+	}
+	b.r.waypoints = append(b.r.waypoints, p)
+	b.r.segTime = append(b.r.segTime, d/speed)
+	b.r.segSpeed = append(b.r.segSpeed, speed)
+	return b
+}
+
+// Dwell appends a stationary pause of the given duration at the current
+// endpoint (a stop at a light or crossing).
+func (b *RouteBuilder) Dwell(seconds float64) *RouteBuilder {
+	if seconds <= 0 {
+		return b
+	}
+	last := b.r.waypoints[len(b.r.waypoints)-1]
+	b.r.waypoints = append(b.r.waypoints, last)
+	b.r.segTime = append(b.r.segTime, seconds)
+	b.r.segSpeed = append(b.r.segSpeed, 0)
+	return b
+}
+
+// Loop marks the route as cyclic: time wraps modulo the total duration.
+func (b *RouteBuilder) Loop() *RouteBuilder {
+	b.r.loop = true
+	return b
+}
+
+// Build finalizes the route. It panics if no segment was added.
+func (b *RouteBuilder) Build() *Route {
+	if len(b.r.segTime) == 0 {
+		panic("world: route with no segments")
+	}
+	r := b.r
+	r.cumTime = make([]float64, len(r.segTime)+1)
+	for i, d := range r.segTime {
+		r.cumTime[i+1] = r.cumTime[i] + d
+	}
+	r.total = r.cumTime[len(r.cumTime)-1]
+	return &r
+}
+
+// Duration returns the total traversal time of the route.
+func (r *Route) Duration() float64 { return r.total }
+
+// At returns the pose and scalar speed at time t. Before the start the
+// route holds its first pose; past the end a non-loop route holds its
+// final pose; a loop wraps.
+func (r *Route) At(t float64) (geom.Pose, float64) {
+	if r.loop && r.total > 0 {
+		for t < 0 {
+			t += r.total
+		}
+		for t >= r.total {
+			t -= r.total
+		}
+	}
+	if t <= 0 {
+		return r.poseOnSegment(0, 0), 0
+	}
+	if t >= r.total {
+		n := len(r.segTime) - 1
+		return r.poseOnSegment(n, 1), 0
+	}
+	// Binary search the segment containing t.
+	lo, hi := 0, len(r.segTime)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if r.cumTime[mid] <= t {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	seg := lo
+	frac := 0.0
+	if r.segTime[seg] > 0 {
+		frac = (t - r.cumTime[seg]) / r.segTime[seg]
+	}
+	return r.poseOnSegment(seg, frac), r.segSpeed[seg]
+}
+
+func (r *Route) poseOnSegment(seg int, frac float64) geom.Pose {
+	a := r.waypoints[seg]
+	b := r.waypoints[seg+1]
+	p := a.Lerp(b, frac)
+	yaw := r.headingAt(seg)
+	return geom.NewPose(p.X, p.Y, r.z, yaw)
+}
+
+// headingAt returns the heading of segment seg, skipping over dwell
+// segments (which have no direction) to the nearest moving segment.
+func (r *Route) headingAt(seg int) float64 {
+	for s := seg; s < len(r.segTime); s++ {
+		d := r.waypoints[s+1].Sub(r.waypoints[s])
+		if d.NormSq() > 1e-12 {
+			return d.Angle()
+		}
+	}
+	for s := seg - 1; s >= 0; s-- {
+		d := r.waypoints[s+1].Sub(r.waypoints[s])
+		if d.NormSq() > 1e-12 {
+			return d.Angle()
+		}
+	}
+	return 0
+}
+
+// Waypoints exposes the polyline (for the planner's reference path).
+func (r *Route) Waypoints() []geom.Vec2 {
+	out := make([]geom.Vec2, len(r.waypoints))
+	copy(out, r.waypoints)
+	return out
+}

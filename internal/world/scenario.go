@@ -1,0 +1,211 @@
+package world
+
+import (
+	"repro/internal/geom"
+	"repro/internal/mathx"
+)
+
+// ScenarioConfig parameterizes the synthetic drive.
+type ScenarioConfig struct {
+	City CityConfig
+	// Seed drives traffic placement (independent of city layout seed).
+	Seed uint64
+	// NumCars, NumPedestrians, NumCyclists control traffic volume.
+	NumCars        int
+	NumPedestrians int
+	NumCyclists    int
+	// EgoSpeed is the cruise speed of the ego vehicle, m/s.
+	EgoSpeed float64
+	// LeadVehicle adds a car driving the ego's own route a few seconds
+	// ahead — a persistent nearby target for perception-quality tests.
+	LeadVehicle bool
+}
+
+// DefaultScenarioConfig reproduces the profile of the paper's input: an
+// 8-minute urban drive with moderate mixed traffic.
+func DefaultScenarioConfig() ScenarioConfig {
+	return ScenarioConfig{
+		City:           DefaultCityConfig(),
+		Seed:           0x5CE11A,
+		NumCars:        22,
+		NumPedestrians: 18,
+		NumCyclists:    6,
+		EgoSpeed:       9,
+	}
+}
+
+type scriptedActor struct {
+	id    int
+	kind  ActorKind
+	route *Route
+	// phase offsets the actor's clock so same-route actors don't stack.
+	phase float64
+}
+
+// Scenario binds the static city, lane graph, ego route and traffic into
+// one deterministic closed-form simulation.
+type Scenario struct {
+	City     *City
+	Lanes    *LaneNetwork
+	EgoRoute *Route
+	actors   []scriptedActor
+}
+
+// NewScenario deterministically builds the scenario.
+func NewScenario(cfg ScenarioConfig) *Scenario {
+	city := NewCity(cfg.City)
+	lanes := NewLaneNetworkForCity(city, 13.9)
+	s := &Scenario{
+		City:     city,
+		Lanes:    lanes,
+		EgoRoute: buildEgoRoute(city, cfg.EgoSpeed),
+	}
+	rng := mathx.NewRNG(cfg.Seed)
+	id := 1
+	bs := city.BlockSize
+	if cfg.LeadVehicle {
+		s.actors = append(s.actors, scriptedActor{
+			id: id, kind: KindCar, route: s.EgoRoute, phase: 1.3,
+		})
+		id++
+	}
+	// Traffic cars: straight out-and-back runs along streets crossing
+	// the ego loop, concentrated in the mid-city so scene density varies
+	// along the drive.
+	for i := 0; i < cfg.NumCars; i++ {
+		horizontal := rng.Bool(0.5)
+		street := 1 + rng.Intn(city.Blocks-1)
+		if rng.Bool(0.45) {
+			// Bias onto the streets the ego loop travels, so the drive
+			// actually meets oncoming and crossing traffic — the
+			// scene-content variation behind the object-dependent
+			// nodes' latency spread.
+			egoStreets := []int{1, city.Blocks / 2, city.Blocks - 1}
+			street = egoStreets[rng.Intn(len(egoStreets))]
+		}
+		span0 := rng.Range(0.5, 2) * bs
+		span1 := rng.Range(float64(city.Blocks)-2.5, float64(city.Blocks)-0.5) * bs
+		laneOff := 3.0
+		if rng.Bool(0.5) {
+			laneOff = -3.0
+		}
+		speed := rng.Range(6, 12)
+		var a, b geom.Vec2
+		if horizontal {
+			y := city.StreetCenter(street) + laneOff
+			a, b = geom.V2(span0, y), geom.V2(span1, y)
+		} else {
+			x := city.StreetCenter(street) + laneOff
+			a, b = geom.V2(x, span0), geom.V2(x, span1)
+		}
+		route := NewRouteBuilder(a, 0).
+			DriveTo(b, speed).
+			Dwell(rng.Range(2, 8)).
+			DriveTo(a, speed).
+			Dwell(rng.Range(2, 8)).
+			Loop().
+			Build()
+		kind := KindCar
+		if rng.Bool(0.15) {
+			kind = KindTruck
+		}
+		s.actors = append(s.actors, scriptedActor{
+			id: id, kind: kind, route: route, phase: rng.Range(0, route.Duration()),
+		})
+		id++
+	}
+	// Pedestrians: small rectangular loops on block corners near the
+	// ego route.
+	for i := 0; i < cfg.NumPedestrians; i++ {
+		ix := 1 + rng.Intn(city.Blocks-1)
+		iy := 1 + rng.Intn(city.Blocks-1)
+		cx := city.StreetCenter(ix) + rng.Range(-4, 4)
+		cy := city.StreetCenter(iy) + rng.Range(-4, 4)
+		side := rng.Range(6, 20)
+		speed := rng.Range(0.8, 1.8)
+		route := NewRouteBuilder(geom.V2(cx, cy), 0).
+			DriveTo(geom.V2(cx+side, cy), speed).
+			Dwell(rng.Range(1, 5)).
+			DriveTo(geom.V2(cx+side, cy+side), speed).
+			DriveTo(geom.V2(cx, cy+side), speed).
+			Dwell(rng.Range(1, 5)).
+			DriveTo(geom.V2(cx, cy), speed).
+			Loop().
+			Build()
+		s.actors = append(s.actors, scriptedActor{
+			id: id, kind: KindPedestrian, route: route, phase: rng.Range(0, route.Duration()),
+		})
+		id++
+	}
+	// Cyclists: longer loops hugging street edges.
+	for i := 0; i < cfg.NumCyclists; i++ {
+		ix := 1 + rng.Intn(city.Blocks-2)
+		iy := 1 + rng.Intn(city.Blocks-2)
+		x0 := city.StreetCenter(ix) + 5
+		y0 := city.StreetCenter(iy) + 5
+		x1 := city.StreetCenter(ix+1) - 5
+		y1 := city.StreetCenter(iy+1) - 5
+		speed := rng.Range(3.5, 6.5)
+		route := NewRouteBuilder(geom.V2(x0, y0), 0).
+			DriveTo(geom.V2(x1, y0), speed).
+			DriveTo(geom.V2(x1, y1), speed).
+			DriveTo(geom.V2(x0, y1), speed).
+			DriveTo(geom.V2(x0, y0), speed).
+			Loop().
+			Build()
+		s.actors = append(s.actors, scriptedActor{
+			id: id, kind: KindCyclist, route: route, phase: rng.Range(0, route.Duration()),
+		})
+		id++
+	}
+	return s
+}
+
+// buildEgoRoute traces a large loop through the city with stops at a
+// few intersections, sized to take roughly eight minutes per lap.
+func buildEgoRoute(c *City, speed float64) *Route {
+	bs := c.BlockSize
+	n := float64(c.Blocks)
+	p := func(ix, iy float64) geom.Vec2 { return geom.V2(ix*bs, iy*bs) }
+	b := NewRouteBuilder(p(1, 1), 0)
+	slow := speed * 0.6
+	// Outer loop with two mid-city detours; dwell at selected corners.
+	b.DriveTo(p(n-1, 1), speed).Dwell(6)
+	b.DriveTo(p(n-1, n/2), speed)
+	b.DriveTo(p(n/2, n/2), slow).Dwell(8) // mid-city, dense traffic
+	b.DriveTo(p(n/2, n-1), speed)
+	b.DriveTo(p(1, n-1), speed).Dwell(5)
+	b.DriveTo(p(1, n/2), speed)
+	b.DriveTo(p(2, n/2), slow)
+	b.DriveTo(p(2, 2), speed).Dwell(4)
+	b.DriveTo(p(1, 2), slow)
+	b.DriveTo(p(1, 1), speed).Dwell(6)
+	return b.Loop().Build()
+}
+
+// Duration returns one ego lap duration in seconds.
+func (s *Scenario) Duration() float64 { return s.EgoRoute.Duration() }
+
+// At returns the full ground-truth snapshot at time t.
+func (s *Scenario) At(t float64) Snapshot {
+	egoPose, egoSpeed := s.EgoRoute.At(t)
+	snap := Snapshot{
+		Time: t,
+		Ego: ActorState{
+			ID: 0, Kind: KindCar, Pose: egoPose, Speed: egoSpeed,
+			Dim: KindCar.Dimensions(),
+		},
+		Actors: make([]ActorState, 0, len(s.actors)),
+	}
+	for _, a := range s.actors {
+		pose, speed := a.route.At(t + a.phase)
+		snap.Actors = append(snap.Actors, ActorState{
+			ID: a.id, Kind: a.kind, Pose: pose, Speed: speed,
+			Dim: a.kind.Dimensions(),
+		})
+	}
+	return snap
+}
+
+// NumActors returns the number of scripted traffic actors.
+func (s *Scenario) NumActors() int { return len(s.actors) }

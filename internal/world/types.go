@@ -1,0 +1,118 @@
+// Package world models the synthetic driving environment that replaces
+// the paper's Nagoya recording: a city of streets and buildings, a lane
+// graph, scripted traffic actors and a deterministic ego drive. All
+// dynamics are closed-form functions of time, so any instant of the
+// drive can be queried exactly and reproducibly.
+package world
+
+import "repro/internal/geom"
+
+// ActorKind classifies a traffic participant. The detection stack's
+// class labels mirror these.
+type ActorKind int
+
+// Actor kinds.
+const (
+	KindCar ActorKind = iota
+	KindTruck
+	KindPedestrian
+	KindCyclist
+)
+
+// String implements fmt.Stringer.
+func (k ActorKind) String() string {
+	switch k {
+	case KindCar:
+		return "car"
+	case KindTruck:
+		return "truck"
+	case KindPedestrian:
+		return "pedestrian"
+	case KindCyclist:
+		return "cyclist"
+	default:
+		return "unknown"
+	}
+}
+
+// Dimensions returns the canonical body size (length, width, height) in
+// meters for the kind.
+func (k ActorKind) Dimensions() geom.Vec3 {
+	switch k {
+	case KindCar:
+		return geom.V3(4.4, 1.8, 1.5)
+	case KindTruck:
+		return geom.V3(8.0, 2.5, 3.2)
+	case KindPedestrian:
+		return geom.V3(0.5, 0.5, 1.7)
+	case KindCyclist:
+		return geom.V3(1.8, 0.6, 1.7)
+	default:
+		return geom.V3(1, 1, 1)
+	}
+}
+
+// ActorState is the ground-truth state of one traffic participant at a
+// queried instant.
+type ActorState struct {
+	ID   int
+	Kind ActorKind
+	Pose geom.Pose
+	// Speed is the scalar ground speed along the heading, m/s.
+	Speed float64
+	// Dim is the body size (length, width, height).
+	Dim geom.Vec3
+}
+
+// Footprint returns the ground-plane oriented box of the actor.
+func (a ActorState) Footprint() geom.OBB2 {
+	return geom.OBB2{
+		Center:  a.Pose.XY(),
+		Yaw:     a.Pose.Yaw,
+		HalfLen: a.Dim.X / 2,
+		HalfWid: a.Dim.Y / 2,
+	}
+}
+
+// BodyBox returns the world-frame axis-aligned box that encloses the
+// actor's oriented body. Ray casting uses the oriented test; this box is
+// the broad-phase bound.
+func (a ActorState) BodyBox() geom.AABB3 {
+	fp := a.Footprint()
+	box := geom.EmptyAABB3()
+	for _, c := range fp.Corners() {
+		box.Expand(geom.V3(c.X, c.Y, a.Pose.Pos.Z))
+		box.Expand(geom.V3(c.X, c.Y, a.Pose.Pos.Z+a.Dim.Z))
+	}
+	return box
+}
+
+// Velocity returns the planar velocity vector.
+func (a ActorState) Velocity() geom.Vec2 {
+	return a.Pose.Forward().Scale(a.Speed)
+}
+
+// Building is a static box-shaped obstacle (building, wall or pole).
+type Building struct {
+	Box geom.AABB3
+}
+
+// Snapshot is the complete ground truth of the world at one instant.
+type Snapshot struct {
+	Time   float64
+	Ego    ActorState
+	Actors []ActorState
+}
+
+// ActorsNear returns the actors whose centers lie within radius of the
+// ego, which is what the perception stack can plausibly observe.
+func (s *Snapshot) ActorsNear(radius float64) []ActorState {
+	out := make([]ActorState, 0, len(s.Actors))
+	ego := s.Ego.Pose.XY()
+	for _, a := range s.Actors {
+		if a.Pose.XY().Dist(ego) <= radius {
+			out = append(out, a)
+		}
+	}
+	return out
+}

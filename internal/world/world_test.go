@@ -1,0 +1,296 @@
+package world
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestRouteStraight(t *testing.T) {
+	r := NewRouteBuilder(geom.V2(0, 0), 0).DriveTo(geom.V2(100, 0), 10).Build()
+	if math.Abs(r.Duration()-10) > 1e-9 {
+		t.Errorf("duration = %v", r.Duration())
+	}
+	pose, speed := r.At(5)
+	if math.Abs(pose.Pos.X-50) > 1e-9 || speed != 10 {
+		t.Errorf("mid: %v speed %v", pose.Pos, speed)
+	}
+	// Before start / after end clamp.
+	p0, s0 := r.At(-1)
+	if p0.Pos.X != 0 || s0 != 0 {
+		t.Errorf("before start: %v %v", p0.Pos, s0)
+	}
+	p1, s1 := r.At(100)
+	if p1.Pos.X != 100 || s1 != 0 {
+		t.Errorf("after end: %v %v", p1.Pos, s1)
+	}
+}
+
+func TestRouteDwell(t *testing.T) {
+	r := NewRouteBuilder(geom.V2(0, 0), 0).
+		DriveTo(geom.V2(10, 0), 10).
+		Dwell(5).
+		DriveTo(geom.V2(10, 10), 10).
+		Build()
+	// t=3: inside dwell (drive takes 1s).
+	pose, speed := r.At(3)
+	if speed != 0 || pose.Pos.XY().Dist(geom.V2(10, 0)) > 1e-9 {
+		t.Errorf("dwell: %v speed %v", pose.Pos, speed)
+	}
+	// After dwell: moving north; heading should be +Y.
+	pose, speed = r.At(6.5)
+	if speed != 10 {
+		t.Errorf("post-dwell speed = %v", speed)
+	}
+	if math.Abs(pose.Yaw-math.Pi/2) > 1e-9 {
+		t.Errorf("post-dwell yaw = %v", pose.Yaw)
+	}
+	// During the dwell the heading looks ahead to the next segment.
+	pose, _ = r.At(3)
+	if math.Abs(pose.Yaw-math.Pi/2) > 1e-9 {
+		t.Errorf("dwell yaw = %v", pose.Yaw)
+	}
+}
+
+func TestRouteLoopWraps(t *testing.T) {
+	r := NewRouteBuilder(geom.V2(0, 0), 0).
+		DriveTo(geom.V2(10, 0), 10).
+		DriveTo(geom.V2(0, 0), 10).
+		Loop().
+		Build()
+	// Duration 2s; t=2.5 is same as t=0.5.
+	pa, _ := r.At(2.5)
+	pb, _ := r.At(0.5)
+	if pa.Pos.Dist(pb.Pos) > 1e-9 {
+		t.Errorf("loop wrap: %v vs %v", pa.Pos, pb.Pos)
+	}
+	// Negative time wraps too.
+	pc, _ := r.At(-1.5)
+	if pc.Pos.Dist(pb.Pos) > 1e-9 {
+		t.Errorf("negative wrap: %v vs %v", pc.Pos, pb.Pos)
+	}
+}
+
+func TestRouteContinuity(t *testing.T) {
+	r := NewRouteBuilder(geom.V2(0, 0), 0).
+		DriveTo(geom.V2(50, 0), 10).
+		DriveTo(geom.V2(50, 50), 5).
+		Dwell(3).
+		DriveTo(geom.V2(0, 50), 8).
+		Build()
+	prev, _ := r.At(0)
+	for ts := 0.1; ts < r.Duration(); ts += 0.1 {
+		cur, _ := r.At(ts)
+		if cur.Pos.Dist(prev.Pos) > 10*0.1+1e-6 {
+			t.Fatalf("discontinuity at t=%v: %v -> %v", ts, prev.Pos, cur.Pos)
+		}
+		prev = cur
+	}
+}
+
+func TestRouteBuilderPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"no segments": func() { NewRouteBuilder(geom.V2(0, 0), 0).Build() },
+		"zero speed":  func() { NewRouteBuilder(geom.V2(0, 0), 0).DriveTo(geom.V2(1, 0), 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCityGeneration(t *testing.T) {
+	c := NewCity(DefaultCityConfig())
+	if len(c.Buildings) == 0 {
+		t.Fatal("no buildings generated")
+	}
+	// All buildings fit inside the city bounds and stay out of streets.
+	size := c.Size()
+	for _, b := range c.Buildings {
+		if b.Box.Min.X < 0 || b.Box.Max.X > size || b.Box.Min.Y < 0 || b.Box.Max.Y > size {
+			t.Fatalf("building out of bounds: %+v", b.Box)
+		}
+		if !b.Box.Valid() || b.Box.Max.Z <= 0 {
+			t.Fatalf("degenerate building: %+v", b.Box)
+		}
+	}
+}
+
+func TestCityDeterminism(t *testing.T) {
+	a := NewCity(DefaultCityConfig())
+	b := NewCity(DefaultCityConfig())
+	if len(a.Buildings) != len(b.Buildings) {
+		t.Fatal("city generation not deterministic")
+	}
+	for i := range a.Buildings {
+		if a.Buildings[i].Box != b.Buildings[i].Box {
+			t.Fatal("building mismatch between identical seeds")
+		}
+	}
+}
+
+func TestCityCastRayGround(t *testing.T) {
+	c := NewCity(DefaultCityConfig())
+	// From 2m above an intersection, pointing down at 45 degrees along a
+	// street: must hit the ground at range ~2*sqrt(2) unless a pole
+	// interferes (choose a gap direction: straight down).
+	origin := geom.V3(c.StreetCenter(1), c.StreetCenter(1), 2)
+	dist, hit := c.CastRay(origin, geom.V3(0, 0, -1), 100)
+	if !hit || math.Abs(dist-2) > 1e-9 {
+		t.Errorf("ground ray: %v %v", dist, hit)
+	}
+	// Pointing up: no hit.
+	if _, hit := c.CastRay(origin, geom.V3(0, 0, 1), 100); hit {
+		t.Error("sky ray should miss")
+	}
+}
+
+func TestCityCastRayBuilding(t *testing.T) {
+	c := NewCity(DefaultCityConfig())
+	b := c.Buildings[0].Box
+	center := b.Center()
+	// Shoot from outside toward the building center, horizontally.
+	origin := geom.V3(b.Min.X-10, center.Y, math.Min(2, b.Max.Z/2))
+	dist, hit := c.CastRay(origin, geom.V3(1, 0, 0), 100)
+	if !hit {
+		t.Fatal("building ray should hit")
+	}
+	if dist > 10+1e-9 {
+		t.Errorf("hit distance %v should be <= 10", dist)
+	}
+}
+
+func TestLaneNetwork(t *testing.T) {
+	c := NewCity(DefaultCityConfig())
+	ln := NewLaneNetworkForCity(c, 13.9)
+	if err := ln.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	n := c.Blocks + 1
+	if len(ln.Nodes) != n*n {
+		t.Errorf("nodes = %d, want %d", len(ln.Nodes), n*n)
+	}
+	// Each interior node has 4 outgoing edges.
+	interior := ln.NearestNode(geom.V2(c.StreetCenter(2), c.StreetCenter(2)))
+	if got := len(ln.Out(interior)); got != 4 {
+		t.Errorf("interior degree = %d", got)
+	}
+	// Corner has 2.
+	corner := ln.NearestNode(geom.V2(0, 0))
+	if got := len(ln.Out(corner)); got != 2 {
+		t.Errorf("corner degree = %d", got)
+	}
+	if ln.Out(-1) != nil {
+		t.Error("Out(-1) should be nil")
+	}
+}
+
+func TestScenarioDeterminism(t *testing.T) {
+	a := NewScenario(DefaultScenarioConfig())
+	b := NewScenario(DefaultScenarioConfig())
+	for _, ts := range []float64{0, 13.37, 120, 400} {
+		sa, sb := a.At(ts), b.At(ts)
+		if sa.Ego.Pose != sb.Ego.Pose {
+			t.Fatalf("ego poses differ at t=%v", ts)
+		}
+		if len(sa.Actors) != len(sb.Actors) {
+			t.Fatalf("actor counts differ at t=%v", ts)
+		}
+		for i := range sa.Actors {
+			if sa.Actors[i].Pose != sb.Actors[i].Pose {
+				t.Fatalf("actor %d pose differs at t=%v", i, ts)
+			}
+		}
+	}
+}
+
+func TestScenarioDurationRoughlyEightMinutes(t *testing.T) {
+	s := NewScenario(DefaultScenarioConfig())
+	d := s.Duration()
+	if d < 300 || d > 700 {
+		t.Errorf("ego lap duration = %v s, want a few hundred seconds", d)
+	}
+}
+
+func TestScenarioActorsStayInCity(t *testing.T) {
+	s := NewScenario(DefaultScenarioConfig())
+	size := s.City.Size()
+	for ts := 0.0; ts < 100; ts += 7.3 {
+		snap := s.At(ts)
+		for _, a := range snap.Actors {
+			p := a.Pose.XY()
+			if p.X < -1 || p.Y < -1 || p.X > size+1 || p.Y > size+1 {
+				t.Fatalf("actor %d out of city at t=%v: %v", a.ID, ts, p)
+			}
+		}
+	}
+}
+
+func TestScenarioSceneDensityVaries(t *testing.T) {
+	s := NewScenario(DefaultScenarioConfig())
+	counts := map[int]int{}
+	for ts := 0.0; ts < s.Duration(); ts += 5 {
+		snap := s.At(ts)
+		counts[len(snap.ActorsNear(50))]++
+	}
+	if len(counts) < 3 {
+		t.Errorf("actor density should vary along the drive, got %v", counts)
+	}
+}
+
+func TestActorStateGeometry(t *testing.T) {
+	a := ActorState{
+		Kind: KindCar,
+		Pose: geom.NewPose(10, 20, 0, 0),
+		Dim:  KindCar.Dimensions(),
+	}
+	fp := a.Footprint()
+	if !fp.Contains(geom.V2(10, 20)) {
+		t.Error("footprint should contain center")
+	}
+	if !fp.Contains(geom.V2(12, 20)) { // within half length 2.2
+		t.Error("footprint should contain nose")
+	}
+	if fp.Contains(geom.V2(13, 20)) {
+		t.Error("footprint should not extend past nose")
+	}
+	box := a.BodyBox()
+	if box.Max.Z != a.Dim.Z {
+		t.Errorf("body box height = %v", box.Max.Z)
+	}
+	a.Speed = 5
+	v := a.Velocity()
+	if math.Abs(v.X-5) > 1e-9 || math.Abs(v.Y) > 1e-9 {
+		t.Errorf("velocity = %v", v)
+	}
+}
+
+func TestActorKindStrings(t *testing.T) {
+	if KindCar.String() != "car" || KindPedestrian.String() != "pedestrian" ||
+		KindTruck.String() != "truck" || KindCyclist.String() != "cyclist" {
+		t.Error("kind strings wrong")
+	}
+	if ActorKind(99).String() != "unknown" {
+		t.Error("unknown kind string")
+	}
+}
+
+func TestSnapshotActorsNear(t *testing.T) {
+	snap := Snapshot{
+		Ego: ActorState{Pose: geom.NewPose(0, 0, 0, 0)},
+		Actors: []ActorState{
+			{ID: 1, Pose: geom.NewPose(10, 0, 0, 0)},
+			{ID: 2, Pose: geom.NewPose(100, 0, 0, 0)},
+		},
+	}
+	near := snap.ActorsNear(50)
+	if len(near) != 1 || near[0].ID != 1 {
+		t.Errorf("near = %+v", near)
+	}
+}
