@@ -1,0 +1,25 @@
+# Convenience targets for the reproduction repo. Everything is plain
+# `go` tooling; the Makefile only fixes the invocations.
+
+GO ?= go
+
+.PHONY: build test race vet bench-smoke
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the library packages, including the parallel experiment
+# engine and the intra-frame shard loops.
+race:
+	$(GO) test -race -timeout 15m ./internal/...
+
+vet:
+	$(GO) vet ./...
+
+# Quick allocation/latency smoke over the hot-path micro-benches.
+bench-smoke:
+	$(GO) test -run=NONE -bench='BenchmarkVoxelGrid|BenchmarkKDTreeBuild|BenchmarkKDTreeRadius' -benchmem -benchtime=10x ./internal/pointcloud/
+	$(GO) test -run=NONE -bench='BenchmarkCluster' -benchmem -benchtime=10x ./internal/nodes/lidardet/

@@ -45,6 +45,7 @@ func benchEnv(b *testing.B) *experiments.Env {
 func runExperiment(b *testing.B, fn func(io.Writer, *experiments.Runs) error) *experiments.Runs {
 	e := benchEnv(b)
 	var runs *experiments.Runs
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		runs = experiments.NewRuns(e, benchDrive)
@@ -54,6 +55,29 @@ func runExperiment(b *testing.B, fn func(io.Writer, *experiments.Runs) error) *e
 	}
 	b.StopTimer()
 	return runs
+}
+
+// BenchmarkPrewarmWorkers runs the full configuration matrix (3 full +
+// 3 saturated + 2 standalone stacks) serially and with 4 workers. The
+// wall-clock ratio between the sub-benchmarks is the engine's speedup;
+// the virtual-time results are identical (see
+// TestParallelRunsAreByteIdentical in internal/experiments).
+func BenchmarkPrewarmWorkers(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		b.Run(map[int]string{1: "workers1", 4: "workers4"}[workers], func(b *testing.B) {
+			e := benchEnv(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				runs := experiments.NewRuns(e, benchDrive)
+				runs.Workers = workers
+				if err := runs.Prewarm(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkFig5SingleNodeLatency regenerates Figure 5 and reports the
@@ -146,6 +170,7 @@ func BenchmarkFig8StandaloneVsFull(b *testing.B) {
 // runConfigured runs one full stack with a tweaked config and returns it.
 func runConfigured(b *testing.B, mutate func(*autoware.Config)) *autoware.Stack {
 	b.Helper()
+	b.ReportAllocs()
 	e := benchEnv(b)
 	cfg := autoware.DefaultConfig(autoware.DetectorSSD512)
 	mutate(&cfg)

@@ -6,16 +6,23 @@
 // Usage:
 //
 //	avsim [-detector SSD512|SSD300|YOLOv3-416] [-duration 30s]
-//	      [-planning] [-status 5s]
+//	      [-planning] [-status 5s] [-workers N]
+//
+// avsim drives a single stack, so -workers (default: the number of
+// CPUs) bounds the host threads used by intra-frame shard loops (voxel
+// hashing, k-d tree builds, ray-ground sector sorts). Virtual-time
+// results are identical for any worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/avstack"
+	"repro/internal/parallel"
 )
 
 func main() {
@@ -23,7 +30,9 @@ func main() {
 	duration := flag.Duration("duration", 30*time.Second, "virtual drive duration")
 	planning := flag.Bool("planning", false, "run the planning and motion nodes too")
 	status := flag.Duration("status", 5*time.Second, "status print interval (virtual time)")
+	workers := flag.Int("workers", runtime.NumCPU(), "max host threads for intra-frame shard loops (results are identical for any value)")
 	flag.Parse()
+	parallel.SetMaxWorkers(*workers)
 
 	fmt.Println("assembling stack (map synthesis takes a few seconds)...")
 	sys, err := avstack.NewSystemWithOptions(avstack.Detector(*detector), avstack.Options{

@@ -40,6 +40,24 @@ func NewCharacterizer(duration time.Duration) (*Characterizer, error) {
 // Env exposes the underlying environment for advanced use.
 func (c *Characterizer) Env() *experiments.Env { return c.env }
 
+// SetWorkers bounds how many experiment configurations simulate
+// concurrently (n <= 1 means serial). Each configuration is an isolated
+// virtual-time simulation, so the worker count never changes results —
+// only wall-clock time.
+func (c *Characterizer) SetWorkers(n int) { c.runs.Workers = n }
+
+// prewarm simulates the full configuration matrix concurrently when
+// workers are enabled; serial runs warm lazily instead.
+func (c *Characterizer) prewarm() error {
+	if c.runs.Workers <= 1 {
+		return nil
+	}
+	if err := c.runs.Prewarm(); err != nil {
+		return fmt.Errorf("core: prewarm: %w", err)
+	}
+	return nil
+}
+
 // Runs exposes the run cache (completed stack executions).
 func (c *Characterizer) Runs() *experiments.Runs { return c.runs }
 
@@ -56,11 +74,19 @@ func (c *Characterizer) RunExperiment(w io.Writer, name string) error {
 // WriteCSV exports the raw data behind the figures to dir (see
 // experiments.WriteCSV for the file inventory).
 func (c *Characterizer) WriteCSV(dir string) error {
+	if err := c.prewarm(); err != nil {
+		return err
+	}
 	return experiments.WriteCSV(dir, c.runs)
 }
 
-// RunAll executes every experiment in paper order.
+// RunAll executes every experiment in paper order. When SetWorkers has
+// enabled parallelism, the configuration matrix is simulated up front
+// across workers; rendering then reads the cache in paper order.
 func (c *Characterizer) RunAll(w io.Writer) error {
+	if err := c.prewarm(); err != nil {
+		return err
+	}
 	for _, e := range experiments.All() {
 		if err := e.Run(w, c.runs); err != nil {
 			return fmt.Errorf("core: experiment %s: %w", e.Name, err)

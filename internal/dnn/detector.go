@@ -36,6 +36,13 @@ type Detector struct {
 	w3, b3 []float32 // nc2 -> 4 class maps
 	// Threshold on class-map activation.
 	thresh float32
+
+	// Per-frame activation scratch: one tensor per pipeline stage plus
+	// the decoder's working sets, reused across Infer calls (each node
+	// owns its detector and processes one frame at a time).
+	tIn, tF1, tP1, tF2, tP2, tCls Tensor
+	salBuf, visitedBuf            []bool
+	stackBuf                      []int
 }
 
 const (
@@ -126,12 +133,12 @@ func (d *Detector) Arch() Arch { return d.arch }
 // is resized to the functional resolution) and returns detections in
 // the *input tensor's* pixel coordinates.
 func (d *Detector) Infer(img *Tensor) []Detection {
-	in := ResizeBilinear(img, d.funcH, d.funcW)
-	f1 := LeakyReLU(Conv2D(in, d.w1, d.b1, nc1, 3, 1, 1), 0.05)
-	p1 := MaxPool2x2(f1) // /2
-	f2 := LeakyReLU(Conv2D(p1, d.w2, d.b2, nc2, 3, 1, 1), 0.05)
-	p2 := MaxPool2x2(f2) // /4
-	cls := Conv2D(p2, d.w3, d.b3, 4, 1, 1, 0)
+	in := ResizeBilinearInto(img, d.funcH, d.funcW, &d.tIn)
+	f1 := LeakyReLU(Conv2DInto(in, d.w1, d.b1, nc1, 3, 1, 1, &d.tF1), 0.05)
+	p1 := MaxPool2x2Into(f1, &d.tP1) // /2
+	f2 := LeakyReLU(Conv2DInto(p1, d.w2, d.b2, nc2, 3, 1, 1, &d.tF2), 0.05)
+	p2 := MaxPool2x2Into(f2, &d.tP2) // /4
+	cls := Conv2DInto(p2, d.w3, d.b3, 4, 1, 1, 0, &d.tCls)
 
 	dets := d.decode(cls)
 	// Map back to the original image coordinates.
@@ -152,8 +159,11 @@ func (d *Detector) Infer(img *Tensor) []Detection {
 func (d *Detector) decode(cls *Tensor) []Detection {
 	h, w := cls.H, cls.W
 	// Salience = max over class channels.
-	type cell struct{ salient bool }
-	sal := make([]bool, h*w)
+	if cap(d.salBuf) < h*w {
+		d.salBuf = make([]bool, h*w)
+		d.visitedBuf = make([]bool, h*w)
+	}
+	sal := d.salBuf[:h*w]
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {
 			m := cls.At(0, y, x)
@@ -166,9 +176,12 @@ func (d *Detector) decode(cls *Tensor) []Detection {
 		}
 	}
 	// 4-connected components via iterative flood fill.
-	visited := make([]bool, h*w)
+	visited := d.visitedBuf[:h*w]
+	for i := range visited {
+		visited[i] = false
+	}
 	var out []Detection
-	var stack []int
+	stack := d.stackBuf
 	for start := 0; start < h*w; start++ {
 		if !sal[start] || visited[start] {
 			continue
@@ -227,6 +240,7 @@ func (d *Detector) decode(cls *Tensor) []Detection {
 			Score: score,
 		})
 	}
+	d.stackBuf = stack[:0]
 	return out
 }
 

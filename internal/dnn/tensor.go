@@ -12,7 +12,11 @@
 //     models, preserving the relative cost ratios the paper measures.
 package dnn
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+)
 
 // Tensor is a dense CHW float32 tensor.
 type Tensor struct {
@@ -28,15 +32,51 @@ func NewTensor(c, h, w int) *Tensor {
 	return &Tensor{C: c, H: h, W: w, Data: make([]float32, c*h*w)}
 }
 
+// Reshape resizes t in place to (c, h, w), reusing its buffer when
+// capacity allows. Contents are unspecified afterwards; every layer
+// below overwrites its full output. Returns t.
+func (t *Tensor) Reshape(c, h, w int) *Tensor {
+	if c <= 0 || h <= 0 || w <= 0 {
+		panic(fmt.Sprintf("dnn: bad tensor dims %dx%dx%d", c, h, w))
+	}
+	n := c * h * w
+	if cap(t.Data) < n {
+		t.Data = make([]float32, n)
+	}
+	t.Data = t.Data[:n]
+	t.C, t.H, t.W = c, h, w
+	return t
+}
+
+// ensureDst returns dst reshaped to (c, h, w), allocating when nil.
+func ensureDst(dst *Tensor, c, h, w int) *Tensor {
+	if dst == nil {
+		return NewTensor(c, h, w)
+	}
+	return dst.Reshape(c, h, w)
+}
+
 // At returns element (c, y, x).
 func (t *Tensor) At(c, y, x int) float32 { return t.Data[(c*t.H+y)*t.W+x] }
 
 // Set assigns element (c, y, x).
 func (t *Tensor) Set(c, y, x int, v float32) { t.Data[(c*t.H+y)*t.W+x] = v }
 
+// convParallelMin is the smallest per-layer MAC volume worth fanning
+// output channels across goroutines. Channels are independent (disjoint
+// output planes, read-only input), so concurrency cannot change a
+// single output bit.
+const convParallelMin = 1 << 17
+
 // Conv2D applies a 3x3-style convolution with stride and zero padding.
 // weights layout: [outC][inC][k][k]; bias length outC.
 func Conv2D(in *Tensor, weights []float32, bias []float32, outC, k, stride, pad int) *Tensor {
+	return Conv2DInto(in, weights, bias, outC, k, stride, pad, nil)
+}
+
+// Conv2DInto is Conv2D with a reusable destination tensor (nil
+// allocates). dst must not alias in.
+func Conv2DInto(in *Tensor, weights []float32, bias []float32, outC, k, stride, pad int, dst *Tensor) *Tensor {
 	if len(weights) != outC*in.C*k*k {
 		panic("dnn: conv weight size mismatch")
 	}
@@ -45,8 +85,8 @@ func Conv2D(in *Tensor, weights []float32, bias []float32, outC, k, stride, pad 
 	}
 	outH := (in.H+2*pad-k)/stride + 1
 	outW := (in.W+2*pad-k)/stride + 1
-	out := NewTensor(outC, outH, outW)
-	for oc := 0; oc < outC; oc++ {
+	out := ensureDst(dst, outC, outH, outW)
+	convPlane := func(oc int) {
 		wBase := oc * in.C * k * k
 		for oy := 0; oy < outH; oy++ {
 			for ox := 0; ox < outW; ox++ {
@@ -74,6 +114,13 @@ func Conv2D(in *Tensor, weights []float32, bias []float32, outC, k, stride, pad 
 			}
 		}
 	}
+	if outC > 1 && outC*outH*outW*in.C*k*k >= convParallelMin {
+		parallel.Run(outC, convPlane)
+	} else {
+		for oc := 0; oc < outC; oc++ {
+			convPlane(oc)
+		}
+	}
 	return out
 }
 
@@ -90,11 +137,17 @@ func LeakyReLU(t *Tensor, alpha float32) *Tensor {
 // MaxPool2x2 downsamples by 2 with a 2x2 window (odd trailing row/col
 // dropped, as common frameworks do with floor mode).
 func MaxPool2x2(in *Tensor) *Tensor {
+	return MaxPool2x2Into(in, nil)
+}
+
+// MaxPool2x2Into is MaxPool2x2 with a reusable destination (nil
+// allocates). dst must not alias in.
+func MaxPool2x2Into(in *Tensor, dst *Tensor) *Tensor {
 	outH, outW := in.H/2, in.W/2
 	if outH < 1 || outW < 1 {
 		panic("dnn: tensor too small to pool")
 	}
-	out := NewTensor(in.C, outH, outW)
+	out := ensureDst(dst, in.C, outH, outW)
 	for c := 0; c < in.C; c++ {
 		for y := 0; y < outH; y++ {
 			for x := 0; x < outW; x++ {
@@ -117,7 +170,13 @@ func MaxPool2x2(in *Tensor) *Tensor {
 
 // ResizeBilinear resamples to (h, w).
 func ResizeBilinear(in *Tensor, h, w int) *Tensor {
-	out := NewTensor(in.C, h, w)
+	return ResizeBilinearInto(in, h, w, nil)
+}
+
+// ResizeBilinearInto is ResizeBilinear with a reusable destination (nil
+// allocates). dst must not alias in.
+func ResizeBilinearInto(in *Tensor, h, w int, dst *Tensor) *Tensor {
+	out := ensureDst(dst, in.C, h, w)
 	if in.H == h && in.W == w {
 		copy(out.Data, in.Data)
 		return out

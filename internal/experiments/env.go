@@ -2,15 +2,19 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/autoware"
 	"repro/internal/hdmap"
+	"repro/internal/parallel"
 	"repro/internal/world"
 )
 
 // Env holds the shared fixtures every experiment runs against: the
-// scenario (the synthetic Nagoya drive) and its HD map.
+// scenario (the synthetic Nagoya drive) and its HD map. Both are
+// read-only once built, so any number of stacks may run against them
+// concurrently.
 type Env struct {
 	Scenario *world.Scenario
 	Map      *hdmap.Map
@@ -29,13 +33,21 @@ func NewEnv() (*Env, error) {
 }
 
 // Runs caches completed stack executions so the experiments that share
-// a configuration do not re-simulate.
+// a configuration do not re-simulate. With Workers > 1, Prewarm
+// executes the whole configuration matrix concurrently; each stack is
+// an isolated simulation (own virtual clock, RNGs, platform state), so
+// results are identical to serial execution.
 type Runs struct {
 	env      *Env
 	Duration time.Duration
+	// Workers bounds how many configurations simulate concurrently in
+	// Prewarm. <= 1 means serial (the default).
+	Workers int
 
+	mu         sync.Mutex
 	full       map[autoware.Detector]*autoware.Stack
 	standalone map[autoware.Detector]*autoware.Stack
+	saturated  map[autoware.Detector]*autoware.Stack
 }
 
 // NewRuns prepares a run cache for the given drive duration per run.
@@ -45,13 +57,29 @@ func NewRuns(env *Env, duration time.Duration) *Runs {
 		Duration:   duration,
 		full:       make(map[autoware.Detector]*autoware.Stack),
 		standalone: make(map[autoware.Detector]*autoware.Stack),
+		saturated:  make(map[autoware.Detector]*autoware.Stack),
 	}
+}
+
+// lookup returns the cached stack for key in m, if any.
+func (r *Runs) lookup(m map[autoware.Detector]*autoware.Stack, key autoware.Detector) (*autoware.Stack, bool) {
+	r.mu.Lock()
+	s, ok := m[key]
+	r.mu.Unlock()
+	return s, ok
+}
+
+// store records a completed stack.
+func (r *Runs) store(m map[autoware.Detector]*autoware.Stack, key autoware.Detector, s *autoware.Stack) {
+	r.mu.Lock()
+	m[key] = s
+	r.mu.Unlock()
 }
 
 // Full returns (running on first use) the full-system stack for a
 // detector.
 func (r *Runs) Full(det autoware.Detector) (*autoware.Stack, error) {
-	if s, ok := r.full[det]; ok {
+	if s, ok := r.lookup(r.full, det); ok {
 		return s, nil
 	}
 	cfg := autoware.DefaultConfig(det)
@@ -60,13 +88,13 @@ func (r *Runs) Full(det autoware.Detector) (*autoware.Stack, error) {
 		return nil, err
 	}
 	s.Run(r.Duration)
-	r.full[det] = s
+	r.store(r.full, det, s)
 	return s, nil
 }
 
 // Standalone returns the vision-only stack for a detector.
 func (r *Runs) Standalone(det autoware.Detector) (*autoware.Stack, error) {
-	if s, ok := r.standalone[det]; ok {
+	if s, ok := r.lookup(r.standalone, det); ok {
 		return s, nil
 	}
 	cfg := autoware.DefaultConfig(det)
@@ -76,6 +104,47 @@ func (r *Runs) Standalone(det autoware.Detector) (*autoware.Stack, error) {
 		return nil, err
 	}
 	s.Run(r.Duration)
-	r.standalone[det] = s
+	r.store(r.standalone, det, s)
 	return s, nil
+}
+
+// Saturated returns the full-system stack with the camera overdriven to
+// 13.5 fps — the saturated-detector dropping regime of Table III (b).
+func (r *Runs) Saturated(det autoware.Detector) (*autoware.Stack, error) {
+	if s, ok := r.lookup(r.saturated, det); ok {
+		return s, nil
+	}
+	cfg := autoware.DefaultConfig(det)
+	cfg.CameraRate = 13.5
+	s, err := autoware.BuildWithMap(cfg, r.env.Scenario, r.env.Map)
+	if err != nil {
+		return nil, err
+	}
+	s.Run(r.Duration)
+	r.store(r.saturated, det, s)
+	return s, nil
+}
+
+// Prewarm simulates every configuration the experiment suite reads —
+// full system and saturated-camera for each detector, standalone for
+// the Fig. 8 pair — across at most Workers goroutines. Errors are
+// reported in configuration order, so failures are deterministic too.
+// After Prewarm, every experiment harness is a pure cache read.
+func (r *Runs) Prewarm() error {
+	type job func() error
+	var jobs []job
+	for _, det := range autoware.Detectors() {
+		det := det
+		jobs = append(jobs, func() error { _, err := r.Full(det); return err })
+		jobs = append(jobs, func() error { _, err := r.Saturated(det); return err })
+	}
+	for _, det := range []autoware.Detector{autoware.DetectorSSD512, autoware.DetectorYOLOv3} {
+		det := det
+		jobs = append(jobs, func() error { _, err := r.Standalone(det); return err })
+	}
+	workers := r.Workers
+	if workers <= 1 {
+		workers = 1
+	}
+	return parallel.FirstError(len(jobs), workers, func(i int) error { return jobs[i]() })
 }

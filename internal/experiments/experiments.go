@@ -79,13 +79,10 @@ func Table3(w io.Writer, runs *Runs) error {
 	Section(w, "Table III (b) — camera at 13.5 fps (saturated-detector regime)")
 	tbl2 := &Table{Header: []string{"Config", "Topic", "Subscriber", "Arrived", "Dropped", "Rate"}}
 	for _, det := range autoware.Detectors() {
-		cfg := autoware.DefaultConfig(det)
-		cfg.CameraRate = 13.5
-		s, err := autoware.BuildWithMap(cfg, runs.env.Scenario, runs.env.Map)
+		s, err := runs.Saturated(det)
 		if err != nil {
 			return err
 		}
-		s.Run(runs.Duration)
 		rows := 0
 		for _, r := range s.Bus.DropReports() {
 			if r.Dropped == 0 {
@@ -317,9 +314,18 @@ func ByName(name string) (Experiment, error) {
 	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, names)
 }
 
-// RunAll executes every experiment against one run cache.
-func RunAll(w io.Writer, env *Env, duration time.Duration) error {
+// RunAll executes every experiment against one run cache. With
+// workers > 1 the configuration matrix simulates concurrently before
+// the (serial, ordered) report rendering; the reports are identical
+// either way.
+func RunAll(w io.Writer, env *Env, duration time.Duration, workers int) error {
 	runs := NewRuns(env, duration)
+	runs.Workers = workers
+	if workers > 1 {
+		if err := runs.Prewarm(); err != nil {
+			return fmt.Errorf("experiments: prewarm: %w", err)
+		}
+	}
 	for _, e := range All() {
 		if err := e.Run(w, runs); err != nil {
 			return fmt.Errorf("experiments: %s: %w", e.Name, err)

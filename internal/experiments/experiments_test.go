@@ -3,7 +3,9 @@ package experiments
 import (
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -11,12 +13,30 @@ import (
 	"repro/internal/testenv"
 )
 
-// testEnvAndRuns builds a cache over the shared fixtures with a short
-// drive (enough samples for shape checks, fast enough for CI).
+var (
+	sharedOnce sync.Once
+	sharedEnv  *Env
+	sharedRuns *Runs
+	sharedErr  error
+)
+
+// testEnvAndRuns returns one package-wide run cache over the shared
+// fixtures with a short drive (enough samples for shape checks, fast
+// enough for CI). The first caller prewarms the whole configuration
+// matrix across workers; every experiment harness then reads the
+// cache, so each configuration simulates exactly once per test binary.
 func testEnvAndRuns(t *testing.T) (*Env, *Runs) {
 	t.Helper()
-	env := &Env{Scenario: testenv.Scenario(), Map: testenv.Map()}
-	return env, NewRuns(env, 20*time.Second)
+	sharedOnce.Do(func() {
+		sharedEnv = &Env{Scenario: testenv.Scenario(), Map: testenv.Map()}
+		sharedRuns = NewRuns(sharedEnv, 20*time.Second)
+		sharedRuns.Workers = runtime.NumCPU()
+		sharedErr = sharedRuns.Prewarm()
+	})
+	if sharedErr != nil {
+		t.Fatal(sharedErr)
+	}
+	return sharedEnv, sharedRuns
 }
 
 func TestFig5ProducesAllViolins(t *testing.T) {

@@ -67,6 +67,7 @@ func Build(s *world.Scenario, cfg Config) (*Map, error) {
 	}
 	lidar := sensor.NewLiDAR(cfg.LiDAR, s.City)
 	acc := pointcloud.New(1 << 16)
+	scratch := pointcloud.New(0)
 
 	// Walk the route by time, emitting a scan every ScanSpacing meters.
 	duration := s.EgoRoute.Duration()
@@ -89,8 +90,9 @@ func Build(s *world.Scenario, cfg Config) (*Map, error) {
 			// No traffic: the map captures only static structure.
 		}
 		scan := lidar.Scan(&snap)
-		// Register into the world frame with the known mapping pose.
-		wsc := scan.Transform(pose)
+		// Register into the world frame with the known mapping pose,
+		// through a reused staging cloud.
+		wsc := scan.TransformInto(pose, scratch)
 		acc.Points = append(acc.Points, wsc.Points...)
 		// Thin periodically to bound memory.
 		if acc.Len() > 1<<20 {

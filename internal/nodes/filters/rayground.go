@@ -2,10 +2,10 @@ package filters
 
 import (
 	"math"
-	"sort"
 	"time"
 
 	"repro/internal/msgs"
+	"repro/internal/parallel"
 	"repro/internal/pointcloud"
 	"repro/internal/ros"
 	"repro/internal/work"
@@ -46,6 +46,18 @@ type RayGround struct {
 	// sortSteps counts comparison iterations of the last Process, used
 	// by the work model.
 	sortSteps float64
+
+	// Per-frame scratch, reused across callbacks (each node instance
+	// processes one message at a time). secs/radii hold per-point sector
+	// assignments, counts/starts back the counting sort, order is the
+	// sector-major point permutation, and stepsPerSec collects each
+	// sector's sort cost for order-independent accumulation.
+	secs        []int32
+	radii       []float64
+	counts      []int32
+	starts      []int32
+	order       []int32
+	stepsPerSec []float64
 }
 
 // NewRayGround builds the node.
@@ -67,52 +79,144 @@ func (r *RayGround) Subscribes() []ros.SubSpec {
 	return []ros.SubSpec{{Topic: TopicPointsRaw, Depth: r.cfg.QueueDepth}}
 }
 
+// raySectorShard fixes the shard size of the parallel azimuth-binning
+// pass; the decomposition depends only on cloud size, so results match
+// the serial walk bit for bit.
+const raySectorShard = 8192
+
 // Split performs the actual classification; exported for direct use in
 // tests and examples.
 func (r *RayGround) Split(cloud *pointcloud.Cloud) (ground, noGround *pointcloud.Cloud) {
-	type radialPoint struct {
-		idx    int32
-		radius float64
-	}
-	sectors := make([][]radialPoint, r.cfg.Sectors)
-	for i, p := range cloud.Points {
-		az := math.Atan2(p.Pos.Y, p.Pos.X)
-		sec := int((az + math.Pi) / (2 * math.Pi) * float64(r.cfg.Sectors))
-		if sec >= r.cfg.Sectors {
-			sec = r.cfg.Sectors - 1
+	n := cloud.Len()
+	nsec := r.cfg.Sectors
+	r.ensureScratch(n, nsec)
+
+	// Pass 1: per-point sector and radius. Pure per-element math over
+	// disjoint slots — safe and deterministic under fixed shards.
+	pts := cloud.Points
+	parallel.Run(parallel.Shards(n, raySectorShard), func(si int) {
+		lo, hi := parallel.ShardRange(si, raySectorShard, n)
+		for i := lo; i < hi; i++ {
+			p := &pts[i]
+			az := math.Atan2(p.Pos.Y, p.Pos.X)
+			sec := int((az + math.Pi) / (2 * math.Pi) * float64(nsec))
+			if sec >= nsec {
+				sec = nsec - 1
+			}
+			if sec < 0 {
+				sec = 0
+			}
+			r.secs[i] = int32(sec)
+			r.radii[i] = p.Pos.XY().Norm()
 		}
-		if sec < 0 {
-			sec = 0
-		}
-		sectors[sec] = append(sectors[sec], radialPoint{idx: int32(i), radius: p.Pos.XY().Norm()})
+	})
+
+	// Pass 2: counting sort into sector-major order (stable in point
+	// index, matching the append order of a per-sector bucket build).
+	for i := range r.counts {
+		r.counts[i] = 0
 	}
-	ground = pointcloud.New(cloud.Len() / 2)
-	noGround = pointcloud.New(cloud.Len() / 2)
+	for i := 0; i < n; i++ {
+		r.counts[r.secs[i]]++
+	}
+	off := int32(0)
+	for s := 0; s < nsec; s++ {
+		r.starts[s] = off
+		off += r.counts[s]
+		r.counts[s] = r.starts[s] // reuse as running cursor
+	}
+	r.starts[nsec] = off
+	for i := 0; i < n; i++ {
+		s := r.secs[i]
+		r.order[r.counts[s]] = int32(i)
+		r.counts[s]++
+	}
+
+	// Pass 3: sort each sector by radius. Sectors are disjoint slices,
+	// so they sort concurrently; per-sector costs accumulate serially in
+	// sector order afterwards to keep the float sum order-independent.
+	sortWorkers := 1
+	if n >= raySectorShard {
+		sortWorkers = parallel.MaxWorkers()
+	}
+	parallel.RunLimit(nsec, sortWorkers, func(s int) {
+		seg := r.order[r.starts[s]:r.starts[s+1]]
+		r.stepsPerSec[s] = 0
+		if len(seg) == 0 {
+			return
+		}
+		sortByRadius(seg, r.radii)
+		r.stepsPerSec[s] = float64(len(seg)) * math.Log2(float64(len(seg))+1)
+	})
 	r.sortSteps = 0
-	for _, sec := range sectors {
-		if len(sec) == 0 {
+	for s := 0; s < nsec; s++ {
+		r.sortSteps += r.stepsPerSec[s]
+	}
+
+	// Pass 4: walk each ray outward tracking the ground height.
+	ground = pointcloud.New(n / 2)
+	noGround = pointcloud.New(n / 2)
+	tanSlope := math.Tan(r.cfg.MaxSlope)
+	for s := 0; s < nsec; s++ {
+		seg := r.order[r.starts[s]:r.starts[s+1]]
+		if len(seg) == 0 {
 			continue
 		}
-		sort.Slice(sec, func(a, b int) bool { return sec[a].radius < sec[b].radius })
-		r.sortSteps += float64(len(sec)) * math.Log2(float64(len(sec))+1)
-		// Walk outward tracking the ground height.
 		prevR := 0.0
 		prevZ := r.cfg.InitialHeight
-		for _, rp := range sec {
-			p := cloud.Points[rp.idx]
-			dr := rp.radius - prevR
-			allowed := prevZ + dr*math.Tan(r.cfg.MaxSlope) + r.cfg.HeightMargin
+		for _, idx := range seg {
+			p := pts[idx]
+			radius := r.radii[idx]
+			dr := radius - prevR
+			allowed := prevZ + dr*tanSlope + r.cfg.HeightMargin
 			if p.Pos.Z <= allowed {
 				ground.Append(p)
 				// Ground estimate follows the terrain.
 				prevZ = p.Pos.Z
-				prevR = rp.radius
+				prevR = radius
 			} else {
 				noGround.Append(p)
 			}
 		}
 	}
 	return ground, noGround
+}
+
+// ensureScratch sizes the reusable buffers for n points and nsec sectors.
+func (r *RayGround) ensureScratch(n, nsec int) {
+	if cap(r.secs) < n {
+		r.secs = make([]int32, n)
+		r.radii = make([]float64, n)
+		r.order = make([]int32, n)
+	}
+	r.secs = r.secs[:n]
+	r.radii = r.radii[:n]
+	r.order = r.order[:n]
+	if cap(r.counts) < nsec+1 {
+		r.counts = make([]int32, nsec+1)
+		r.starts = make([]int32, nsec+1)
+		r.stepsPerSec = make([]float64, nsec)
+	}
+	r.counts = r.counts[:nsec+1]
+	r.starts = r.starts[:nsec+1]
+	r.stepsPerSec = r.stepsPerSec[:nsec]
+}
+
+// sortByRadius orders a sector's point indices by (radius, index) —
+// a total order, so every sorting algorithm yields the same result —
+// using insertion sort: sectors are small (tens of points) and nearly
+// sorted scan order makes it effectively linear.
+func sortByRadius(seg []int32, radii []float64) {
+	for i := 1; i < len(seg); i++ {
+		v := seg[i]
+		rv := radii[v]
+		j := i - 1
+		for j >= 0 && (radii[seg[j]] > rv || (radii[seg[j]] == rv && seg[j] > v)) {
+			seg[j+1] = seg[j]
+			j--
+		}
+		seg[j+1] = v
+	}
 }
 
 // Process implements ros.Node.

@@ -1,0 +1,36 @@
+package lidardet
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/mathx"
+	"repro/internal/pointcloud"
+)
+
+// BenchmarkCluster measures steady-state Extract on a traffic-like
+// scene: a ring of object blobs plus scattered clutter, reusing one
+// node so the retained k-d tree and visit scratch amortize.
+func BenchmarkCluster(b *testing.B) {
+	rng := mathx.NewRNG(21)
+	cloud := pointcloud.New(0)
+	for i := 0; i < 12; i++ {
+		ang := float64(i) * 0.5
+		center := geom.V3(20*math.Cos(ang), 20*math.Sin(ang), 1)
+		blob(cloud, rng, center, 400, 0.3)
+	}
+	for i := 0; i < 3000; i++ {
+		cloud.Append(pointcloud.Point{Pos: geom.V3(
+			rng.Float64()*80-40, rng.Float64()*80-40, rng.Float64()*2,
+		)})
+	}
+	n := New(DefaultConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if objs := n.Extract(cloud); len(objs) == 0 {
+			b.Fatal("no clusters")
+		}
+	}
+}

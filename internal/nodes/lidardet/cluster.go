@@ -53,6 +53,17 @@ type Cluster struct {
 	// lastTraversal is the k-d tree traversal count of the last run,
 	// used by the µarch trace generator.
 	lastTraversal int
+
+	// Per-frame scratch, reused across callbacks: the range-gated
+	// positions, the k-d tree (rebuilt in place each frame), and the
+	// region-growing working sets.
+	pts      []geom.Vec3
+	tree     *pointcloud.KDTree
+	visited  []bool
+	frontier []int32
+	neigh    []int32
+	member   []int32
+	hullBuf  []geom.Vec2
 }
 
 // New builds the node.
@@ -80,46 +91,57 @@ func (c *Cluster) LastTraversalSteps() int { return c.lastTraversal }
 // Extract runs clustering on a cloud (ego frame) and returns the
 // detected objects; exported for tests and examples.
 func (c *Cluster) Extract(cloud *pointcloud.Cloud) []msgs.DetectedObject {
-	// Range gate.
-	pts := make([]geom.Vec3, 0, cloud.Len())
+	// Range gate into the reused position buffer.
+	pts := c.pts[:0]
 	maxR2 := c.cfg.MaxRange * c.cfg.MaxRange
 	for _, p := range cloud.Points {
 		if p.Pos.XY().NormSq() <= maxR2 {
 			pts = append(pts, p.Pos)
 		}
 	}
+	c.pts = pts
 	if len(pts) == 0 {
 		return nil
 	}
-	tree := pointcloud.NewKDTree(pts)
+	if c.tree == nil {
+		c.tree = pointcloud.NewKDTree(pts)
+	} else {
+		c.tree.Rebuild(pts)
+	}
+	tree := c.tree
 	tree.ResetCounters()
-	visited := make([]bool, len(pts))
+	if cap(c.visited) < len(pts) {
+		c.visited = make([]bool, len(pts))
+	}
+	visited := c.visited[:len(pts)]
+	for i := range visited {
+		visited[i] = false
+	}
 	var out []msgs.DetectedObject
-	var frontier []int32
-	var neigh []int32
 	id := 0
 	for seed := range pts {
 		if visited[seed] {
 			continue
 		}
 		visited[seed] = true
-		frontier = append(frontier[:0], int32(seed))
-		var member []int32
-		for len(frontier) > 0 {
-			cur := frontier[len(frontier)-1]
-			frontier = frontier[:len(frontier)-1]
+		c.frontier = append(c.frontier[:0], int32(seed))
+		member := c.member[:0]
+		for len(c.frontier) > 0 {
+			cur := c.frontier[len(c.frontier)-1]
+			c.frontier = c.frontier[:len(c.frontier)-1]
 			member = append(member, cur)
 			if len(member) > c.cfg.MaxPoints {
 				break
 			}
-			neigh = tree.Radius(pts[cur], c.cfg.Tolerance, neigh[:0])
-			for _, nb := range neigh {
+			c.neigh = tree.Radius(pts[cur], c.cfg.Tolerance, c.neigh[:0])
+			for _, nb := range c.neigh {
 				if !visited[nb] {
 					visited[nb] = true
-					frontier = append(frontier, nb)
+					c.frontier = append(c.frontier, nb)
 				}
 			}
 		}
+		c.member = member
 		if len(member) < c.cfg.MinPoints || len(member) > c.cfg.MaxPoints {
 			continue
 		}
@@ -133,14 +155,16 @@ func (c *Cluster) Extract(cloud *pointcloud.Cloud) []msgs.DetectedObject {
 func (c *Cluster) summarize(pts []geom.Vec3, member []int32, id *int) msgs.DetectedObject {
 	var centroid geom.Vec3
 	box := geom.EmptyAABB3()
-	ground := make([]geom.Vec2, 0, len(member))
+	ground := c.hullBuf[:0]
 	for _, idx := range member {
 		p := pts[idx]
 		centroid = centroid.Add(p)
 		box.Expand(p)
 		ground = append(ground, p.XY())
 	}
+	c.hullBuf = ground
 	centroid = centroid.Scale(1 / float64(len(member)))
+	// ConvexHull copies its input, so the reused buffer never escapes.
 	hull := geom.ConvexHull(ground)
 	size := box.Size()
 	*id++

@@ -65,6 +65,12 @@ type NDTMatching struct {
 	lastIterations int
 	lastMatched    int
 	lastLookups    int
+
+	// Gauss-Newton scratch reused across iterations and scans: the
+	// gradient, the 3x3 Hessian approximation, and the voxel buffer.
+	grad [3]float64
+	hess *mathx.Mat
+	vbuf []*pointcloud.VoxelStats
 }
 
 // New builds the node against a prebuilt HD map.
@@ -246,10 +252,18 @@ func (n *NDTMatching) score(cloud *pointcloud.Cloud, pose geom.Pose, stride int)
 // of per-point Gaussian scores against the map voxels.
 func (n *NDTMatching) align(cloud *pointcloud.Cloud, init geom.Pose) (pose geom.Pose, fitness float64, iters, matched, lookups int) {
 	pose = init
-	var buf []*pointcloud.VoxelStats
+	buf := n.vbuf
+	defer func() { n.vbuf = buf }()
+	if n.hess == nil {
+		n.hess = mathx.NewMat(3, 3)
+	}
 	for iters = 1; iters <= n.cfg.MaxIterations; iters++ {
-		g := make([]float64, 3)   // gradient
-		h := mathx.NewMat(3, 3)   // Gauss-Newton Hessian approximation
+		g := n.grad[:]
+		g[0], g[1], g[2] = 0, 0, 0
+		h := n.hess // Gauss-Newton Hessian approximation
+		for i := range h.Data {
+			h.Data[i] = 0
+		}
 		sumD2, m, lk := 0.0, 0, 0 // fitness bookkeeping
 		s, c := math.Sincos(pose.Yaw)
 		for i := range cloud.Points {

@@ -12,7 +12,6 @@ import (
 	"repro/internal/dnn"
 	"repro/internal/msgs"
 	"repro/internal/ros"
-	"repro/internal/sensor"
 )
 
 // Topic names owned by this package.
@@ -43,6 +42,8 @@ type Node struct {
 	det *dnn.Detector
 	// lastDetections is kept for tests/inspection.
 	lastDetections []dnn.Detection
+	// tin is the reused input tensor the camera frame is staged into.
+	tin dnn.Tensor
 }
 
 // New builds the node.
@@ -94,7 +95,8 @@ func (n *Node) Process(in *ros.Message, _ time.Duration) ros.Result {
 	if !ok {
 		return ros.Result{}
 	}
-	tensor := toTensor(img.Frame.Image)
+	tensor := n.tin.Reshape(3, img.Frame.Image.H, img.Frame.Image.W)
+	copy(tensor.Data, img.Frame.Image.Pix)
 	dets := n.det.Infer(tensor)
 	n.lastDetections = dets
 
@@ -124,14 +126,6 @@ func (n *Node) Process(in *ros.Message, _ time.Duration) ros.Result {
 		}},
 		Work: w,
 	}
-}
-
-// toTensor converts a sensor image to the dnn input layout (both are
-// planar CHW float32, so this is a copy).
-func toTensor(im *sensor.Image) *dnn.Tensor {
-	t := dnn.NewTensor(3, im.H, im.W)
-	copy(t.Data, im.Pix)
-	return t
 }
 
 // NewSSD300 returns a detector node modeling SSD300.

@@ -1,0 +1,138 @@
+// Package parallel provides the host-parallelism substrate the
+// reproduction engine runs on: a bounded worker pool with deterministic
+// by-index result collection, and fixed-shard decomposition helpers for
+// the per-frame hot loops.
+//
+// Two invariants keep host parallelism invisible to the simulated
+// platform (see DESIGN.md, "Host parallelism vs. simulated time"):
+//
+//  1. Results are always collected by index, never by completion
+//     order, so concurrent execution cannot reorder anything an
+//     experiment renders.
+//  2. Work decomposition is a function of the *input size only* (fixed
+//     shard sizes), never of the worker count, so a reduction computes
+//     the same floating-point operation tree whether it runs on one
+//     goroutine or sixteen.
+//
+// The worker budget is a process-wide knob (SetMaxWorkers, wired to the
+// -workers flag of cmd/characterize and cmd/avsim); it bounds how many
+// OS threads the engine saturates but never changes a reported number.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+var maxWorkers atomic.Int64
+
+func init() {
+	maxWorkers.Store(int64(runtime.NumCPU()))
+}
+
+// SetMaxWorkers bounds the number of goroutines any parallel loop in
+// this package may use. n < 1 resets to runtime.NumCPU(). It only
+// affects wall-clock speed: every result is bit-identical under any
+// setting.
+func SetMaxWorkers(n int) {
+	if n < 1 {
+		n = runtime.NumCPU()
+	}
+	maxWorkers.Store(int64(n))
+}
+
+// MaxWorkers returns the current worker budget.
+func MaxWorkers() int { return int(maxWorkers.Load()) }
+
+// Run executes fn(i) for every i in [0, n) across at most
+// min(MaxWorkers, n) goroutines. Indices are claimed atomically, so
+// each runs exactly once; fn instances for different indices must be
+// independent (write disjoint state). Falls back to a plain loop when
+// the budget or n is 1.
+func Run(n int, fn func(int)) { RunLimit(n, MaxWorkers(), fn) }
+
+// RunLimit is Run with an explicit worker bound (further capped by
+// MaxWorkers and n).
+func RunLimit(n, workers int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	if m := MaxWorkers(); workers > m {
+		workers = m
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Map runs fn over [0, n) concurrently and returns the results in index
+// order — completion order never leaks into the output.
+func Map[T any](n int, fn func(int) T) []T {
+	return MapLimit(n, MaxWorkers(), fn)
+}
+
+// MapLimit is Map with an explicit worker bound.
+func MapLimit[T any](n, workers int, fn func(int) T) []T {
+	out := make([]T, n)
+	RunLimit(n, workers, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// FirstError runs n error-returning tasks concurrently and returns the
+// lowest-indexed non-nil error (deterministic regardless of which task
+// failed first in wall-clock time), or nil.
+func FirstError(n, workers int, fn func(int) error) error {
+	errs := MapLimit(n, workers, fn)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Shards returns the number of fixed-size shards covering n items.
+// The count depends only on n and shardSize — never on the worker
+// budget — so sharded reductions are reproducible across machines.
+func Shards(n, shardSize int) int {
+	if n <= 0 {
+		return 0
+	}
+	if shardSize <= 0 {
+		return 1
+	}
+	return (n + shardSize - 1) / shardSize
+}
+
+// ShardRange returns the half-open item range [lo, hi) of shard s.
+func ShardRange(s, shardSize, n int) (lo, hi int) {
+	lo = s * shardSize
+	hi = lo + shardSize
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}

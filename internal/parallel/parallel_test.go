@@ -1,0 +1,97 @@
+package parallel
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		n := 1000
+		counts := make([]int32, n)
+		RunLimit(n, workers, func(i int) { atomic.AddInt32(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestMapPreservesIndexOrder(t *testing.T) {
+	got := MapLimit(257, 8, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("index %d: got %d want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestRunHandlesDegenerateInputs(t *testing.T) {
+	ran := false
+	Run(0, func(int) { ran = true })
+	RunLimit(-3, 4, func(int) { ran = true })
+	if ran {
+		t.Fatal("fn ran for empty input")
+	}
+	Run(1, func(i int) { ran = i == 0 })
+	if !ran {
+		t.Fatal("fn did not run for n=1")
+	}
+}
+
+func TestFirstErrorReturnsLowestIndex(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	err := FirstError(10, 4, func(i int) error {
+		switch i {
+		case 3:
+			return errB
+		case 7:
+			return errA
+		}
+		return nil
+	})
+	if err != errB {
+		t.Fatalf("got %v, want lowest-indexed error %v", err, errB)
+	}
+	if err := FirstError(5, 2, func(int) error { return nil }); err != nil {
+		t.Fatalf("unexpected error %v", err)
+	}
+}
+
+func TestSetMaxWorkersClampsAndRestores(t *testing.T) {
+	old := MaxWorkers()
+	defer SetMaxWorkers(old)
+	SetMaxWorkers(3)
+	if MaxWorkers() != 3 {
+		t.Fatalf("MaxWorkers=%d want 3", MaxWorkers())
+	}
+	SetMaxWorkers(0)
+	if MaxWorkers() != runtime.NumCPU() {
+		t.Fatalf("MaxWorkers=%d want NumCPU", MaxWorkers())
+	}
+}
+
+func TestShardDecompositionIsWorkerIndependent(t *testing.T) {
+	n, size := 10_000, 4096
+	if got := Shards(n, size); got != 3 {
+		t.Fatalf("Shards=%d want 3", got)
+	}
+	covered := 0
+	for s := 0; s < Shards(n, size); s++ {
+		lo, hi := ShardRange(s, size, n)
+		if lo != covered {
+			t.Fatalf("shard %d starts at %d, want %d", s, lo, covered)
+		}
+		covered = hi
+	}
+	if covered != n {
+		t.Fatalf("shards cover %d of %d items", covered, n)
+	}
+	if Shards(0, size) != 0 {
+		t.Fatal("empty input should produce no shards")
+	}
+}

@@ -46,11 +46,24 @@ func (c *Cloud) Len() int { return len(c.Points) }
 // Append adds a point.
 func (c *Cloud) Append(p Point) { c.Points = append(c.Points, p) }
 
+// Reset truncates the cloud to zero points, keeping capacity for reuse.
+func (c *Cloud) Reset() { c.Points = c.Points[:0] }
+
 // Clone returns a deep copy of the cloud.
 func (c *Cloud) Clone() *Cloud {
-	out := &Cloud{Points: make([]Point, len(c.Points))}
-	copy(out.Points, c.Points)
-	return out
+	return c.CloneInto(nil)
+}
+
+// CloneInto copies the cloud into dst, reusing dst's point storage when
+// it has capacity; a nil dst allocates a fresh cloud. Returns dst.
+// This is the reusable-destination variant of Clone for per-frame hot
+// paths that would otherwise allocate a full point slice per callback.
+func (c *Cloud) CloneInto(dst *Cloud) *Cloud {
+	if dst == nil {
+		dst = New(len(c.Points))
+	}
+	dst.Points = append(dst.Points[:0], c.Points...)
+	return dst
 }
 
 // Bounds returns the axis-aligned bounding box of the cloud; an empty
@@ -78,12 +91,22 @@ func (c *Cloud) Centroid() geom.Vec3 {
 // Transform returns a new cloud with every point mapped through pose
 // (local -> world).
 func (c *Cloud) Transform(pose geom.Pose) *Cloud {
-	out := &Cloud{Points: make([]Point, len(c.Points))}
-	for i, p := range c.Points {
-		out.Points[i] = p
-		out.Points[i].Pos = pose.Transform(p.Pos)
+	return c.TransformInto(pose, nil)
+}
+
+// TransformInto maps every point through pose (local -> world) into
+// dst, reusing dst's storage when it has capacity; a nil dst allocates.
+// Returns dst. dst must not alias c.
+func (c *Cloud) TransformInto(pose geom.Pose, dst *Cloud) *Cloud {
+	if dst == nil {
+		dst = New(len(c.Points))
 	}
-	return out
+	dst.Points = dst.Points[:0]
+	for _, p := range c.Points {
+		p.Pos = pose.Transform(p.Pos)
+		dst.Points = append(dst.Points, p)
+	}
+	return dst
 }
 
 // String implements fmt.Stringer.

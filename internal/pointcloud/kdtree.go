@@ -1,9 +1,10 @@
 package pointcloud
 
 import (
-	"sort"
+	"sync"
 
 	"repro/internal/geom"
+	"repro/internal/parallel"
 )
 
 // KDTree is a 3-dimensional k-d tree over cloud point indices. It backs
@@ -13,6 +14,7 @@ import (
 type KDTree struct {
 	pts   []geom.Vec3
 	nodes []kdNode
+	idx   []int32 // build scratch, retained for Rebuild
 	root  int32
 	// TraversalSteps counts nodes visited across all queries since the
 	// last ResetCounters call. The µarch trace generators use it to size
@@ -27,37 +29,140 @@ type kdNode struct {
 	left, right int32 // node indices, -1 for none
 }
 
+// kdParallelMin is the smallest subtree handed to its own goroutine
+// during construction. Node slots are assigned by subrange — a pure
+// function of the input — so the built tree is bit-identical whether
+// subtrees build serially or concurrently.
+const kdParallelMin = 4096
+
 // NewKDTree builds a balanced tree over the given positions.
 func NewKDTree(pts []geom.Vec3) *KDTree {
-	t := &KDTree{pts: pts, root: -1}
-	if len(pts) == 0 {
-		return t
-	}
-	idx := make([]int32, len(pts))
-	for i := range idx {
-		idx[i] = int32(i)
-	}
-	t.nodes = make([]kdNode, 0, len(pts))
-	t.root = t.build(idx, 0)
+	t := &KDTree{root: -1}
+	t.Rebuild(pts)
 	return t
 }
 
-func (t *KDTree) build(idx []int32, depth int) int32 {
-	if len(idx) == 0 {
-		return -1
+// Rebuild re-indexes the tree over a new positions slice, reusing the
+// node and scratch storage of previous builds — the zero-allocation
+// path for per-frame reconstruction in the clustering node.
+func (t *KDTree) Rebuild(pts []geom.Vec3) {
+	t.pts = pts
+	t.root = -1
+	n := len(pts)
+	if n == 0 {
+		t.nodes = t.nodes[:0]
+		return
 	}
+	if cap(t.idx) < n {
+		t.idx = make([]int32, n)
+	} else {
+		t.idx = t.idx[:n]
+	}
+	for i := range t.idx {
+		t.idx[i] = int32(i)
+	}
+	if cap(t.nodes) < n {
+		t.nodes = make([]kdNode, n)
+	} else {
+		t.nodes = t.nodes[:n]
+	}
+	t.build(t.idx, 0, 0)
+	t.root = 0
+}
+
+// build lays out the subtree over idx (a subslice of the index scratch)
+// in pre-order at node slots [base, base+len(idx)): the subtree root at
+// base, the left subtree at [base+1, base+1+mid), the right subtree
+// after it. Slot assignment depends only on subrange sizes, so parallel
+// subtree builds write disjoint slots and produce the serial layout.
+func (t *KDTree) build(idx []int32, depth int, base int32) {
 	axis := depth % 3
-	sort.Slice(idx, func(a, b int) bool {
-		return coord(t.pts[idx[a]], axis) < coord(t.pts[idx[b]], axis)
-	})
+	sortIdxByAxis(t.pts, idx, axis)
 	mid := len(idx) / 2
-	nodeIdx := int32(len(t.nodes))
-	t.nodes = append(t.nodes, kdNode{idx: idx[mid], axis: int8(axis), left: -1, right: -1})
-	left := t.build(idx[:mid], depth+1)
-	right := t.build(idx[mid+1:], depth+1)
-	t.nodes[nodeIdx].left = left
-	t.nodes[nodeIdx].right = right
-	return nodeIdx
+	left, right := int32(-1), int32(-1)
+	if mid > 0 {
+		left = base + 1
+	}
+	if mid+1 < len(idx) {
+		right = base + 1 + int32(mid)
+	}
+	t.nodes[base] = kdNode{idx: idx[mid], axis: int8(axis), left: left, right: right}
+	if left >= 0 && right >= 0 && len(idx) >= kdParallelMin && parallel.MaxWorkers() > 1 {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t.build(idx[:mid], depth+1, left)
+		}()
+		t.build(idx[mid+1:], depth+1, right)
+		wg.Wait()
+		return
+	}
+	if left >= 0 {
+		t.build(idx[:mid], depth+1, left)
+	}
+	if right >= 0 {
+		t.build(idx[mid+1:], depth+1, right)
+	}
+}
+
+// kdLess orders indices by (coordinate on axis, index). The index
+// tiebreak makes the ordering total, so the built tree is a unique
+// function of the input regardless of the sorting algorithm.
+func kdLess(pts []geom.Vec3, a, b int32, axis int) bool {
+	ca, cb := coord(pts[a], axis), coord(pts[b], axis)
+	if ca != cb {
+		return ca < cb
+	}
+	return a < b
+}
+
+// sortIdxByAxis sorts idx by kdLess without the interface and closure
+// allocations of sort.Slice: median-of-three quicksort with insertion
+// sort below a threshold. Deterministic (total order, fixed pivoting).
+func sortIdxByAxis(pts []geom.Vec3, idx []int32, axis int) {
+	for len(idx) > 12 {
+		// Median-of-three pivot, moved to the end.
+		m := len(idx) / 2
+		hi := len(idx) - 1
+		if kdLess(pts, idx[m], idx[0], axis) {
+			idx[m], idx[0] = idx[0], idx[m]
+		}
+		if kdLess(pts, idx[hi], idx[0], axis) {
+			idx[hi], idx[0] = idx[0], idx[hi]
+		}
+		if kdLess(pts, idx[hi], idx[m], axis) {
+			idx[hi], idx[m] = idx[m], idx[hi]
+		}
+		idx[m], idx[hi] = idx[hi], idx[m]
+		pivot := idx[hi]
+		store := 0
+		for i := 0; i < hi; i++ {
+			if kdLess(pts, idx[i], pivot, axis) {
+				idx[i], idx[store] = idx[store], idx[i]
+				store++
+			}
+		}
+		idx[store], idx[hi] = idx[hi], idx[store]
+		// Recurse into the smaller side, loop on the larger.
+		if store < len(idx)-store-1 {
+			sortIdxByAxis(pts, idx[:store], axis)
+			idx = idx[store+1:]
+		} else {
+			sortIdxByAxis(pts, idx[store+1:], axis)
+			idx = idx[:store]
+		}
+	}
+	// Insertion sort for small ranges.
+	for i := 1; i < len(idx); i++ {
+		v := idx[i]
+		j := i - 1
+		for j >= 0 && kdLess(pts, v, idx[j], axis) {
+			idx[j+1] = idx[j]
+			j--
+		}
+		idx[j+1] = v
+	}
 }
 
 func coord(v geom.Vec3, axis int) float64 {

@@ -2,8 +2,10 @@ package pointcloud
 
 import (
 	"math"
+	"sync"
 
 	"repro/internal/geom"
+	"repro/internal/parallel"
 )
 
 // VoxelKey identifies a cubic cell of the voxel grid.
@@ -20,43 +22,136 @@ func KeyFor(p geom.Vec3, leaf float64) VoxelKey {
 	}
 }
 
-// VoxelDownsample reduces a cloud to one point per occupied voxel — the
-// centroid of the points that fell in it, as PCL's VoxelGrid does. This
-// is the computational core of the voxel_grid_filter node. It returns
-// the filtered cloud and the number of occupied voxels.
-func VoxelDownsample(c *Cloud, leaf float64) (*Cloud, int) {
-	if leaf <= 0 {
-		panic("pointcloud: non-positive voxel leaf size")
-	}
-	type acc struct {
-		sum       geom.Vec3
-		intensity float64
-		n         int
-		ring      int
-	}
-	cells := make(map[VoxelKey]*acc, c.Len()/4+1)
-	for _, p := range c.Points {
+// voxelAcc accumulates one occupied cell. Cells live in a flat slice in
+// first-touch order (the order the scan stream discovers them), which
+// makes the output ordering deterministic — unlike map iteration — and
+// avoids one pointer-chased allocation per cell.
+type voxelAcc struct {
+	key       VoxelKey
+	sum       geom.Vec3
+	intensity float64
+	n         int
+	ring      int
+}
+
+// voxelScratch is the reusable working set of one downsample pass: the
+// key -> slot index and the accumulator slots.
+type voxelScratch struct {
+	idx  map[VoxelKey]int32
+	accs []voxelAcc
+}
+
+var voxelScratchPool = sync.Pool{
+	New: func() any { return &voxelScratch{idx: make(map[VoxelKey]int32, 1024)} },
+}
+
+func getVoxelScratch() *voxelScratch {
+	s := voxelScratchPool.Get().(*voxelScratch)
+	clear(s.idx)
+	s.accs = s.accs[:0]
+	return s
+}
+
+func putVoxelScratch(s *voxelScratch) { voxelScratchPool.Put(s) }
+
+// accumulate bins pts into s in input order.
+func (s *voxelScratch) accumulate(pts []Point, leaf float64) {
+	for i := range pts {
+		p := &pts[i]
 		k := KeyFor(p.Pos, leaf)
-		a := cells[k]
-		if a == nil {
-			a = &acc{}
-			cells[k] = a
+		slot, ok := s.idx[k]
+		if !ok {
+			slot = int32(len(s.accs))
+			s.idx[k] = slot
+			s.accs = append(s.accs, voxelAcc{key: k})
 		}
+		a := &s.accs[slot]
 		a.sum = a.sum.Add(p.Pos)
 		a.intensity += p.Intensity
 		a.ring = p.Ring
 		a.n++
 	}
-	out := New(len(cells))
-	for _, a := range cells {
+}
+
+// merge folds o's cells into s in o's first-touch order, preserving the
+// whole-stream first-touch ordering when shards are merged in index
+// order.
+func (s *voxelScratch) merge(o *voxelScratch) {
+	for i := range o.accs {
+		oa := &o.accs[i]
+		slot, ok := s.idx[oa.key]
+		if !ok {
+			slot = int32(len(s.accs))
+			s.idx[oa.key] = slot
+			s.accs = append(s.accs, *oa)
+			continue
+		}
+		a := &s.accs[slot]
+		a.sum = a.sum.Add(oa.sum)
+		a.intensity += oa.intensity
+		a.ring = oa.ring
+		a.n += oa.n
+	}
+}
+
+// voxelShardSize fixes the parallel decomposition of the binning pass.
+// It depends only on input size — never on the worker budget — so the
+// merge computes the same floating-point sum tree under any host
+// parallelism (see package parallel).
+const voxelShardSize = 8192
+
+// VoxelDownsample reduces a cloud to one point per occupied voxel — the
+// centroid of the points that fell in it, as PCL's VoxelGrid does. This
+// is the computational core of the voxel_grid_filter node. It returns
+// the filtered cloud and the number of occupied voxels.
+func VoxelDownsample(c *Cloud, leaf float64) (*Cloud, int) {
+	return VoxelDownsampleInto(c, leaf, nil)
+}
+
+// VoxelDownsampleInto is VoxelDownsample with a reusable destination
+// cloud (nil allocates). Output points appear in first-touch voxel
+// order, so the result is a pure function of the input. Large clouds
+// are binned in fixed-size shards executed concurrently and merged in
+// shard order.
+func VoxelDownsampleInto(c *Cloud, leaf float64, dst *Cloud) (*Cloud, int) {
+	if leaf <= 0 {
+		panic("pointcloud: non-positive voxel leaf size")
+	}
+	n := c.Len()
+	shards := parallel.Shards(n, voxelShardSize)
+	var merged *voxelScratch
+	if shards <= 1 {
+		merged = getVoxelScratch()
+		merged.accumulate(c.Points, leaf)
+	} else {
+		parts := make([]*voxelScratch, shards)
+		parallel.Run(shards, func(si int) {
+			lo, hi := parallel.ShardRange(si, voxelShardSize, n)
+			parts[si] = getVoxelScratch()
+			parts[si].accumulate(c.Points[lo:hi], leaf)
+		})
+		merged = parts[0]
+		for _, part := range parts[1:] {
+			merged.merge(part)
+			putVoxelScratch(part)
+		}
+	}
+	cells := len(merged.accs)
+	if dst == nil {
+		dst = New(cells)
+	}
+	dst.Points = dst.Points[:0]
+	for i := range merged.accs {
+		a := &merged.accs[i]
 		inv := 1 / float64(a.n)
-		out.Append(Point{
+		dst.Points = append(dst.Points, Point{
 			Pos:       a.sum.Scale(inv),
 			Intensity: a.intensity * inv,
 			Ring:      a.ring,
 		})
 	}
-	return out, len(cells)
+	putVoxelScratch(merged)
+	return dst, cells
 }
 
 // VoxelStats holds the Gaussian statistics of the points inside one
