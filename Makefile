@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench-smoke
+.PHONY: build test race vet bench-smoke fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,13 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Short fuzzing pass over the rosbag codec (seed corpus is checked in
+# under internal/ros/testdata/fuzz). Go allows one -fuzz target per
+# invocation, so each target gets its own ~10s run.
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz=FuzzBagDecode -fuzztime=10s ./internal/ros/
+	$(GO) test -run=NONE -fuzz=FuzzBagRoundTrip -fuzztime=10s ./internal/ros/
 
 # Quick allocation/latency smoke over the hot-path micro-benches.
 bench-smoke:

@@ -22,11 +22,13 @@ import (
 	"repro/internal/autoware"
 	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/faults"
 	"repro/internal/geom"
 	"repro/internal/mathx"
 	"repro/internal/msgs"
 	"repro/internal/power"
 	"repro/internal/ros"
+	"repro/internal/trace"
 )
 
 // Detector selects the image-detection algorithm.
@@ -145,6 +147,29 @@ func (s *System) MeanUtilization() (cpu, gpu float64) {
 // Utilization returns per-node platform shares, highest CPU share first.
 func (s *System) Utilization() []power.UtilizationRow {
 	return s.stack.UtilizationReport()
+}
+
+// DegradedInterval is one recorded graceful-degradation window.
+type DegradedInterval = trace.DegradedInterval
+
+// AttachFaults wires a fault injector into the running system. Call
+// before Run; the injector's schedule then perturbs the drive
+// deterministically (see internal/faults).
+func (s *System) AttachFaults(in *faults.Injector) {
+	in.Attach(s.stack.Executor, s.stack.Bus)
+}
+
+// AttachWatchdog installs the graceful-degradation layer and starts it.
+func (s *System) AttachWatchdog(cfg WatchdogConfig) *Watchdog {
+	w := NewWatchdog(s.stack, cfg)
+	w.Attach()
+	return w
+}
+
+// DegradedIntervals returns recorded degradation windows (empty without
+// an attached watchdog).
+func (s *System) DegradedIntervals() []DegradedInterval {
+	return s.stack.Recorder.DegradedIntervals()
 }
 
 // DropReport is one dropped-message statistic row.

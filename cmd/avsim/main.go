@@ -6,12 +6,17 @@
 // Usage:
 //
 //	avsim [-detector SSD512|SSD300|YOLOv3-416] [-duration 30s]
-//	      [-planning] [-status 5s] [-workers N]
+//	      [-planning] [-status 5s] [-workers N] [-faults <scenario>]
 //
 // avsim drives a single stack, so -workers (default: the number of
 // CPUs) bounds the host threads used by intra-frame shard loops (voxel
 // hashing, k-d tree builds, ray-ground sector sorts). Virtual-time
 // results are identical for any worker count.
+//
+// -faults attaches a named chaos scenario (see internal/scenario): the
+// seeded fault schedule perturbs the drive deterministically, the
+// graceful-degradation watchdog substitutes for stalled nodes, and the
+// final report includes injected events and degraded intervals.
 package main
 
 import (
@@ -19,10 +24,13 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/avstack"
+	"repro/internal/faults"
 	"repro/internal/parallel"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -31,8 +39,23 @@ func main() {
 	planning := flag.Bool("planning", false, "run the planning and motion nodes too")
 	status := flag.Duration("status", 5*time.Second, "status print interval (virtual time)")
 	workers := flag.Int("workers", runtime.NumCPU(), "max host threads for intra-frame shard loops (results are identical for any value)")
+	faultsFlag := flag.String("faults", "", "inject a named chaos scenario: "+strings.Join(scenario.Names(), ", "))
 	flag.Parse()
 	parallel.SetMaxWorkers(*workers)
+
+	var spec scenario.Spec
+	if *faultsFlag != "" {
+		var err error
+		spec, err = scenario.ByName(*faultsFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "avsim:", err)
+			os.Exit(1)
+		}
+		if min := spec.MinDuration(); *duration < min {
+			fmt.Fprintf(os.Stderr, "avsim: scenario %s needs -duration >= %v\n", spec.Name, min)
+			os.Exit(1)
+		}
+	}
 
 	fmt.Println("assembling stack (map synthesis takes a few seconds)...")
 	sys, err := avstack.NewSystemWithOptions(avstack.Detector(*detector), avstack.Options{
@@ -41,6 +64,26 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "avsim:", err)
 		os.Exit(1)
+	}
+
+	var injector *faults.Injector
+	if *faultsFlag != "" {
+		injector, err = faults.New(spec.Schedule())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "avsim:", err)
+			os.Exit(1)
+		}
+		sys.AttachFaults(injector)
+		if len(spec.Watch) > 0 {
+			sys.AttachWatchdog(avstack.WatchdogConfig{
+				Period:   spec.WatchPeriod,
+				Policies: spec.Watch,
+			})
+		}
+		fmt.Printf("chaos scenario %q armed:\n", spec.Name)
+		for _, f := range spec.Faults {
+			fmt.Printf("  %s\n", f)
+		}
 	}
 
 	for elapsed := time.Duration(0); elapsed < *duration; {
@@ -83,4 +126,37 @@ func main() {
 		worst, e2e.Mean, e2e.Max)
 	cpuW, gpuW := sys.MeanPower()
 	fmt.Printf("mean power: CPU %.1f W + GPU %.1f W = %.1f W\n", cpuW, gpuW, cpuW+gpuW)
+
+	if injector != nil {
+		fmt.Println("\n--- injected faults ---")
+		evs := injector.Events()
+		if len(evs) == 0 {
+			fmt.Println("(no perturbations applied)")
+		}
+		for _, e := range evs {
+			fmt.Printf("%-10s %-34s count=%d\n", e.Kind, e.Target, e.Count)
+		}
+		fmt.Println("\n--- degraded intervals ---")
+		degraded := sys.DegradedIntervals()
+		if len(degraded) == 0 {
+			fmt.Println("(none)")
+		}
+		for _, d := range degraded {
+			end := "open"
+			if d.End > 0 {
+				end = d.End.String()
+			}
+			fmt.Printf("%-24s policy=%-10s [%v, %s) substituted=%d\n",
+				d.Node, d.Policy, d.Start, end, d.Substituted)
+		}
+		fmt.Println("\n--- message drops ---")
+		drops := sys.Drops()
+		if len(drops) == 0 {
+			fmt.Println("(none)")
+		}
+		for _, d := range drops {
+			fmt.Printf("%-34s -> %-24s arrived=%-6d dropped=%-6d rate=%.3f\n",
+				d.Topic, d.Subscriber, d.Arrived, d.Dropped, d.Rate)
+		}
+	}
 }

@@ -6,11 +6,17 @@
 //
 //	characterize [-exp all|fig5|tab3|fig6|tab5|tab6|tab7|fig7|fig8]
 //	             [-duration 60s] [-out report.txt] [-workers N]
+//	             [-faults <scenario>]
 //
 // -workers bounds how many experiment configurations simulate
 // concurrently (default: the number of CPUs). Every configuration is an
 // isolated virtual-time simulation, so the report is byte-identical for
 // any worker count; only wall-clock time changes.
+//
+// -faults switches to the chaos characterization: instead of the paper
+// tables, it runs the named fault scenario (baseline vs faulted over
+// the same drive) and writes the side-by-side latency/drop/degradation
+// report. Same seed + schedule ⇒ byte-identical report.
 package main
 
 import (
@@ -22,8 +28,10 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/autoware"
 	"repro/internal/core"
 	"repro/internal/parallel"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -32,6 +40,8 @@ func main() {
 	out := flag.String("out", "", "write the report to this file instead of stdout")
 	csvDir := flag.String("csv", "", "also export raw per-sample data as CSV files into this directory")
 	workers := flag.Int("workers", runtime.NumCPU(), "max concurrent experiment configurations (results are identical for any value)")
+	faultsFlag := flag.String("faults", "", "run a chaos scenario instead of the paper tables: "+strings.Join(scenario.Names(), ", "))
+	detector := flag.String("detector", "YOLOv3-416", "detector configuration for the chaos scenario (-faults only)")
 	flag.Parse()
 	parallel.SetMaxWorkers(*workers)
 
@@ -43,6 +53,25 @@ func main() {
 		}
 		defer f.Close()
 		w = f
+	}
+
+	if *faultsFlag != "" {
+		spec, err := scenario.ByName(*faultsFlag)
+		if err != nil {
+			fatal(err)
+		}
+		if min := spec.MinDuration(); *duration < min {
+			fatal(fmt.Errorf("scenario %s needs -duration >= %v", spec.Name, min))
+		}
+		fmt.Fprintf(os.Stderr, "building environment (scenario + HD map)...\n")
+		start := time.Now()
+		res, err := scenario.Run(spec, autoware.Detector(*detector), *duration)
+		if err != nil {
+			fatal(err)
+		}
+		res.WriteReport(w)
+		fmt.Fprintf(os.Stderr, "done in %.1fs\n", time.Since(start).Seconds())
+		return
 	}
 
 	fmt.Fprintf(os.Stderr, "building environment (scenario + HD map)...\n")

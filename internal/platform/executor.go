@@ -68,6 +68,36 @@ type Executor struct {
 	OnDone func(DoneInfo)
 	// OnPublish observes every publication (end-to-end path tracing).
 	OnPublish func(topic string, m ros.Header)
+
+	// PublishFilter, when set, adjudicates every publication before it
+	// is delivered — the fault-injection point for message drops, extra
+	// transport delay and sensor timing jitter. It runs at the publish
+	// instant (before the transport delay is scheduled).
+	PublishFilter func(topic string, now time.Duration) PublishVerdict
+	// CallbackFilter, when set, adjudicates every callback dispatch —
+	// the fault-injection point for node stalls and crash windows. It
+	// runs after the input message is dequeued.
+	CallbackFilter func(node string, m *ros.Message, now time.Duration) CallbackVerdict
+	// OnCallbackDrop observes inputs consumed by a crash verdict.
+	OnCallbackDrop func(node string, m *ros.Message)
+}
+
+// PublishVerdict is a fault-layer decision about one publication.
+type PublishVerdict struct {
+	// Drop suppresses the publication entirely: no subscriber sees it.
+	Drop bool
+	// Delay is extra transport delay added on top of the comm model.
+	Delay time.Duration
+}
+
+// CallbackVerdict is a fault-layer decision about one callback dispatch.
+type CallbackVerdict struct {
+	// Drop consumes the input without running the callback — a crashed
+	// (restarting) node losing the messages delivered while it is down.
+	Drop bool
+	// Stall blocks the node for this long before the callback executes,
+	// holding it busy without consuming CPU — a hung I/O or lock wait.
+	Stall time.Duration
 }
 
 // NewExecutor assembles an executor over fresh platform components.
@@ -141,6 +171,13 @@ func (e *Executor) Publish(topic string, payload any) {
 // deliver performs the delayed enqueue + dispatch for one publication.
 func (e *Executor) deliver(topic string, stamp time.Duration, payload any, origins []ros.Origin) {
 	delay := e.commDelay(payload)
+	if e.PublishFilter != nil {
+		v := e.PublishFilter(topic, e.Sim.Now())
+		if v.Drop {
+			return
+		}
+		delay += v.Delay
+	}
 	e.Sim.After(delay, func() {
 		e.Bus.Publish(topic, stamp, payload, origins)
 		if e.OnPublish != nil {
@@ -183,7 +220,27 @@ func (e *Executor) tryDispatch(rt *nodeRuntime) {
 		return
 	}
 	msg := bestSub.Queue.Pop()
+	if e.CallbackFilter != nil {
+		v := e.CallbackFilter(rt.node.Name(), msg, e.Sim.Now())
+		if v.Drop {
+			if e.OnCallbackDrop != nil {
+				e.OnCallbackDrop(rt.node.Name(), msg)
+			}
+			e.tryDispatch(rt) // the next queued input, if any
+			return
+		}
+		if v.Stall > 0 {
+			rt.busy = true
+			e.Sim.After(v.Stall, func() { e.runCallback(rt, msg) })
+			return
+		}
+	}
 	rt.busy = true
+	e.runCallback(rt, msg)
+}
+
+// runCallback executes one callback on a node already marked busy.
+func (e *Executor) runCallback(rt *nodeRuntime, msg *ros.Message) {
 	started := e.Sim.Now()
 
 	// The real computation happens now (node state mutates in dispatch

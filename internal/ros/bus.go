@@ -102,10 +102,38 @@ func (b *Bus) Publish(topic string, stamp time.Duration, payload any, origins []
 	return len(ts.subs)
 }
 
-// SetObservers installs delivery/drop hooks (either may be nil).
+// SetObservers installs delivery/drop hooks (either may be nil),
+// replacing any previously installed. Layers that must coexist (tracing,
+// fault injection, watchdogs) should use Tap instead.
 func (b *Bus) SetObservers(onDeliver func(*Subscription, *Message), onDrop func(*Subscription, *Message)) {
 	b.onDeliver = onDeliver
 	b.onDrop = onDrop
+}
+
+// Tap registers additional delivery/drop observers that run after any
+// already installed, so independent layers can observe traffic without
+// clobbering each other. Either argument may be nil. Note onDeliver
+// fires once per (message, subscription) pair; observers that want one
+// event per publication should de-duplicate by header sequence number.
+func (b *Bus) Tap(onDeliver func(*Subscription, *Message), onDrop func(*Subscription, *Message)) {
+	if onDeliver != nil {
+		prev := b.onDeliver
+		b.onDeliver = func(sub *Subscription, m *Message) {
+			if prev != nil {
+				prev(sub, m)
+			}
+			onDeliver(sub, m)
+		}
+	}
+	if onDrop != nil {
+		prev := b.onDrop
+		b.onDrop = func(sub *Subscription, m *Message) {
+			if prev != nil {
+				prev(sub, m)
+			}
+			onDrop(sub, m)
+		}
+	}
 }
 
 // SubscriptionsOf returns the subscriptions held by a node, in

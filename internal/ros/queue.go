@@ -1,11 +1,20 @@
 package ros
 
+import "sync"
+
 // Queue is a bounded FIFO of messages with ROS subscriber semantics:
 // when a new message arrives at a full queue, the oldest queued message
 // is dropped to make room. Dropped and delivered counts feed the
-// dropped-message statistics of Table III.
+// dropped-message statistics of Table III. A depth of zero means
+// unbounded (ROS's queue_size=0 convention): the queue grows and never
+// drops.
+//
+// Queues are safe for concurrent use. The simulator itself is single-
+// threaded, but the fault injector's burst generator and tests exercise
+// queues from multiple goroutines.
 type Queue struct {
-	depth int
+	mu    sync.Mutex
+	depth int // 0 = unbounded
 	buf   []*Message
 	head  int
 	count int
@@ -15,40 +24,63 @@ type Queue struct {
 	arrived   uint64 // total pushes
 }
 
-// NewQueue creates a queue with the given depth (>= 1).
+// NewQueue creates a queue with the given depth; 0 means unbounded.
+// Negative depths panic.
 func NewQueue(depth int) *Queue {
-	if depth < 1 {
-		panic("ros: queue depth must be >= 1")
+	if depth < 0 {
+		panic("ros: queue depth must be >= 0")
 	}
-	return &Queue{depth: depth, buf: make([]*Message, depth)}
+	capacity := depth
+	if depth == 0 {
+		capacity = 8 // initial storage for the unbounded case
+	}
+	return &Queue{depth: depth, buf: make([]*Message, capacity)}
 }
 
 // Push enqueues m, evicting the oldest message when full. It returns
-// the evicted message (nil when nothing was dropped).
+// the evicted message (nil when nothing was dropped, always nil for
+// unbounded queues).
 func (q *Queue) Push(m *Message) *Message {
+	q.mu.Lock()
+	defer q.mu.Unlock()
 	q.arrived++
 	var evicted *Message
-	if q.count == q.depth {
+	if q.depth > 0 && q.count == q.depth {
 		evicted = q.buf[q.head]
 		q.buf[q.head] = nil
-		q.head = (q.head + 1) % q.depth
+		q.head = (q.head + 1) % len(q.buf)
 		q.count--
 		q.dropped++
+	} else if q.depth == 0 && q.count == len(q.buf) {
+		q.grow()
 	}
-	tail := (q.head + q.count) % q.depth
+	tail := (q.head + q.count) % len(q.buf)
 	q.buf[tail] = m
 	q.count++
 	return evicted
 }
 
+// grow doubles the ring storage of an unbounded queue, unrolling the
+// ring so the oldest message lands at index 0.
+func (q *Queue) grow() {
+	next := make([]*Message, 2*len(q.buf))
+	for i := 0; i < q.count; i++ {
+		next[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = next
+	q.head = 0
+}
+
 // Pop removes and returns the oldest message, or nil when empty.
 func (q *Queue) Pop() *Message {
+	q.mu.Lock()
+	defer q.mu.Unlock()
 	if q.count == 0 {
 		return nil
 	}
 	m := q.buf[q.head]
 	q.buf[q.head] = nil
-	q.head = (q.head + 1) % q.depth
+	q.head = (q.head + 1) % len(q.buf)
 	q.count--
 	q.delivered++
 	return m
@@ -56,6 +88,8 @@ func (q *Queue) Pop() *Message {
 
 // Peek returns the oldest message without removing it, or nil.
 func (q *Queue) Peek() *Message {
+	q.mu.Lock()
+	defer q.mu.Unlock()
 	if q.count == 0 {
 		return nil
 	}
@@ -63,18 +97,26 @@ func (q *Queue) Peek() *Message {
 }
 
 // Len returns the number of queued messages.
-func (q *Queue) Len() int { return q.count }
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.count
+}
 
-// Depth returns the configured capacity.
+// Depth returns the configured capacity (0 = unbounded).
 func (q *Queue) Depth() int { return q.depth }
 
 // Stats returns (arrived, delivered, dropped) counts.
 func (q *Queue) Stats() (arrived, delivered, dropped uint64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
 	return q.arrived, q.delivered, q.dropped
 }
 
 // DropRate returns dropped/arrived in [0, 1]; 0 when nothing arrived.
 func (q *Queue) DropRate() float64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
 	if q.arrived == 0 {
 		return 0
 	}

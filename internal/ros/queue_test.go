@@ -1,0 +1,173 @@
+package ros
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// msg builds a message whose payload is its push index, so eviction
+// order is checkable.
+func msg(i int) *Message {
+	return &Message{Topic: "/t", Header: Header{Seq: uint64(i)}, Payload: i}
+}
+
+// TestQueueDropOldestSemantics is the table-driven contract for the
+// bounded drop-oldest queue across the capacity spectrum: unbounded
+// (depth 0), degenerate (depth 1), and general (depth N). For each case
+// it pushes `pushes` messages and checks what survives, what was
+// evicted, and that the counters account for every message exactly once.
+func TestQueueDropOldestSemantics(t *testing.T) {
+	cases := []struct {
+		depth       int
+		pushes      int
+		wantLen     int
+		wantDropped uint64
+		wantFirst   int // payload of the oldest surviving message
+	}{
+		{depth: 0, pushes: 0, wantLen: 0, wantDropped: 0, wantFirst: -1},
+		{depth: 0, pushes: 1, wantLen: 1, wantDropped: 0, wantFirst: 0},
+		{depth: 0, pushes: 7, wantLen: 7, wantDropped: 0, wantFirst: 0},
+		// More pushes than the unbounded queue's initial storage (8):
+		// the ring must grow instead of dropping.
+		{depth: 0, pushes: 100, wantLen: 100, wantDropped: 0, wantFirst: 0},
+		{depth: 1, pushes: 1, wantLen: 1, wantDropped: 0, wantFirst: 0},
+		{depth: 1, pushes: 5, wantLen: 1, wantDropped: 4, wantFirst: 4},
+		{depth: 3, pushes: 2, wantLen: 2, wantDropped: 0, wantFirst: 0},
+		{depth: 3, pushes: 3, wantLen: 3, wantDropped: 0, wantFirst: 0},
+		{depth: 3, pushes: 10, wantLen: 3, wantDropped: 7, wantFirst: 7},
+		{depth: 64, pushes: 1000, wantLen: 64, wantDropped: 936, wantFirst: 936},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("depth=%d/pushes=%d", tc.depth, tc.pushes), func(t *testing.T) {
+			q := NewQueue(tc.depth)
+			var evicted []int
+			for i := 0; i < tc.pushes; i++ {
+				if ev := q.Push(msg(i)); ev != nil {
+					evicted = append(evicted, ev.Payload.(int))
+				}
+			}
+			if got := q.Len(); got != tc.wantLen {
+				t.Errorf("Len = %d, want %d", got, tc.wantLen)
+			}
+			arrived, delivered, dropped := q.Stats()
+			if arrived != uint64(tc.pushes) {
+				t.Errorf("arrived = %d, want %d", arrived, tc.pushes)
+			}
+			if dropped != tc.wantDropped {
+				t.Errorf("dropped = %d, want %d", dropped, tc.wantDropped)
+			}
+			if uint64(len(evicted)) != tc.wantDropped {
+				t.Errorf("Push returned %d evictions, counter says %d", len(evicted), dropped)
+			}
+			// Evictions are the oldest messages, in order.
+			for i, p := range evicted {
+				if p != i {
+					t.Errorf("eviction %d returned payload %d (drop-oldest violated)", i, p)
+				}
+			}
+			// Survivors pop in FIFO order starting at wantFirst.
+			for i := 0; i < tc.wantLen; i++ {
+				m := q.Pop()
+				if m == nil {
+					t.Fatalf("Pop %d returned nil with %d queued", i, tc.wantLen-i)
+				}
+				if got := m.Payload.(int); got != tc.wantFirst+i {
+					t.Errorf("Pop %d = payload %d, want %d", i, got, tc.wantFirst+i)
+				}
+			}
+			if q.Pop() != nil {
+				t.Error("queue not empty after draining")
+			}
+			// Conservation: every arrival is either still queued (none,
+			// we drained), delivered, or dropped.
+			arrived, delivered, dropped = q.Stats()
+			if arrived != delivered+dropped {
+				t.Errorf("counter leak: arrived=%d delivered=%d dropped=%d", arrived, delivered, dropped)
+			}
+		})
+	}
+}
+
+// TestQueueConcurrentPush hammers one queue from many goroutines and
+// checks the counters stay exact: no message is double-counted or lost
+// regardless of interleaving. Run under -race this also proves the
+// locking is sound — the fault injector's burst generator publishes
+// into queues concurrently with test drivers.
+func TestQueueConcurrentPush(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 500
+	)
+	for _, depth := range []int{0, 1, 4, 128} {
+		t.Run(fmt.Sprintf("depth=%d", depth), func(t *testing.T) {
+			q := NewQueue(depth)
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < perG; i++ {
+						q.Push(msg(g*perG + i))
+					}
+				}(g)
+			}
+			// A concurrent consumer exercises Push/Pop interleaving; it
+			// spins until the producers are done, then exits.
+			var popped uint64
+			stop := make(chan struct{})
+			consumerDone := make(chan struct{})
+			go func() {
+				defer close(consumerDone)
+				for {
+					if q.Pop() != nil {
+						popped++
+						continue
+					}
+					select {
+					case <-stop:
+						return
+					default:
+					}
+				}
+			}()
+			wg.Wait()
+			close(stop)
+			<-consumerDone
+			// Drain whatever the consumer left behind.
+			for q.Pop() != nil {
+				popped++
+			}
+			arrived, delivered, dropped := q.Stats()
+			if arrived != goroutines*perG {
+				t.Errorf("arrived = %d, want %d", arrived, goroutines*perG)
+			}
+			if delivered != popped {
+				t.Errorf("delivered = %d but consumer popped %d", delivered, popped)
+			}
+			if arrived != delivered+dropped {
+				t.Errorf("counter leak: arrived=%d delivered=%d dropped=%d", arrived, delivered, dropped)
+			}
+			if depth == 0 && dropped != 0 {
+				t.Errorf("unbounded queue dropped %d messages", dropped)
+			}
+			if depth > 0 && q.Len() > depth {
+				t.Errorf("Len %d exceeds depth %d", q.Len(), depth)
+			}
+		})
+	}
+}
+
+// TestQueueDropRate pins the derived statistic used by Table III.
+func TestQueueDropRate(t *testing.T) {
+	q := NewQueue(2)
+	if got := q.DropRate(); got != 0 {
+		t.Errorf("empty queue DropRate = %v, want 0", got)
+	}
+	for i := 0; i < 8; i++ {
+		q.Push(msg(i))
+	}
+	if got, want := q.DropRate(), 6.0/8.0; got != want {
+		t.Errorf("DropRate = %v, want %v", got, want)
+	}
+}

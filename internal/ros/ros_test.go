@@ -114,7 +114,7 @@ func TestQueuePanicsOnBadDepth(t *testing.T) {
 			t.Error("expected panic")
 		}
 	}()
-	NewQueue(0)
+	NewQueue(-1)
 }
 
 func TestBusPublishDeliver(t *testing.T) {
@@ -309,5 +309,65 @@ func TestTopicStatsDegenerate(t *testing.T) {
 	s := b.TopicStats()[0]
 	if s.Rate() != 0 || s.Bandwidth() != 0 {
 		t.Errorf("single-message stats should have zero rate/bw: %+v", s)
+	}
+}
+
+// TestTopicStatsEdgeCases pins Rate and Bandwidth over the degenerate
+// observation windows where a naive messages/span division would return
+// Inf or NaN: no traffic, a single message (undefined span), and
+// multiple messages published at the identical stamp (zero span).
+func TestTopicStatsEdgeCases(t *testing.T) {
+	cases := []struct {
+		name     string
+		s        TopicStats
+		wantRate float64
+		wantBW   float64
+	}{
+		{name: "zero-value", s: TopicStats{}, wantRate: 0, wantBW: 0},
+		{
+			name:     "single-message",
+			s:        TopicStats{Messages: 1, First: time.Second, Last: time.Second, Bytes: 100},
+			wantRate: 0, wantBW: 0,
+		},
+		{
+			name:     "zero-span-burst",
+			s:        TopicStats{Messages: 5, First: 2 * time.Second, Last: 2 * time.Second, Bytes: 500},
+			wantRate: 0, wantBW: 0,
+		},
+		{
+			name:     "two-messages",
+			s:        TopicStats{Messages: 2, First: 0, Last: time.Second, Bytes: 8},
+			wantRate: 1, wantBW: 8,
+		},
+		{
+			name:     "steady",
+			s:        TopicStats{Messages: 11, First: 0, Last: time.Second, Bytes: 44},
+			wantRate: 10, wantBW: 44,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.s.Rate(); got != tc.wantRate {
+				t.Errorf("Rate() = %v, want %v", got, tc.wantRate)
+			}
+			if got := tc.s.Bandwidth(); got != tc.wantBW {
+				t.Errorf("Bandwidth() = %v, want %v", got, tc.wantBW)
+			}
+		})
+	}
+
+	// The same zero-span burst via the bus accumulator: five identical
+	// stamps must not yield an infinite rate.
+	b := NewBus()
+	b.EnableStats(func(any) float64 { return 100 })
+	for i := 0; i < 5; i++ {
+		b.Publish("/burst", 3*time.Second, i, nil)
+	}
+	s := b.TopicStats()[0]
+	if s.Messages != 5 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if r, bw := s.Rate(), s.Bandwidth(); r != 0 || bw != 0 {
+		t.Errorf("zero-span burst: Rate=%v Bandwidth=%v, want 0, 0", r, bw)
 	}
 }

@@ -1,0 +1,215 @@
+package ros
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// fuzzPayload is the payload type the round-trip fuzzer serializes. It
+// mixes scalar, slice and string fields to cover gob's wire shapes.
+type fuzzPayload struct {
+	A float64
+	B []float32
+	C string
+}
+
+func init() {
+	RegisterBagType(&fuzzPayload{})
+}
+
+// validBag serializes n records into bag bytes, for seeding the decode
+// fuzzer with structurally valid input.
+func validBag(n int) []byte {
+	var buf bytes.Buffer
+	w, err := NewBagWriter(&buf)
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < n; i++ {
+		err := w.Write(BagRecord{
+			Topic:   "/points_raw",
+			Stamp:   time.Duration(i) * 100 * time.Millisecond,
+			FrameID: "velodyne",
+			Payload: &fuzzPayload{A: float64(i), B: []float32{1, 2, 3}, C: "seed"},
+		})
+		if err != nil {
+			panic(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// FuzzBagDecode feeds arbitrary bytes to the bag reader. The contract:
+// NewBagReader and Next may reject input with an error, but must never
+// panic, regardless of how the stream is malformed, truncated or
+// corrupted.
+func FuzzBagDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("not a bag"))
+	f.Add(validBag(0))
+	f.Add(validBag(3))
+	// A valid header followed by a truncated record.
+	whole := validBag(1)
+	f.Add(whole[:len(whole)-3])
+	// A valid bag with a flipped byte mid-stream.
+	flipped := append([]byte(nil), validBag(2)...)
+	flipped[len(flipped)/2] ^= 0xFF
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewBagReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Drain with a record cap: corrupted streams must terminate with
+		// an error or EOF, never spin or panic.
+		for i := 0; i < 1<<16; i++ {
+			_, err := r.Next()
+			if errors.Is(err, io.EOF) || err != nil {
+				return
+			}
+		}
+		t.Fatalf("bag of %d bytes yielded over %d records", len(data), 1<<16)
+	})
+}
+
+// FuzzBagRoundTrip checks write→read is lossless for arbitrary record
+// contents: whatever the writer accepts, the reader returns unchanged.
+func FuzzBagRoundTrip(f *testing.F) {
+	f.Add("/points_raw", "velodyne", int64(0), 0.0, "", 0)
+	f.Add("/image_raw", "camera", int64(1e9), 3.25, "payload", 4)
+	f.Add("", "", int64(-5), math.Inf(1), "\xff\xfe", 1)
+
+	f.Fuzz(func(t *testing.T, topic, frame string, stamp int64, a float64, c string, n int) {
+		if n < 0 {
+			n = -n
+		}
+		n %= 64
+		b := make([]float32, n)
+		for i := range b {
+			b[i] = float32(i) * float32(a)
+		}
+		in := BagRecord{
+			Topic:   topic,
+			Stamp:   time.Duration(stamp),
+			FrameID: frame,
+			Payload: &fuzzPayload{A: a, B: b, C: c},
+		}
+
+		var buf bytes.Buffer
+		w, err := NewBagWriter(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Write(in); err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewBagReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("reading back a just-written bag: %v", err)
+		}
+		out, err := r.Next()
+		if err != nil {
+			t.Fatalf("decoding a just-written record: %v", err)
+		}
+		if out.Topic != in.Topic || out.Stamp != in.Stamp || out.FrameID != in.FrameID {
+			t.Fatalf("envelope mismatch: wrote %+v read %+v", in, out)
+		}
+		p, ok := out.Payload.(*fuzzPayload)
+		if !ok {
+			t.Fatalf("payload type lost: %T", out.Payload)
+		}
+		if !equalFloat64(p.A, a) || p.C != c {
+			t.Fatalf("payload scalar mismatch: wrote {A:%v C:%q} read {A:%v C:%q}", a, c, p.A, p.C)
+		}
+		if len(p.B) != len(b) {
+			t.Fatalf("payload slice length: wrote %d read %d", len(b), len(p.B))
+		}
+		for i := range b {
+			if !equalFloat32(p.B[i], b[i]) {
+				t.Fatalf("payload slice[%d]: wrote %v read %v", i, b[i], p.B[i])
+			}
+		}
+		if _, err := r.Next(); !errors.Is(err, io.EOF) {
+			t.Fatalf("expected EOF after the single record, got %v", err)
+		}
+	})
+}
+
+// equalFloat64 treats NaN as equal to itself so fuzzing NaN inputs
+// round-trip cleanly.
+func equalFloat64(x, y float64) bool {
+	return x == y || (math.IsNaN(x) && math.IsNaN(y))
+}
+
+func equalFloat32(x, y float32) bool {
+	return x == y || (x != x && y != y)
+}
+
+// TestWriteFuzzCorpus regenerates the checked-in seed corpus under
+// testdata/fuzz. Guarded: run with WRITE_CORPUS=1 after changing the
+// bag format, then commit the updated files.
+func TestWriteFuzzCorpus(t *testing.T) {
+	if os.Getenv("WRITE_CORPUS") == "" {
+		t.Skip("set WRITE_CORPUS=1 to regenerate the fuzz seed corpus")
+	}
+	whole := validBag(1)
+	flipped := append([]byte(nil), validBag(2)...)
+	flipped[len(flipped)/2] ^= 0xFF
+	decodeSeeds := map[string][]byte{
+		"empty":     {},
+		"garbage":   []byte("not a bag"),
+		"valid":     validBag(3),
+		"truncated": whole[:len(whole)-3],
+		"corrupted": flipped,
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzBagDecode")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range decodeSeeds {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	dir = filepath.Join("testdata", "fuzz", "FuzzBagRoundTrip")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	rtSeeds := map[string][6]any{
+		"basic":    {"/points_raw", "velodyne", int64(0), 0.0, "", 0},
+		"full":     {"/image_raw", "camera", int64(1e9), 3.25, "payload", 4},
+		"extremes": {"", "", int64(-5), math.NaN(), "\xff\xfe", 63},
+	}
+	for name, args := range rtSeeds {
+		body := "go test fuzz v1\n" +
+			"string(" + strconv.Quote(args[0].(string)) + ")\n" +
+			"string(" + strconv.Quote(args[1].(string)) + ")\n" +
+			"int64(" + strconv.FormatInt(args[2].(int64), 10) + ")\n" +
+			formatFloatSeed(args[3].(float64)) + "\n" +
+			"string(" + strconv.Quote(args[4].(string)) + ")\n" +
+			"int(" + strconv.Itoa(args[5].(int)) + ")\n"
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// formatFloatSeed renders one float64 corpus line: non-finite values
+// via their bit pattern (the fuzz format's spelling), everything else
+// as a plain float64 literal.
+func formatFloatSeed(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return "math.Float64frombits(0x" + strconv.FormatUint(math.Float64bits(v), 16) + ")"
+	}
+	return "float64(" + strconv.FormatFloat(v, 'g', -1, 64) + ")"
+}

@@ -1,0 +1,302 @@
+// Package scenario is the chaos-test harness: it runs the full stack
+// twice over the same environment — once fault-free, once under a
+// named, seeded fault schedule with the graceful-degradation watchdog
+// attached — and reports the resulting latency distributions side by
+// side. Because every layer underneath is deterministic, the same
+// scenario, seed and duration always produce a byte-identical report,
+// which is what turns the paper's accidental tail phenomena (contention
+// inflation, message drops, stale inputs) into regression-testable
+// behaviors.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/avstack"
+	"repro/internal/autoware"
+	"repro/internal/faults"
+	"repro/internal/hdmap"
+	"repro/internal/mathx"
+	"repro/internal/ros"
+	"repro/internal/trace"
+	"repro/internal/world"
+)
+
+// Spec is one named chaos scenario: a fault schedule plus the watch
+// policies that should degrade gracefully under it.
+type Spec struct {
+	Name        string
+	Description string
+	// Seed drives every stochastic fault decision.
+	Seed   uint64
+	Faults []faults.Fault
+	// Watch lists the graceful-degradation policies to install on the
+	// faulted run (the baseline never needs them).
+	Watch []avstack.WatchPolicy
+	// WatchPeriod overrides the watchdog check cadence (default 100 ms).
+	WatchPeriod time.Duration
+}
+
+// Schedule bundles the spec's faults with its seed.
+func (s Spec) Schedule() faults.Schedule {
+	return faults.Schedule{Seed: s.Seed, Faults: s.Faults}
+}
+
+// MinDuration returns the shortest drive that covers every fault window
+// with a second of post-fault recovery headroom.
+func (s Spec) MinDuration() time.Duration {
+	var latest time.Duration
+	for _, f := range s.Faults {
+		if f.End() > latest {
+			latest = f.End()
+		}
+	}
+	return latest + time.Second
+}
+
+// Builtin scenario names, in report order.
+const (
+	NameContention   = "contention"
+	NameCameraStall  = "camera-stall"
+	NameLidarDrop    = "lidar-drop"
+	NameSensorJitter = "sensor-jitter"
+	NameQueueBurst   = "queue-burst"
+)
+
+// visionObjectsTopic is the vision detector's output (watched by the
+// camera-stall scenario).
+const visionObjectsTopic = "/detection/image_detector/objects"
+
+// builtins returns the named scenario registry. Fault windows open at
+// 4 s (past the 3 s measurement warmup) so both baseline and faulted
+// measurements span identical drive intervals.
+func builtins() []Spec {
+	return []Spec{
+		{
+			Name: NameContention,
+			Description: "co-located best-effort CPU work competes with the stack " +
+				"(Finding 1: shared-resource contention inflates tail latency)",
+			Seed: 0xF1A5,
+			Faults: []faults.Fault{{
+				Kind: faults.KindContention, Start: 4 * time.Second, Duration: 5 * time.Second,
+				Workers: 2, Load: 4e-3, Bandwidth: 2e9,
+			}},
+		},
+		{
+			Name: NameCameraStall,
+			Description: "the vision detector hangs mid-drive; the watchdog " +
+				"substitutes last-good detections until it recovers",
+			Seed: 0x57A11,
+			Faults: []faults.Fault{{
+				Kind: faults.KindStall, Node: autoware.VisionNodeName,
+				Start: 4 * time.Second, Duration: 3 * time.Second,
+				Delay: 900 * time.Millisecond,
+			}},
+			Watch: []avstack.WatchPolicy{{
+				Node:    autoware.VisionNodeName,
+				Topic:   visionObjectsTopic,
+				Timeout: 400 * time.Millisecond,
+				Policy:  avstack.FallbackLastGood,
+			}},
+		},
+		{
+			Name: NameLidarDrop,
+			Description: "a third of LiDAR frames vanish in transport " +
+				"(lossy driver; downstream rates and drops shift)",
+			Seed: 0xD20B,
+			Faults: []faults.Fault{{
+				Kind: faults.KindDrop, Topic: "/points_raw",
+				Start: 4 * time.Second, Duration: 5 * time.Second, Prob: 0.35,
+			}},
+		},
+		{
+			Name: NameSensorJitter,
+			Description: "sensor publication timing wanders (clock drift / " +
+				"bursty transport); pipeline phase alignment degrades",
+			Seed: 0x717E2,
+			Faults: []faults.Fault{
+				{
+					Kind: faults.KindJitter, Topic: "/points_raw",
+					Start: 4 * time.Second, Duration: 5 * time.Second,
+					Sigma: 30 * time.Millisecond,
+				},
+				{
+					Kind: faults.KindJitter, Topic: "/image_raw",
+					Start: 4 * time.Second, Duration: 5 * time.Second,
+					Sigma: 30 * time.Millisecond,
+				},
+			},
+		},
+		{
+			Name: NameQueueBurst,
+			Description: "a runaway publisher floods /points_raw, saturating " +
+				"subscriber queues into drop-oldest eviction (Table III on demand)",
+			Seed: 0xB025,
+			Faults: []faults.Fault{{
+				Kind: faults.KindBurst, Topic: "/points_raw",
+				Start: 4 * time.Second, Duration: 4 * time.Second, Rate: 60,
+			}},
+		},
+	}
+}
+
+// Names lists the built-in scenario names in report order.
+func Names() []string {
+	specs := builtins()
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// ByName resolves a built-in scenario.
+func ByName(name string) (Spec, error) {
+	for _, s := range builtins() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("scenario: unknown scenario %q (have %v)", name, Names())
+}
+
+// NodeStat pairs one node's baseline and faulted latency summaries.
+type NodeStat struct {
+	Node     string
+	Baseline mathx.Summary
+	Faulted  mathx.Summary
+}
+
+// PathStat pairs one computation path's summaries.
+type PathStat struct {
+	Path     string
+	Baseline mathx.Summary
+	Faulted  mathx.Summary
+}
+
+// Result is one completed chaos run: the same drive with and without
+// the fault schedule.
+type Result struct {
+	Spec     Spec
+	Detector autoware.Detector
+	Duration time.Duration
+
+	Nodes []NodeStat
+	Paths []PathStat
+	// Events counts the perturbations the injector actually applied.
+	Events []faults.Event
+	// Degraded lists the watchdog's degradation windows (faulted run).
+	Degraded []trace.DegradedInterval
+	// Drops is the faulted run's per-subscription drop table.
+	Drops []ros.DropReport
+}
+
+// NodeStat returns the stats row for one node.
+func (r *Result) NodeStat(node string) (NodeStat, bool) {
+	for _, ns := range r.Nodes {
+		if ns.Node == node {
+			return ns, true
+		}
+	}
+	return NodeStat{}, false
+}
+
+// Run executes the scenario over a freshly built environment. Building
+// the scenario's HD map dominates wall time; tests with a cached
+// environment should use RunWithEnv.
+func Run(spec Spec, det autoware.Detector, duration time.Duration) (*Result, error) {
+	scen := world.NewScenario(world.DefaultScenarioConfig())
+	mc := hdmap.DefaultConfig()
+	mc.ScanSpacing = 10
+	m, err := hdmap.Build(scen, mc)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: building map: %w", err)
+	}
+	return RunWithEnv(scen, m, spec, det, duration)
+}
+
+// RunWithEnv executes the scenario over an existing environment: one
+// fault-free baseline run, one run with the injector (and any watch
+// policies) attached. Identical inputs produce identical Results.
+func RunWithEnv(scen *world.Scenario, m *hdmap.Map, spec Spec, det autoware.Detector, duration time.Duration) (*Result, error) {
+	if err := spec.Schedule().Validate(); err != nil {
+		return nil, err
+	}
+	if min := spec.MinDuration(); duration < min {
+		return nil, fmt.Errorf("scenario: duration %v shorter than scenario horizon %v", duration, min)
+	}
+
+	baseline, err := buildStack(scen, m, det)
+	if err != nil {
+		return nil, err
+	}
+	baseline.Run(duration)
+
+	faulted, err := buildStack(scen, m, det)
+	if err != nil {
+		return nil, err
+	}
+	inj, err := faults.New(spec.Schedule())
+	if err != nil {
+		return nil, err
+	}
+	inj.Attach(faulted.Executor, faulted.Bus)
+	if len(spec.Watch) > 0 {
+		wd := avstack.NewWatchdog(faulted, avstack.WatchdogConfig{
+			Period:   spec.WatchPeriod,
+			Policies: spec.Watch,
+		})
+		wd.Attach()
+	}
+	faulted.Run(duration)
+
+	return collect(spec, det, duration, baseline, faulted, inj), nil
+}
+
+// buildStack assembles one stack over the shared environment.
+func buildStack(scen *world.Scenario, m *hdmap.Map, det autoware.Detector) (*autoware.Stack, error) {
+	cfg := autoware.DefaultConfig(det)
+	return autoware.BuildWithMap(cfg, scen, m)
+}
+
+// collect assembles the Result from two completed runs.
+func collect(spec Spec, det autoware.Detector, duration time.Duration, baseline, faulted *autoware.Stack, inj *faults.Injector) *Result {
+	r := &Result{
+		Spec:     spec,
+		Detector: det,
+		Duration: duration,
+		Events:   inj.Events(),
+		Degraded: faulted.Recorder.DegradedIntervals(),
+		Drops:    faulted.Bus.DropReports(),
+	}
+
+	nodeSet := map[string]bool{}
+	for _, n := range baseline.Recorder.NodeNames() {
+		nodeSet[n] = true
+	}
+	for _, n := range faulted.Recorder.NodeNames() {
+		nodeSet[n] = true
+	}
+	nodes := make([]string, 0, len(nodeSet))
+	for n := range nodeSet {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	for _, n := range nodes {
+		r.Nodes = append(r.Nodes, NodeStat{
+			Node:     n,
+			Baseline: baseline.Recorder.NodeLatency(n),
+			Faulted:  faulted.Recorder.NodeLatency(n),
+		})
+	}
+	for _, p := range baseline.Recorder.PathNames() {
+		r.Paths = append(r.Paths, PathStat{
+			Path:     p,
+			Baseline: baseline.Recorder.PathLatency(p),
+			Faulted:  faulted.Recorder.PathLatency(p),
+		})
+	}
+	return r
+}

@@ -48,21 +48,75 @@ type Recorder struct {
 	paths   []PathSpec
 	pathLat map[string][]float64
 
+	// degraded holds closed and open degradation intervals in the order
+	// they opened; openDegraded indexes the open one per node.
+	degraded     []DegradedInterval
+	openDegraded map[string]int
+
 	// Warmup discards samples before this virtual time (pipeline fill).
 	Warmup time.Duration
+}
+
+// DegradedInterval is one window during which a watchdog substituted
+// for (or silenced) a faulty node — the degraded-operation record the
+// chaos reports surface alongside latency distributions.
+type DegradedInterval struct {
+	// Node is the node whose output went stale.
+	Node string
+	// Policy names the fallback applied (last-good, skip-frame, degrade).
+	Policy string
+	// Start is when staleness was detected; End when fresh output
+	// resumed (zero while still degraded).
+	Start, End time.Duration
+	// Substituted counts fallback outputs published during the window.
+	Substituted int
 }
 
 // NewRecorder creates an empty recorder for the given paths.
 func NewRecorder(paths []PathSpec) *Recorder {
 	return &Recorder{
-		nodeLatency: make(map[string][]float64),
-		cpuSeconds:  make(map[string]float64),
-		gpuSeconds:  make(map[string]float64),
-		callbacks:   make(map[string]int),
-		workSum:     make(map[string]work.Work),
-		paths:       paths,
-		pathLat:     make(map[string][]float64),
+		nodeLatency:  make(map[string][]float64),
+		cpuSeconds:   make(map[string]float64),
+		gpuSeconds:   make(map[string]float64),
+		callbacks:    make(map[string]int),
+		workSum:      make(map[string]work.Work),
+		paths:        paths,
+		pathLat:      make(map[string][]float64),
+		openDegraded: make(map[string]int),
 	}
+}
+
+// OnDegrade opens a degradation interval for a node. A node has at most
+// one open interval; a second OnDegrade before OnRecover is ignored.
+func (r *Recorder) OnDegrade(node, policy string, at time.Duration) {
+	if _, open := r.openDegraded[node]; open {
+		return
+	}
+	r.openDegraded[node] = len(r.degraded)
+	r.degraded = append(r.degraded, DegradedInterval{Node: node, Policy: policy, Start: at})
+}
+
+// OnSubstitute counts one fallback output published while degraded.
+func (r *Recorder) OnSubstitute(node string) {
+	if i, open := r.openDegraded[node]; open {
+		r.degraded[i].Substituted++
+	}
+}
+
+// OnRecover closes a node's open degradation interval.
+func (r *Recorder) OnRecover(node string, at time.Duration) {
+	if i, open := r.openDegraded[node]; open {
+		r.degraded[i].End = at
+		delete(r.openDegraded, node)
+	}
+}
+
+// DegradedIntervals returns all degradation intervals in the order they
+// opened. Intervals with a zero End were still open when queried.
+func (r *Recorder) DegradedIntervals() []DegradedInterval {
+	out := make([]DegradedInterval, len(r.degraded))
+	copy(out, r.degraded)
+	return out
 }
 
 // Attach installs the recorder's hooks on an executor. It chains with
