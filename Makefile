@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench-smoke fuzz-smoke
+.PHONY: build test race vet bench-smoke fuzz-smoke chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,16 @@ vet:
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzBagDecode -fuzztime=10s ./internal/ros/
 	$(GO) test -run=NONE -fuzz=FuzzBagRoundTrip -fuzztime=10s ./internal/ros/
+
+# Run every built-in chaos scenario end to end (baseline + faulted
+# stack each) and throw the reports away — a crash in any injection,
+# supervision or shedding path fails the target.
+CHAOS_SCENARIOS = contention camera-stall lidar-drop sensor-jitter queue-burst crash-recover overload-shed
+chaos-smoke:
+	@for s in $(CHAOS_SCENARIOS); do \
+		echo "==> $$s"; \
+		$(GO) run ./cmd/characterize -faults $$s -duration 12s -out /dev/null || exit 1; \
+	done
 
 # Quick allocation/latency smoke over the hot-path micro-benches.
 bench-smoke:

@@ -154,8 +154,11 @@ type DegradedInterval = trace.DegradedInterval
 
 // AttachFaults wires a fault injector into the running system. Call
 // before Run; the injector's schedule then perturbs the drive
-// deterministically (see internal/faults).
+// deterministically (see internal/faults). Message-losing verdicts
+// (drop, crash) are recorded in the trace so reports can distinguish
+// "dropped by an injected fault" from "never produced".
 func (s *System) AttachFaults(in *faults.Injector) {
+	in.SetLossRecorder(s.stack.Recorder)
 	in.Attach(s.stack.Executor, s.stack.Bus)
 }
 

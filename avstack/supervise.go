@@ -1,0 +1,105 @@
+package avstack
+
+import (
+	"time"
+
+	"repro/internal/autoware"
+	"repro/internal/nodes/localization"
+	"repro/internal/nodes/tracking"
+	"repro/internal/supervise"
+	"repro/internal/trace"
+)
+
+// Supervision layer re-exports: the supervisor restarts crashed or
+// silent nodes with exponential backoff and restores their last state
+// checkpoint (see internal/supervise).
+type (
+	// Supervisor is the attached node-lifecycle supervision layer.
+	Supervisor = supervise.Supervisor
+	// SupervisorConfig tunes detection, backoff and checkpoint cadence.
+	SupervisorConfig = supervise.Config
+	// SupervisePolicy declares supervision for one node.
+	SupervisePolicy = supervise.Policy
+	// Checkpointer is the state snapshot/restore hook stateful nodes
+	// implement for crash recovery.
+	Checkpointer = supervise.Checkpointer
+	// Outage is one recorded node outage: detection, restarts, frames
+	// lost, recovery, and checkpoint restoration.
+	Outage = trace.Outage
+	// FaultLoss is one aggregate of fault-induced message losses.
+	FaultLoss = trace.FaultLoss
+)
+
+// DefaultSupervision builds the standard supervision config for a
+// stack: the stateful perception nodes (tracker, localizer) watched on
+// their output topics with a 1 s liveness timeout and checkpointed for
+// restore-on-restart.
+func DefaultSupervision(stack *autoware.Stack, seed uint64) SupervisorConfig {
+	cfg := SupervisorConfig{Seed: seed}
+	if stack.Tracker != nil {
+		cfg.Policies = append(cfg.Policies, SupervisePolicy{
+			Node:            autoware.TrackerNodeName,
+			Topic:           tracking.TopicObjects,
+			LivenessTimeout: time.Second,
+			Checkpoint:      stack.Tracker,
+		})
+	}
+	if stack.NDT != nil {
+		cfg.Policies = append(cfg.Policies, SupervisePolicy{
+			Node:            autoware.LocalizerNodeName,
+			Topic:           localization.TopicCurrentPose,
+			LivenessTimeout: time.Second,
+			Checkpoint:      stack.NDT,
+		})
+	}
+	return cfg
+}
+
+// AttachDefaultSupervision wires the standard supervision layer into a
+// stack. Attach any fault injector first: the supervisor's filter runs
+// in front of the layers attached before it, which is how it observes
+// their crash verdicts.
+func AttachDefaultSupervision(stack *autoware.Stack, seed uint64) (*Supervisor, error) {
+	sup, err := supervise.New(DefaultSupervision(stack, seed))
+	if err != nil {
+		return nil, err
+	}
+	sup.Attach(stack.Executor, stack.Bus, stack.Recorder)
+	return sup, nil
+}
+
+// AttachSupervisor wires an explicitly configured supervision layer
+// into the system. Call after AttachFaults and before Run.
+func (s *System) AttachSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
+	sup, err := supervise.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sup.Attach(s.stack.Executor, s.stack.Bus, s.stack.Recorder)
+	return sup, nil
+}
+
+// Supervise wires the default supervision layer (see
+// DefaultSupervision) into the system. Call after AttachFaults and
+// before Run.
+func (s *System) Supervise(seed uint64) (*Supervisor, error) {
+	return AttachDefaultSupervision(s.stack, seed)
+}
+
+// EnableShedding turns on deadline-aware load shedding at the
+// executor: a queued frame whose oldest sensor origin is older than
+// the budget when dispatched is shed instead of processed, bounding
+// queue-delay amplification under overload. Shed counts appear in
+// Topics (TopicStats.Shed). Zero disables.
+func (s *System) EnableShedding(budget time.Duration) {
+	s.stack.Executor.ShedBudget = budget
+}
+
+// Outages returns recorded node outages (empty without an attached
+// supervisor).
+func (s *System) Outages() []Outage { return s.stack.Recorder.Outages() }
+
+// FaultLosses returns aggregate fault-induced message losses (empty
+// unless an injector with a loss recorder is attached; AttachFaults
+// wires one).
+func (s *System) FaultLosses() []FaultLoss { return s.stack.Recorder.FaultLosses() }

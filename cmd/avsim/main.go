@@ -7,6 +7,7 @@
 //
 //	avsim [-detector SSD512|SSD300|YOLOv3-416] [-duration 30s]
 //	      [-planning] [-status 5s] [-workers N] [-faults <scenario>]
+//	      [-supervise] [-shed 100ms]
 //
 // avsim drives a single stack, so -workers (default: the number of
 // CPUs) bounds the host threads used by intra-frame shard loops (voxel
@@ -17,6 +18,12 @@
 // seeded fault schedule perturbs the drive deterministically, the
 // graceful-degradation watchdog substitutes for stalled nodes, and the
 // final report includes injected events and degraded intervals.
+//
+// -supervise attaches the node-lifecycle supervision layer (restart
+// with backoff + checkpoint restore; internal/supervise) and -shed
+// arms deadline-aware load shedding with the given budget. Scenarios
+// that request either (crash-recover, overload-shed) enable them
+// automatically.
 package main
 
 import (
@@ -40,6 +47,8 @@ func main() {
 	status := flag.Duration("status", 5*time.Second, "status print interval (virtual time)")
 	workers := flag.Int("workers", runtime.NumCPU(), "max host threads for intra-frame shard loops (results are identical for any value)")
 	faultsFlag := flag.String("faults", "", "inject a named chaos scenario: "+strings.Join(scenario.Names(), ", "))
+	supervise := flag.Bool("supervise", false, "attach the supervision layer (restart crashed/silent nodes with backoff + checkpoint restore)")
+	shed := flag.Duration("shed", 0, "deadline-aware load shedding budget (0 disables): queued frames older than this are shed at dispatch")
 	flag.Parse()
 	parallel.SetMaxWorkers(*workers)
 
@@ -84,6 +93,24 @@ func main() {
 		for _, f := range spec.Faults {
 			fmt.Printf("  %s\n", f)
 		}
+	}
+
+	// Spec-requested supervision/shedding unless overridden by flags.
+	if *supervise || spec.Supervise {
+		// After AttachFaults, so the supervisor observes crash verdicts.
+		if _, err := sys.Supervise(spec.Seed); err != nil {
+			fmt.Fprintln(os.Stderr, "avsim:", err)
+			os.Exit(1)
+		}
+		fmt.Println("supervision layer attached")
+	}
+	budget := *shed
+	if budget == 0 {
+		budget = spec.ShedBudget
+	}
+	if budget > 0 {
+		sys.EnableShedding(budget)
+		fmt.Printf("deadline shedding armed: budget=%v\n", budget)
 	}
 
 	for elapsed := time.Duration(0); elapsed < *duration; {
@@ -157,6 +184,47 @@ func main() {
 		for _, d := range drops {
 			fmt.Printf("%-34s -> %-24s arrived=%-6d dropped=%-6d rate=%.3f\n",
 				d.Topic, d.Subscriber, d.Arrived, d.Dropped, d.Rate)
+		}
+
+		fmt.Println("\n--- fault-induced message losses ---")
+		losses := sys.FaultLosses()
+		if len(losses) == 0 {
+			fmt.Println("(none)")
+		}
+		for _, l := range losses {
+			fmt.Printf("%-10s %-34s count=%-6d window=[%v, %v]\n",
+				l.Kind, l.Target, l.Count, l.First, l.Last)
+		}
+	}
+
+	if *supervise || spec.Supervise {
+		fmt.Println("\n--- supervised outages ---")
+		outages := sys.Outages()
+		if len(outages) == 0 {
+			fmt.Println("(none)")
+		}
+		for _, o := range outages {
+			end := "open"
+			if o.Recovered > 0 {
+				end = o.Recovered.String()
+			}
+			fmt.Printf("%-24s cause=%-12s [%v, %s) restarts=%d lost=%d restored=%t ckpt_age=%v\n",
+				o.Node, o.Cause, o.Detected, end, o.Restarts, o.FramesLost, o.Restored, o.CheckpointAge)
+		}
+	}
+
+	if budget > 0 {
+		fmt.Println("\n--- deadline-shed frames ---")
+		any := false
+		for _, t := range sys.Topics() {
+			if t.Shed == 0 {
+				continue
+			}
+			any = true
+			fmt.Printf("%-34s shed=%-6d delivered=%-6d\n", t.Topic, t.Shed, t.Messages)
+		}
+		if !any {
+			fmt.Println("(none)")
 		}
 	}
 }

@@ -13,7 +13,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"time"
 
 	"repro/internal/autoware"
@@ -111,26 +113,49 @@ func info(args []string) {
 		fatal(err)
 	}
 	defer f.Close()
-	r, err := ros.NewBagReader(f)
-	if err != nil {
+	if err := summarize(f, *bag, os.Stdout); err != nil {
 		fatal(err)
 	}
-	recs, err := r.ReadAll()
+}
+
+// summarize decodes a bag stream and writes the info report. A damaged
+// bag (corrupted or truncated mid-record) still gets its intact prefix
+// summarized; the returned error then names the failing record and why
+// it failed to decode.
+func summarize(r io.Reader, name string, w io.Writer) error {
+	br, err := ros.NewBagReader(r)
 	if err != nil {
-		fatal(err)
+		return fmt.Errorf("%s: %w", name, err)
 	}
-	counts := map[string]int{}
-	var last time.Duration
-	for _, rec := range recs {
-		counts[rec.Topic]++
-		if rec.Stamp > last {
-			last = rec.Stamp
+	recs, readErr := br.ReadAll()
+	if readErr == nil || len(recs) > 0 {
+		label := name
+		if readErr != nil {
+			label = name + " (intact prefix of a damaged bag)"
+		}
+		counts := map[string]int{}
+		var last time.Duration
+		for _, rec := range recs {
+			counts[rec.Topic]++
+			if rec.Stamp > last {
+				last = rec.Stamp
+			}
+		}
+		fmt.Fprintf(w, "%s: %d messages, %.1f s\n", label, len(recs), last.Seconds())
+		topics := make([]string, 0, len(counts))
+		for topic := range counts {
+			topics = append(topics, topic)
+		}
+		sort.Strings(topics)
+		for _, topic := range topics {
+			n := counts[topic]
+			fmt.Fprintf(w, "  %-20s %6d msgs (%.1f Hz)\n", topic, n, float64(n)/last.Seconds())
 		}
 	}
-	fmt.Printf("%s: %d messages, %.1f s\n", *bag, len(recs), last.Seconds())
-	for topic, n := range counts {
-		fmt.Printf("  %-20s %6d msgs (%.1f Hz)\n", topic, n, float64(n)/last.Seconds())
+	if readErr != nil {
+		return fmt.Errorf("%s: damaged bag: %w", name, readErr)
 	}
+	return nil
 }
 
 // replay feeds a bag through the full stack and reports the pipeline.

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/msgs"
+	"repro/internal/ros"
+)
+
+const corpusDir = "../../internal/ros/testdata/fuzz/FuzzBagDecode"
+
+// corpusEntry decodes one seed file in "go test fuzz v1" format back
+// into the raw bag bytes it carries.
+func corpusEntry(t *testing.T, name string) []byte {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join(corpusDir, name))
+	if err != nil {
+		t.Fatalf("reading corpus entry: %v", err)
+	}
+	lines := strings.SplitN(string(raw), "\n", 3)
+	if len(lines) < 2 || lines[0] != "go test fuzz v1" {
+		t.Fatalf("corpus entry %s is not in fuzz v1 format", name)
+	}
+	quoted := strings.TrimSuffix(strings.TrimPrefix(strings.TrimSpace(lines[1]), "[]byte("), ")")
+	data, err := strconv.Unquote(quoted)
+	if err != nil {
+		t.Fatalf("unquoting corpus entry %s: %v", name, err)
+	}
+	return []byte(data)
+}
+
+// TestSummarizeFuzzCorpus replays the bag-decoder fuzz corpus through
+// the info summary: every entry must either summarize or fail with an
+// error that says what was wrong — never panic, never a bare gob error.
+func TestSummarizeFuzzCorpus(t *testing.T) {
+	cases := []struct {
+		entry   string
+		wantErr string // substring the error must carry, "" for success
+	}{
+		{"empty", "bag header"},
+		{"garbage", "bag header"},
+		// The fuzz corpus's payload type is registered only inside the
+		// ros test package, so even the "valid" seed fails its first
+		// payload decode here — which is exactly the shape of a bag
+		// recorded by a newer tool: the error must name the record.
+		{"valid", "bag record 1"},
+		{"truncated", "bag record"},
+		{"corrupted", "bag record"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.entry, func(t *testing.T) {
+			data := corpusEntry(t, tc.entry)
+			var out bytes.Buffer
+			err := summarize(bytes.NewReader(data), tc.entry+".bag", &out)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("summarize: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("summarize accepted a damaged bag; output:\n%s", out.String())
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not explain the failure (want %q)", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// writeBag builds an in-memory bag with n real sensor records.
+func writeBag(t *testing.T, n int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := ros.NewBagWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		rec := ros.BagRecord{
+			Topic:   "/gnss",
+			Stamp:   time.Duration(i) * 100 * time.Millisecond,
+			Payload: &msgs.GNSS{},
+		}
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func TestSummarizeIntactBag(t *testing.T) {
+	var out bytes.Buffer
+	if err := summarize(bytes.NewReader(writeBag(t, 5)), "ok.bag", &out); err != nil {
+		t.Fatalf("summarize: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "ok.bag: 5 messages") {
+		t.Errorf("summary missing message count:\n%s", got)
+	}
+	if !strings.Contains(got, "/gnss") {
+		t.Errorf("summary missing topic line:\n%s", got)
+	}
+}
+
+// TestSummarizeTruncatedBagNamesRecord cuts a real bag mid-stream and
+// checks the error pinpoints the failing record while the intact
+// prefix is still summarized.
+func TestSummarizeTruncatedBagNamesRecord(t *testing.T) {
+	data := writeBag(t, 6)
+	var out bytes.Buffer
+	err := summarize(bytes.NewReader(data[:len(data)-7]), "cut.bag", &out)
+	if err == nil {
+		t.Fatal("summarize accepted a truncated bag")
+	}
+	if !strings.Contains(err.Error(), "damaged bag") ||
+		!strings.Contains(err.Error(), "bag record 6 (5 records decoded cleanly before it)") {
+		t.Errorf("error does not pinpoint the failing record: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "intact prefix") || !strings.Contains(got, "5 messages") {
+		t.Errorf("intact prefix was not summarized:\n%s", got)
+	}
+}
+
+// TestSummarizeCorruptedBagNamesRecord flips a byte inside a record
+// body; the report must name the record where decoding went off the
+// rails and still salvage everything before it.
+func TestSummarizeCorruptedBagNamesRecord(t *testing.T) {
+	data := writeBag(t, 4)
+	data[len(data)-10] ^= 0xFF
+	var out bytes.Buffer
+	err := summarize(bytes.NewReader(data), "flip.bag", &out)
+	if err == nil {
+		t.Fatal("summarize accepted a corrupted bag")
+	}
+	if !strings.Contains(err.Error(), "damaged bag") ||
+		!strings.Contains(err.Error(), "bag record") {
+		t.Errorf("error does not name the failing record: %v", err)
+	}
+}

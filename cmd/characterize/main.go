@@ -6,7 +6,7 @@
 //
 //	characterize [-exp all|fig5|tab3|fig6|tab5|tab6|tab7|fig7|fig8]
 //	             [-duration 60s] [-out report.txt] [-workers N]
-//	             [-faults <scenario>]
+//	             [-faults <scenario>] [-supervise] [-shed 100ms]
 //
 // -workers bounds how many experiment configurations simulate
 // concurrently (default: the number of CPUs). Every configuration is an
@@ -42,6 +42,8 @@ func main() {
 	workers := flag.Int("workers", runtime.NumCPU(), "max concurrent experiment configurations (results are identical for any value)")
 	faultsFlag := flag.String("faults", "", "run a chaos scenario instead of the paper tables: "+strings.Join(scenario.Names(), ", "))
 	detector := flag.String("detector", "YOLOv3-416", "detector configuration for the chaos scenario (-faults only)")
+	supervise := flag.Bool("supervise", false, "force the supervision layer onto the chaos scenario's faulted run (-faults only)")
+	shed := flag.Duration("shed", 0, "force this deadline-shedding budget onto the chaos scenario's faulted run (-faults only)")
 	flag.Parse()
 	parallel.SetMaxWorkers(*workers)
 
@@ -59,6 +61,12 @@ func main() {
 		spec, err := scenario.ByName(*faultsFlag)
 		if err != nil {
 			fatal(err)
+		}
+		if *supervise {
+			spec.Supervise = true
+		}
+		if *shed > 0 {
+			spec.ShedBudget = *shed
 		}
 		if min := spec.MinDuration(); *duration < min {
 			fatal(fmt.Errorf("scenario %s needs -duration >= %v", spec.Name, min))

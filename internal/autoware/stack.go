@@ -252,3 +252,10 @@ func (s *Stack) UtilizationReport() []power.UtilizationRow {
 // VisionNodeName is the display name the recorder uses for the vision
 // detector (the paper labels it vision_detection in all plots).
 const VisionNodeName = "vision_detection"
+
+// TrackerNodeName and LocalizerNodeName are the stateful nodes the
+// supervision layer checkpoints by default.
+const (
+	TrackerNodeName   = "imm_ukf_pda_tracker"
+	LocalizerNodeName = "ndt_matching"
+)

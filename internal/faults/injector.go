@@ -30,6 +30,17 @@ type Injector struct {
 	lastSeq     map[string]uint64
 
 	counts map[Kind]map[string]int
+
+	// losses, when set, receives every message-losing verdict (drop,
+	// crash) with its timestamp, so traces can distinguish "dropped by
+	// an injected fault" from "never produced".
+	losses LossRecorder
+}
+
+// LossRecorder receives fault-induced message losses as they happen.
+// trace.Recorder implements it; SetLossRecorder wires it up.
+type LossRecorder interface {
+	OnFaultLoss(kind, target string, at time.Duration)
 }
 
 // New prepares an injector for the schedule. Attach must be called
@@ -53,6 +64,10 @@ func New(sched Schedule) (*Injector, error) {
 
 // Schedule returns the schedule the injector applies.
 func (in *Injector) Schedule() Schedule { return in.sched }
+
+// SetLossRecorder installs the trace hook for message-losing verdicts.
+// Call any time; nil disables.
+func (in *Injector) SetLossRecorder(r LossRecorder) { in.losses = r }
 
 // Attach wires the injector into a stack's executor and bus and
 // schedules the windowed activities (bursts, contention hogs).
@@ -101,6 +116,9 @@ func (in *Injector) chainPublishFilter(ex *platform.Executor) {
 			case KindDrop:
 				if rng.Bool(f.Prob) {
 					in.count(f, 1)
+					if in.losses != nil {
+						in.losses.OnFaultLoss(string(KindDrop), f.Target(), now)
+					}
 					v.Drop = true
 					return v
 				}
@@ -144,6 +162,9 @@ func (in *Injector) chainCallbackFilter(ex *platform.Executor) {
 			switch f.Kind {
 			case KindCrash:
 				in.count(f, 1)
+				if in.losses != nil {
+					in.losses.OnFaultLoss(string(KindCrash), f.Target(), now)
+				}
 				v.Drop = true
 				return v
 			case KindStall:

@@ -1,0 +1,61 @@
+package localization
+
+import (
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/msgs"
+)
+
+// This file implements the supervision layer's Checkpointer contract
+// (internal/supervise) for ndt_matching: the pose estimate and the
+// dead-reckoning context are the node's crash-critical state — losing
+// them forces a full GNSS re-bootstrap, while restoring a recent
+// checkpoint lets a restarted localizer re-converge from scan matching
+// alone.
+
+// ndtCheckpoint is the localizer's snapshot payload.
+type ndtCheckpoint struct {
+	pose         geom.Pose
+	initialized  bool
+	lastStamp    time.Duration
+	lastIMUStamp time.Duration
+	lastIMU      *msgs.IMU
+	lastGNSS     *msgs.GNSS
+}
+
+// Snapshot returns a copy of the localizer's estimation state. Message
+// payloads are immutable once published, so the cached IMU/GNSS
+// pointers are shared rather than copied.
+func (n *NDTMatching) Snapshot() any {
+	return &ndtCheckpoint{
+		pose:         n.pose,
+		initialized:  n.initialized,
+		lastStamp:    n.lastStamp,
+		lastIMUStamp: n.lastIMUStamp,
+		lastIMU:      n.lastIMU,
+		lastGNSS:     n.lastGNSS,
+	}
+}
+
+// Restore replaces the estimation state with a snapshot taken by
+// Snapshot. A nil snapshot is a cold restart: the localizer becomes
+// uninitialized and re-bootstraps from the next GNSS fix.
+func (n *NDTMatching) Restore(snapshot any) {
+	cp, ok := snapshot.(*ndtCheckpoint)
+	if !ok || cp == nil {
+		n.pose = geom.Pose{}
+		n.initialized = false
+		n.lastStamp = 0
+		n.lastIMUStamp = 0
+		n.lastIMU = nil
+		n.lastGNSS = nil
+		return
+	}
+	n.pose = cp.pose
+	n.initialized = cp.initialized
+	n.lastStamp = cp.lastStamp
+	n.lastIMUStamp = cp.lastIMUStamp
+	n.lastIMU = cp.lastIMU
+	n.lastGNSS = cp.lastGNSS
+}

@@ -1,0 +1,104 @@
+package localization
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/msgs"
+	"repro/internal/sensor"
+	"repro/internal/ros"
+)
+
+// initialize bootstraps a node at the t=25s scan and returns its pose.
+func initialize(t *testing.T, n *NDTMatching) geom.Pose {
+	t.Helper()
+	cloud, truth := filteredScanAt(t, 25)
+	stamp := 25 * time.Second
+	n.Process(&ros.Message{Payload: &msgs.GNSS{Fix: sensor.GNSSFix{
+		Pos: truth.Pos.Add(geom.V3(1.5, -1, 0)),
+	}}}, stamp)
+	n.Process(&ros.Message{
+		Header:  ros.Header{Stamp: stamp},
+		Payload: &msgs.PointCloud{Cloud: cloud},
+	}, stamp)
+	pose, ok := n.Pose()
+	if !ok {
+		t.Fatal("node did not initialize")
+	}
+	return pose
+}
+
+func TestNDTCheckpointRoundTrip(t *testing.T) {
+	n := newTestNode(t)
+	pose := initialize(t, n)
+	snap := n.Snapshot()
+
+	// Mutate past the checkpoint: track the moving ego for two seconds
+	// of scans so the estimate drives away from the checkpointed pose.
+	for ts := 25.1; ts < 27; ts += 0.1 {
+		cloud2, _ := filteredScanAt(t, ts)
+		stamp2 := time.Duration(ts * float64(time.Second))
+		n.Process(&ros.Message{
+			Header:  ros.Header{Stamp: stamp2},
+			Payload: &msgs.PointCloud{Cloud: cloud2},
+		}, stamp2)
+	}
+	moved, _ := n.Pose()
+	if moved.XY().Dist(pose.XY()) < 1 {
+		t.Fatalf("pose did not move (%v -> %v); test is vacuous", pose.Pos, moved.Pos)
+	}
+
+	n.Restore(snap)
+	got, ok := n.Pose()
+	if !ok {
+		t.Fatal("restore lost initialization")
+	}
+	if got.XY().Dist(pose.XY()) > 1e-12 {
+		t.Errorf("restored pose %v, want %v", got.Pos, pose.Pos)
+	}
+
+	// The restored estimate keeps localizing: the next scan near the
+	// checkpointed position re-converges from scan matching alone.
+	cloud, truth := filteredScanAt(t, 25.1)
+	res := n.Process(&ros.Message{
+		Header:  ros.Header{Stamp: 25100 * time.Millisecond},
+		Payload: &msgs.PointCloud{Cloud: cloud},
+	}, 25100*time.Millisecond)
+	if len(res.Outputs) != 1 {
+		t.Fatalf("restored node produced no pose: %+v", res.Outputs)
+	}
+	final := res.Outputs[0].Payload.(*msgs.PoseStamped).Pose
+	if final.XY().Dist(truth.XY()) > 2.5 {
+		t.Errorf("post-restore pose error %.2f m", final.XY().Dist(truth.XY()))
+	}
+}
+
+func TestNDTRestoreNilIsColdRestart(t *testing.T) {
+	n := newTestNode(t)
+	initialize(t, n)
+	n.Restore(nil)
+	if _, ok := n.Pose(); ok {
+		t.Fatal("cold restart kept the pose estimate")
+	}
+
+	// Uninitialized again: a scan without GNSS produces nothing, then a
+	// fresh GNSS fix re-bootstraps — the cold-restart recovery path.
+	cloud, truth := filteredScanAt(t, 25)
+	stamp := 25 * time.Second
+	res := n.Process(&ros.Message{
+		Header:  ros.Header{Stamp: stamp},
+		Payload: &msgs.PointCloud{Cloud: cloud},
+	}, stamp)
+	if len(res.Outputs) != 0 {
+		t.Error("cold-restarted node localized without re-bootstrapping")
+	}
+	n.Process(&ros.Message{Payload: &msgs.GNSS{Fix: sensor.GNSSFix{Pos: truth.Pos}}}, stamp)
+	res = n.Process(&ros.Message{
+		Header:  ros.Header{Stamp: stamp + 100*time.Millisecond},
+		Payload: &msgs.PointCloud{Cloud: cloud},
+	}, stamp+100*time.Millisecond)
+	if len(res.Outputs) != 1 {
+		t.Error("cold-restarted node failed to re-bootstrap from GNSS")
+	}
+}

@@ -1,0 +1,123 @@
+package tracking
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/msgs"
+	"repro/internal/ros"
+)
+
+// feed pushes one detection frame through the tracker.
+func feed(t *testing.T, tr *Tracker, stamp time.Duration, objs ...msgs.DetectedObject) {
+	t.Helper()
+	tr.Process(&ros.Message{
+		Header:  ros.Header{Stamp: stamp},
+		Payload: &msgs.DetectedObjectArray{Objects: objs},
+	}, stamp)
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	tr := New(DefaultConfig())
+	for i := 0; i < 5; i++ {
+		stamp := time.Duration(i) * 100 * time.Millisecond
+		feed(t, tr, stamp, det(10+float64(i), 5, msgs.LabelCar), det(30, 20+float64(i), msgs.LabelPedestrian))
+	}
+	if len(tr.Tracks()) == 0 {
+		t.Fatal("no tracks to checkpoint")
+	}
+	wantIDs := trackIDs(tr)
+	wantPos := tr.Tracks()[0].IMM.Pos()
+
+	snap := tr.Snapshot()
+
+	// Mutate past the checkpoint: new frames move the tracks and spawn
+	// a new one.
+	for i := 5; i < 10; i++ {
+		stamp := time.Duration(i) * 100 * time.Millisecond
+		feed(t, tr, stamp, det(10+float64(i), 5, msgs.LabelCar), det(-40, -40, msgs.LabelTruck))
+	}
+
+	tr.Restore(snap)
+	if got := trackIDs(tr); !equalInts(got, wantIDs) {
+		t.Errorf("restored track IDs = %v, want %v", got, wantIDs)
+	}
+	if got := tr.Tracks()[0].IMM.Pos(); got.Dist(wantPos) > 1e-12 {
+		t.Errorf("restored position %v, want %v", got, wantPos)
+	}
+
+	// The restored state must continue evolving exactly like a tracker
+	// that never crashed: ID allocation resumes from the checkpointed
+	// counter.
+	feed(t, tr, time.Second, det(100, 100, msgs.LabelCyclist))
+	fresh := tr.Tracks()[len(tr.Tracks())-1]
+	if fresh.ID != wantIDs[len(wantIDs)-1]+1 {
+		t.Errorf("post-restore ID = %d, want %d", fresh.ID, wantIDs[len(wantIDs)-1]+1)
+	}
+}
+
+func TestCheckpointIsDeepCopy(t *testing.T) {
+	tr := New(DefaultConfig())
+	for i := 0; i < 4; i++ {
+		feed(t, tr, time.Duration(i)*100*time.Millisecond, det(10, 5, msgs.LabelCar))
+	}
+	snap := tr.Snapshot()
+	before := tr.Tracks()[0].IMM.Pos()
+
+	// Mutating the live tracker must not leak into the snapshot...
+	for i := 4; i < 12; i++ {
+		feed(t, tr, time.Duration(i)*100*time.Millisecond, det(10+3*float64(i), 5, msgs.LabelCar))
+	}
+	moved := tr.Tracks()[0].IMM.Pos()
+	if moved.Dist(before) < 1 {
+		t.Fatalf("track did not move (%v -> %v); test is vacuous", before, moved)
+	}
+	tr.Restore(snap)
+	if got := tr.Tracks()[0].IMM.Pos(); got.Dist(before) > 1e-12 {
+		t.Errorf("snapshot aliased live state: restored %v, want %v", got, before)
+	}
+
+	// ...and the same snapshot must survive repeated restores (failed
+	// restart probes) without the first restore aliasing it either.
+	tr.Restore(snap)
+	feed(t, tr, 2*time.Second, det(50, 50, msgs.LabelCar))
+	tr.Restore(snap)
+	if got := tr.Tracks()[0].IMM.Pos(); got.Dist(before) > 1e-12 {
+		t.Errorf("second restore corrupted: %v, want %v", got, before)
+	}
+}
+
+func TestRestoreNilIsColdRestart(t *testing.T) {
+	tr := New(DefaultConfig())
+	for i := 0; i < 4; i++ {
+		feed(t, tr, time.Duration(i)*100*time.Millisecond, det(10, 5, msgs.LabelCar))
+	}
+	tr.Restore(nil)
+	if len(tr.Tracks()) != 0 {
+		t.Errorf("cold restart kept %d tracks", len(tr.Tracks()))
+	}
+	feed(t, tr, time.Second, det(10, 5, msgs.LabelCar))
+	if tr.Tracks()[0].ID != 1 {
+		t.Errorf("cold restart did not reset ID allocation: first ID = %d", tr.Tracks()[0].ID)
+	}
+}
+
+func trackIDs(tr *Tracker) []int {
+	var ids []int
+	for _, track := range tr.Tracks() {
+		ids = append(ids, track.ID)
+	}
+	return ids
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -80,6 +80,16 @@ type Executor struct {
 	CallbackFilter func(node string, m *ros.Message, now time.Duration) CallbackVerdict
 	// OnCallbackDrop observes inputs consumed by a crash verdict.
 	OnCallbackDrop func(node string, m *ros.Message)
+
+	// ShedBudget, when positive, enables deadline-aware load shedding:
+	// at dispatch, a frame whose earliest sensor origin is already more
+	// than the budget old is consumed without running the callback —
+	// it could not meet the end-to-end deadline anyway, and processing
+	// it would only drag the tail further (COLA-style shedding). Shed
+	// counts surface per topic in the bus's TopicStats.
+	ShedBudget time.Duration
+	// OnShed observes frames consumed by the deadline shedder.
+	OnShed func(node string, m *ros.Message)
 }
 
 // PublishVerdict is a fault-layer decision about one publication.
@@ -220,6 +230,14 @@ func (e *Executor) tryDispatch(rt *nodeRuntime) {
 		return
 	}
 	msg := bestSub.Queue.Pop()
+	if e.ShedBudget > 0 && e.overBudget(msg) {
+		e.Bus.RecordShed(msg.Topic)
+		if e.OnShed != nil {
+			e.OnShed(rt.node.Name(), msg)
+		}
+		e.tryDispatch(rt) // the next queued input, if any
+		return
+	}
 	if e.CallbackFilter != nil {
 		v := e.CallbackFilter(rt.node.Name(), msg, e.Sim.Now())
 		if v.Drop {
@@ -237,6 +255,19 @@ func (e *Executor) tryDispatch(rt *nodeRuntime) {
 	}
 	rt.busy = true
 	e.runCallback(rt, msg)
+}
+
+// overBudget reports whether a message's oldest sensor origin already
+// exceeds the shedding budget. Messages without origin lineage are
+// never shed.
+func (e *Executor) overBudget(m *ros.Message) bool {
+	now := e.Sim.Now()
+	for _, o := range m.Header.Origins {
+		if now-o.Stamp > e.ShedBudget {
+			return true
+		}
+	}
+	return false
 }
 
 // runCallback executes one callback on a node already marked busy.

@@ -63,6 +63,9 @@ func (bw *BagWriter) Count() int { return bw.count }
 // BagReader reads records back.
 type BagReader struct {
 	dec *gob.Decoder
+	// read counts successfully decoded records, so decode errors can
+	// say exactly where a corrupted or truncated bag failed.
+	read int
 }
 
 // NewBagReader wraps r and validates the header.
@@ -81,7 +84,9 @@ func NewBagReader(r io.Reader) (*BagReader, error) {
 	return &BagReader{dec: dec}, nil
 }
 
-// Next returns the next record, or io.EOF at end of bag.
+// Next returns the next record, or io.EOF at end of bag. Decode
+// failures name the failing record (1-based) and how many records
+// decoded cleanly before it.
 func (br *BagReader) Next() (BagRecord, error) {
 	var rec BagRecord
 	err := br.dec.Decode(&rec)
@@ -89,25 +94,34 @@ func (br *BagReader) Next() (BagRecord, error) {
 		return rec, io.EOF
 	}
 	if err != nil {
-		return rec, fmt.Errorf("ros: reading bag record: %w", err)
+		return rec, fmt.Errorf("ros: reading bag record %d (%d records decoded cleanly before it): %w",
+			br.read+1, br.read, err)
 	}
+	br.read++
 	return rec, nil
 }
 
+// Records returns how many records have been decoded successfully.
+func (br *BagReader) Records() int { return br.read }
+
 // ReadAll drains the reader, returning records sorted by stamp (stable
-// for equal stamps, preserving recording order).
+// for equal stamps, preserving recording order). On a decode failure
+// it returns the records read up to that point together with the
+// error, so callers can salvage the intact prefix of a damaged bag.
 func (br *BagReader) ReadAll() ([]BagRecord, error) {
 	var out []BagRecord
+	var readErr error
 	for {
 		rec, err := br.Next()
 		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {
-			return nil, err
+			readErr = err
+			break
 		}
 		out = append(out, rec)
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Stamp < out[j].Stamp })
-	return out, nil
+	return out, readErr
 }

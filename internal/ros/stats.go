@@ -15,6 +15,9 @@ type TopicStats struct {
 	First, Last time.Duration
 	// Bytes is accumulated payload volume (when a sizer is installed).
 	Bytes float64
+	// Shed counts frames consumed at dispatch by deadline-aware load
+	// shedding (the executor's ShedBudget) instead of being processed.
+	Shed uint64
 }
 
 // Rate returns the mean publication rate in Hz over the observed span.
@@ -71,6 +74,20 @@ func (b *Bus) recordPublish(ts *topicState, stamp time.Duration, payload any) {
 	if b.stats.sizer != nil {
 		s.Bytes += b.stats.sizer(payload)
 	}
+}
+
+// RecordShed counts one deadline-shed frame against a topic (no-op
+// when stats are disabled).
+func (b *Bus) RecordShed(topic string) {
+	if b.stats == nil {
+		return
+	}
+	s := b.stats.byTopic[topic]
+	if s == nil {
+		s = &TopicStats{Topic: topic}
+		b.stats.byTopic[topic] = s
+	}
+	s.Shed++
 }
 
 // TopicStats returns per-topic statistics sorted by topic name; nil

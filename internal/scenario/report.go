@@ -66,4 +66,45 @@ func (r *Result) WriteReport(w io.Writer) {
 		fmt.Fprintf(w, "  %-34s -> %-24s arrived=%-6d dropped=%-6d rate=%.3f\n",
 			d.Topic, d.Subscriber, d.Arrived, d.Dropped, d.Rate)
 	}
+
+	fmt.Fprintln(w, "\nsupervised outages (faulted run):")
+	if len(r.Outages) == 0 {
+		fmt.Fprintln(w, "  (none)")
+	}
+	for _, o := range r.Outages {
+		end := "open"
+		if o.Recovered > 0 {
+			end = o.Recovered.String()
+		}
+		fmt.Fprintf(w, "  %-24s cause=%-12s [%v, %s) restarts=%d lost=%d restored=%t ckpt_age=%v rechk=%t\n",
+			o.Node, o.Cause, o.Detected, end,
+			o.Restarts, o.FramesLost, o.Restored, o.CheckpointAge, o.Recheckpointed)
+	}
+
+	fmt.Fprintln(w, "\nfault-induced message losses (faulted run):")
+	if len(r.Losses) == 0 {
+		fmt.Fprintln(w, "  (none)")
+	}
+	for _, l := range r.Losses {
+		fmt.Fprintf(w, "  %-10s %-34s count=%-6d window=[%v, %v]\n",
+			l.Kind, l.Target, l.Count, l.First, l.Last)
+	}
+
+	shed := false
+	for _, t := range r.Topics {
+		if t.Shed > 0 {
+			shed = true
+			break
+		}
+	}
+	fmt.Fprintln(w, "\ndeadline-shed frames (faulted run):")
+	if !shed {
+		fmt.Fprintln(w, "  (none)")
+	}
+	for _, t := range r.Topics {
+		if t.Shed == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  %-34s shed=%-6d delivered=%-6d\n", t.Topic, t.Shed, t.Messages)
+	}
 }

@@ -37,6 +37,12 @@ type Spec struct {
 	Watch []avstack.WatchPolicy
 	// WatchPeriod overrides the watchdog check cadence (default 100 ms).
 	WatchPeriod time.Duration
+	// Supervise attaches the default supervision layer (restart with
+	// backoff + checkpoint restore) to the faulted run, seeded from Seed.
+	Supervise bool
+	// ShedBudget enables deadline-aware load shedding on the faulted
+	// run: queued frames older than the budget are shed at dispatch.
+	ShedBudget time.Duration
 }
 
 // Schedule bundles the spec's faults with its seed.
@@ -63,6 +69,8 @@ const (
 	NameLidarDrop    = "lidar-drop"
 	NameSensorJitter = "sensor-jitter"
 	NameQueueBurst   = "queue-burst"
+	NameCrashRecover = "crash-recover"
+	NameOverloadShed = "overload-shed"
 )
 
 // visionObjectsTopic is the vision detector's output (watched by the
@@ -139,6 +147,29 @@ func builtins() []Spec {
 				Start: 4 * time.Second, Duration: 4 * time.Second, Rate: 60,
 			}},
 		},
+		{
+			Name: NameCrashRecover,
+			Description: "the tracker process crashes mid-drive; the supervisor " +
+				"restarts it with backoff and restores the last state checkpoint",
+			Seed: 0xC4A54,
+			Faults: []faults.Fault{{
+				Kind: faults.KindCrash, Node: autoware.TrackerNodeName,
+				Start: 4 * time.Second, Duration: 2500 * time.Millisecond,
+			}},
+			Supervise: true,
+		},
+		{
+			Name: NameOverloadShed,
+			Description: "the queue-burst flood again, but with deadline-aware " +
+				"shedding: frames past the 100 ms budget are dropped at dispatch " +
+				"instead of amplifying queue delay",
+			Seed: 0xB025,
+			Faults: []faults.Fault{{
+				Kind: faults.KindBurst, Topic: "/points_raw",
+				Start: 4 * time.Second, Duration: 4 * time.Second, Rate: 60,
+			}},
+			ShedBudget: 100 * time.Millisecond,
+		},
 	}
 }
 
@@ -191,6 +222,16 @@ type Result struct {
 	Degraded []trace.DegradedInterval
 	// Drops is the faulted run's per-subscription drop table.
 	Drops []ros.DropReport
+	// Outages lists the supervisor's recorded node outages (faulted run;
+	// empty unless the spec enables supervision).
+	Outages []trace.Outage
+	// Losses aggregates fault-induced message losses (drop/crash
+	// verdicts the injector actually applied), distinguishing "dropped
+	// by a fault" from "never produced".
+	Losses []trace.FaultLoss
+	// Topics is the faulted run's per-topic traffic table, including
+	// deadline-shed counts.
+	Topics []ros.TopicStats
 }
 
 // NodeStat returns the stats row for one node.
@@ -242,7 +283,18 @@ func RunWithEnv(scen *world.Scenario, m *hdmap.Map, spec Spec, det autoware.Dete
 	if err != nil {
 		return nil, err
 	}
+	inj.SetLossRecorder(faulted.Recorder)
 	inj.Attach(faulted.Executor, faulted.Bus)
+	if spec.Supervise {
+		// After the injector, so the supervisor's filter runs in front
+		// of it and observes its crash verdicts.
+		if _, err := avstack.AttachDefaultSupervision(faulted, spec.Seed); err != nil {
+			return nil, err
+		}
+	}
+	if spec.ShedBudget > 0 {
+		faulted.Executor.ShedBudget = spec.ShedBudget
+	}
 	if len(spec.Watch) > 0 {
 		wd := avstack.NewWatchdog(faulted, avstack.WatchdogConfig{
 			Period:   spec.WatchPeriod,
@@ -270,6 +322,9 @@ func collect(spec Spec, det autoware.Detector, duration time.Duration, baseline,
 		Events:   inj.Events(),
 		Degraded: faulted.Recorder.DegradedIntervals(),
 		Drops:    faulted.Bus.DropReports(),
+		Outages:  faulted.Recorder.Outages(),
+		Losses:   faulted.Recorder.FaultLosses(),
+		Topics:   faulted.Bus.TopicStats(),
 	}
 
 	nodeSet := map[string]bool{}

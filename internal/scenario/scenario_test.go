@@ -132,6 +132,183 @@ func TestQueueBurstForcesDrops(t *testing.T) {
 	}
 }
 
+// TestCrashRecoverBoundedRecovery pins the supervision loop: a crashed
+// tracker is detected from its first missed dispatch, restarted with
+// backoff until the fault clears, and restored from its last state
+// checkpoint — all within a bounded window — and the whole report is
+// byte-identical across two runs with the same seed.
+func TestCrashRecoverBoundedRecovery(t *testing.T) {
+	const duration = 12 * time.Second
+	a := runScenario(t, NameCrashRecover, duration)
+
+	if len(a.Outages) != 1 {
+		t.Fatalf("outages = %+v, want exactly 1", a.Outages)
+	}
+	o := a.Outages[0]
+	fault := a.Spec.Faults[0]
+	if o.Node != autoware.TrackerNodeName || o.Cause != "crash" {
+		t.Errorf("outage = %+v", o)
+	}
+	// Detection on the first tracker dispatch inside the window (fused
+	// detections arrive at ~10 Hz).
+	if o.Detected < fault.Start || o.Detected > fault.Start+500*time.Millisecond {
+		t.Errorf("detected at %v, want within 500ms of %v", o.Detected, fault.Start)
+	}
+	// Bounded recovery: the final backoff is at most BackoffMax plus
+	// jitter (2.5 s), plus one dispatch — well under 3 s past the fault.
+	if o.Recovered <= fault.End() || o.Recovered > fault.End()+3*time.Second {
+		t.Errorf("recovered at %v, want within 3s after the fault cleared at %v", o.Recovered, fault.End())
+	}
+	if o.Restarts < 1 {
+		t.Errorf("restarts = %d, want >= 1", o.Restarts)
+	}
+	// The tracker's input runs ~10 Hz; everything dispatched while down
+	// is lost, bounded by the outage span.
+	if o.FramesLost <= 0 || o.FramesLost > 60 {
+		t.Errorf("frames lost = %d, want a bounded positive count", o.FramesLost)
+	}
+	if !o.Restored || o.CheckpointAge <= 0 {
+		t.Errorf("restored=%t age=%v, want restoration from a prior checkpoint", o.Restored, o.CheckpointAge)
+	}
+	if !o.Recheckpointed {
+		t.Error("recovery did not re-checkpoint the restored state")
+	}
+
+	// Satellite: the injector's crash verdicts are recorded as fault
+	// losses, distinct from frames the supervisor consumed while down.
+	foundCrashLoss := false
+	for _, l := range a.Losses {
+		if l.Kind == "crash" && l.Target == autoware.TrackerNodeName && l.Count > 0 {
+			foundCrashLoss = true
+			if l.First < fault.Start || l.Last >= fault.End() {
+				t.Errorf("loss window [%v, %v] outside the fault window", l.First, l.Last)
+			}
+		}
+	}
+	if !foundCrashLoss {
+		t.Errorf("no crash loss recorded: %+v", a.Losses)
+	}
+
+	// The tracker kept producing after recovery.
+	if ns, ok := a.NodeStat(autoware.TrackerNodeName); !ok || ns.Faulted.Count == 0 {
+		t.Error("tracker has no faulted samples despite recovery")
+	}
+
+	// Determinism: an identical second run renders the identical report.
+	b := runScenario(t, NameCrashRecover, duration)
+	var ra, rb bytes.Buffer
+	a.WriteReport(&ra)
+	b.WriteReport(&rb)
+	if !bytes.Equal(ra.Bytes(), rb.Bytes()) {
+		t.Error("same seed + schedule produced different crash-recover reports")
+	}
+	if !strings.Contains(ra.String(), "supervised outages") {
+		t.Error("report has no supervised-outages section")
+	}
+}
+
+// TestOverloadShedBoundsTail pins deadline-aware load shedding: under
+// the same queue-burst flood (same seed, same fault), the shedding run
+// must not worsen the worst path's p99 end-to-end latency, and the
+// shed counts must be reported.
+func TestOverloadShedBoundsTail(t *testing.T) {
+	const duration = 10 * time.Second
+	shed := runScenario(t, NameOverloadShed, duration)
+	unshed := runScenario(t, NameQueueBurst, duration)
+
+	var totalShed uint64
+	for _, ts := range shed.Topics {
+		totalShed += ts.Shed
+	}
+	if totalShed == 0 {
+		t.Fatalf("overload-shed shed no frames: %+v", shed.Topics)
+	}
+	for _, ts := range unshed.Topics {
+		if ts.Shed != 0 {
+			t.Errorf("queue-burst shed frames without a budget: %+v", ts)
+		}
+	}
+
+	worstP99 := func(r *Result) (string, float64) {
+		name, worst := "", 0.0
+		for _, ps := range r.Paths {
+			if ps.Faulted.P99 > worst {
+				name, worst = ps.Path, ps.Faulted.P99
+			}
+		}
+		return name, worst
+	}
+	shedPath, shedP99 := worstP99(shed)
+	unshedPath, unshedP99 := worstP99(unshed)
+	t.Logf("worst faulted path p99: shed %s=%.2fms vs unshed %s=%.2fms (%d frames shed)",
+		shedPath, shedP99, unshedPath, unshedP99, totalShed)
+	if shedP99 > unshedP99 {
+		t.Errorf("shedding worsened the worst path p99: %.2fms > %.2fms", shedP99, unshedP99)
+	}
+
+	// The report surfaces the shed counts.
+	var buf bytes.Buffer
+	shed.WriteReport(&buf)
+	if !strings.Contains(buf.String(), "deadline-shed frames") || strings.Contains(buf.String(), "deadline-shed frames (faulted run):\n  (none)") {
+		t.Error("report has no deadline-shed section with counts")
+	}
+}
+
+// TestCameraStallFaultLifecycle pins the watchdog × injector
+// interaction across the whole fault lifecycle: degradation starts
+// inside the fault window, every interval closes, substitution stops
+// once the fault clears, and the detector's real output resumes.
+func TestCameraStallFaultLifecycle(t *testing.T) {
+	const duration = 12 * time.Second
+	res := runScenario(t, NameCameraStall, duration)
+	fault := res.Spec.Faults[0]
+
+	if len(res.Degraded) == 0 {
+		t.Fatal("no degraded intervals recorded")
+	}
+	for _, d := range res.Degraded {
+		if d.Start < fault.Start {
+			t.Errorf("interval opened at %v, before the fault at %v", d.Start, fault.Start)
+		}
+		if d.Start > fault.End()+2*time.Second {
+			t.Errorf("interval opened at %v, after the fault cleared at %v", d.Start, fault.End())
+		}
+		if d.End == 0 {
+			t.Errorf("interval opened at %v never closed", d.Start)
+		}
+		// Substitution happens only while degraded: intervals past the
+		// fault window (catching the last stalled callbacks) are brief.
+		if d.Start > fault.End() && d.End-d.Start > 2*time.Second {
+			t.Errorf("post-fault interval [%v, %v) too long", d.Start, d.End)
+		}
+	}
+	// Substitutions happened during the fault, and stopped afterwards:
+	// the final interval closes within the bounded recovery window.
+	total := 0
+	for _, d := range res.Degraded {
+		total += d.Substituted
+	}
+	if total == 0 {
+		t.Error("no last-good substitutions recorded")
+	}
+	last := res.Degraded[len(res.Degraded)-1]
+	if last.End > fault.End()+2*time.Second {
+		t.Errorf("substitution continued past %v (fault cleared %v)", last.End, fault.End())
+	}
+
+	// Real detector output resumed after recovery: the faulted run kept
+	// publishing fresh vision detections well past the fault window.
+	for _, ts := range res.Topics {
+		if ts.Topic == visionObjectsTopic {
+			if ts.Last < fault.End()+time.Second {
+				t.Errorf("vision output last published %v, fault cleared %v", ts.Last, fault.End())
+			}
+			return
+		}
+	}
+	t.Errorf("no topic stats for %s", visionObjectsTopic)
+}
+
 func TestByNameRejectsUnknown(t *testing.T) {
 	if _, err := ByName("no-such-chaos"); err == nil {
 		t.Error("unknown scenario should error")

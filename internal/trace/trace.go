@@ -53,9 +53,63 @@ type Recorder struct {
 	degraded     []DegradedInterval
 	openDegraded map[string]int
 
+	// outages holds supervised node-down windows in the order they were
+	// detected; openOutage indexes the open one per node.
+	outages    []Outage
+	openOutage map[string]int
+
+	// faultLosses accumulates fault-induced message losses keyed by
+	// (kind, target), so reports can distinguish "dropped by an injected
+	// fault" from "never produced".
+	faultLosses map[faultLossKey]*FaultLoss
+
 	// Warmup discards samples before this virtual time (pipeline fill).
 	Warmup time.Duration
 }
+
+// Outage is one supervised node-down window: from the supervisor
+// detecting a crashed or silent node to the restart that brought it
+// back. It carries the recovery metrics the chaos reports surface —
+// restart attempts, frames lost while down, and how stale the restored
+// checkpoint was.
+type Outage struct {
+	// Node is the supervised node that went down.
+	Node string
+	// Cause names the detection channel ("crash" for a missed dispatch,
+	// "stale-output" for header-stamp liveness).
+	Cause string
+	// Detected is when the supervisor declared the node down; Recovered
+	// is when a restarted instance completed its first callback (zero
+	// while still down).
+	Detected, Recovered time.Duration
+	// Restarts counts restart attempts, including failed probes.
+	Restarts int
+	// FramesLost counts input messages consumed while the node was down.
+	FramesLost int
+	// Restored reports whether a checkpoint was restored on restart
+	// (false means a cold restart that lost all state).
+	Restored bool
+	// CheckpointAge is how stale the restored snapshot was at recovery.
+	CheckpointAge time.Duration
+	// Recheckpointed reports whether a fresh snapshot was taken at
+	// recovery, restoring crash consistency for the next outage.
+	Recheckpointed bool
+}
+
+// FaultLoss aggregates fault-induced losses of one kind on one target
+// (messages dropped in transport, callbacks consumed by a crash).
+type FaultLoss struct {
+	// Kind is the fault kind that caused the loss (e.g. "drop", "crash").
+	Kind string
+	// Target is the topic or node the fault acted on.
+	Target string
+	// Count is the number of messages lost.
+	Count int
+	// First and Last bound the observed losses in virtual time.
+	First, Last time.Duration
+}
+
+type faultLossKey struct{ kind, target string }
 
 // DegradedInterval is one window during which a watchdog substituted
 // for (or silenced) a faulty node — the degraded-operation record the
@@ -83,7 +137,86 @@ func NewRecorder(paths []PathSpec) *Recorder {
 		paths:        paths,
 		pathLat:      make(map[string][]float64),
 		openDegraded: make(map[string]int),
+		openOutage:   make(map[string]int),
+		faultLosses:  make(map[faultLossKey]*FaultLoss),
 	}
+}
+
+// OnOutageOpen opens an outage for a node. A node has at most one open
+// outage; a second OnOutageOpen before OnOutageClose is ignored.
+func (r *Recorder) OnOutageOpen(node, cause string, at time.Duration) {
+	if _, open := r.openOutage[node]; open {
+		return
+	}
+	r.openOutage[node] = len(r.outages)
+	r.outages = append(r.outages, Outage{Node: node, Cause: cause, Detected: at})
+}
+
+// OnOutageRestart counts one restart attempt during a node's open outage.
+func (r *Recorder) OnOutageRestart(node string) {
+	if i, open := r.openOutage[node]; open {
+		r.outages[i].Restarts++
+	}
+}
+
+// OnOutageFrameLost counts one input message consumed while down.
+func (r *Recorder) OnOutageFrameLost(node string) {
+	if i, open := r.openOutage[node]; open {
+		r.outages[i].FramesLost++
+	}
+}
+
+// OnOutageClose closes a node's open outage with its recovery metrics.
+func (r *Recorder) OnOutageClose(node string, at time.Duration, restored bool, checkpointAge time.Duration, recheckpointed bool) {
+	if i, open := r.openOutage[node]; open {
+		r.outages[i].Recovered = at
+		r.outages[i].Restored = restored
+		r.outages[i].CheckpointAge = checkpointAge
+		r.outages[i].Recheckpointed = recheckpointed
+		delete(r.openOutage, node)
+	}
+}
+
+// Outages returns all outages in detection order. Outages with a zero
+// Recovered were still open when queried.
+func (r *Recorder) Outages() []Outage {
+	out := make([]Outage, len(r.outages))
+	copy(out, r.outages)
+	return out
+}
+
+// OnFaultLoss records one fault-induced message loss (implements the
+// fault injector's LossRecorder hook).
+func (r *Recorder) OnFaultLoss(kind, target string, at time.Duration) {
+	k := faultLossKey{kind: kind, target: target}
+	fl := r.faultLosses[k]
+	if fl == nil {
+		fl = &FaultLoss{Kind: kind, Target: target, First: at}
+		r.faultLosses[k] = fl
+	}
+	fl.Count++
+	if at < fl.First {
+		fl.First = at
+	}
+	if at > fl.Last {
+		fl.Last = at
+	}
+}
+
+// FaultLosses returns the aggregated fault-induced losses, sorted by
+// kind then target.
+func (r *Recorder) FaultLosses() []FaultLoss {
+	out := make([]FaultLoss, 0, len(r.faultLosses))
+	for _, fl := range r.faultLosses {
+		out = append(out, *fl)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Target < out[j].Target
+	})
+	return out
 }
 
 // OnDegrade opens a degradation interval for a node. A node has at most

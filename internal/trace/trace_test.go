@@ -130,6 +130,72 @@ func TestRecorderEndToEndEmpty(t *testing.T) {
 	}
 }
 
+func TestRecorderOutageLifecycle(t *testing.T) {
+	r := NewRecorder(nil)
+	r.OnOutageOpen("a", "crash", time.Second)
+	r.OnOutageOpen("a", "stale-output", 2*time.Second) // ignored: already open
+	r.OnOutageRestart("a")
+	r.OnOutageFrameLost("a")
+	r.OnOutageFrameLost("a")
+	r.OnOutageRestart("a")
+	r.OnOutageClose("a", 3*time.Second, true, 700*time.Millisecond, true)
+
+	outs := r.Outages()
+	if len(outs) != 1 {
+		t.Fatalf("outages = %+v", outs)
+	}
+	o := outs[0]
+	if o.Node != "a" || o.Cause != "crash" || o.Detected != time.Second {
+		t.Errorf("outage = %+v", o)
+	}
+	if o.Recovered != 3*time.Second || o.Restarts != 2 || o.FramesLost != 2 {
+		t.Errorf("outage = %+v", o)
+	}
+	if !o.Restored || o.CheckpointAge != 700*time.Millisecond || !o.Recheckpointed {
+		t.Errorf("outage = %+v", o)
+	}
+
+	// A second outage for the same node opens independently and stays
+	// open (zero Recovered) until closed.
+	r.OnOutageOpen("a", "stale-output", 5*time.Second)
+	outs = r.Outages()
+	if len(outs) != 2 || outs[1].Cause != "stale-output" || outs[1].Recovered != 0 {
+		t.Errorf("outages = %+v", outs)
+	}
+
+	// Hooks on nodes without an open outage are no-ops.
+	r.OnOutageRestart("missing")
+	r.OnOutageFrameLost("missing")
+	r.OnOutageClose("missing", time.Second, false, 0, false)
+	if got := r.Outages(); len(got) != 2 {
+		t.Errorf("outages = %+v", got)
+	}
+}
+
+func TestRecorderFaultLossAggregation(t *testing.T) {
+	r := NewRecorder(nil)
+	r.OnFaultLoss("drop", "/points_raw", 2*time.Second)
+	r.OnFaultLoss("drop", "/points_raw", time.Second)
+	r.OnFaultLoss("drop", "/points_raw", 3*time.Second)
+	r.OnFaultLoss("crash", "tracker", 1500*time.Millisecond)
+
+	losses := r.FaultLosses()
+	if len(losses) != 2 {
+		t.Fatalf("losses = %+v", losses)
+	}
+	// Sorted by kind then target: crash before drop.
+	if losses[0].Kind != "crash" || losses[0].Count != 1 {
+		t.Errorf("losses[0] = %+v", losses[0])
+	}
+	d := losses[1]
+	if d.Kind != "drop" || d.Target != "/points_raw" || d.Count != 3 {
+		t.Errorf("losses[1] = %+v", d)
+	}
+	if d.First != time.Second || d.Last != 3*time.Second {
+		t.Errorf("loss window = [%v, %v]", d.First, d.Last)
+	}
+}
+
 func TestStandardPathsMatchTableIV(t *testing.T) {
 	paths := StandardPaths()
 	if len(paths) != 4 {
