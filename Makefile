@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench-smoke fuzz-smoke chaos-smoke
+.PHONY: build test race vet bench-smoke fuzz-smoke chaos-smoke corruption-smoke
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,7 @@ vet:
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzBagDecode -fuzztime=10s ./internal/ros/
 	$(GO) test -run=NONE -fuzz=FuzzBagRoundTrip -fuzztime=10s ./internal/ros/
+	$(GO) test -run=NONE -fuzz=FuzzGuardValidate -fuzztime=10s ./internal/guard/
 
 # Run every built-in chaos scenario end to end (baseline + faulted
 # stack each) and throw the reports away — a crash in any injection,
@@ -35,6 +36,20 @@ chaos-smoke:
 		echo "==> $$s"; \
 		$(GO) run ./cmd/characterize -faults $$s -duration 12s -out /dev/null || exit 1; \
 	done
+
+# Run the adversarial-input scenarios end to end with the integrity
+# guard attached — a panic anywhere in validation, time sanitization or
+# quarantine accounting fails the target — then prove the guard does no
+# harm on clean input (byte-identical guarded vs unguarded run) and
+# that its accept path stays allocation-free.
+CORRUPTION_SCENARIOS = corrupt-lidar clock-skew dup-storm
+corruption-smoke:
+	@for s in $(CORRUPTION_SCENARIOS); do \
+		echo "==> $$s"; \
+		$(GO) run ./cmd/characterize -faults $$s -duration 12s -out /dev/null || exit 1; \
+	done
+	$(GO) test -run='TestGuardCleanRunByteIdentical' ./internal/scenario/
+	$(GO) test -run='TestGuardAcceptPathZeroAlloc' ./internal/guard/
 
 # Quick allocation/latency smoke over the hot-path micro-benches.
 bench-smoke:

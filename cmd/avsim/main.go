@@ -7,7 +7,7 @@
 //
 //	avsim [-detector SSD512|SSD300|YOLOv3-416] [-duration 30s]
 //	      [-planning] [-status 5s] [-workers N] [-faults <scenario>]
-//	      [-supervise] [-shed 100ms]
+//	      [-supervise] [-shed 100ms] [-guard]
 //
 // avsim drives a single stack, so -workers (default: the number of
 // CPUs) bounds the host threads used by intra-frame shard loops (voxel
@@ -24,6 +24,12 @@
 // arms deadline-aware load shedding with the given budget. Scenarios
 // that request either (crash-recover, overload-shed) enable them
 // automatically.
+//
+// -guard attaches the input-integrity layer (internal/guard): payload
+// validation and time sanitization at the bus boundary; corrupted
+// frames are quarantined and reported instead of reaching any node.
+// Scenarios that request it (corrupt-lidar, clock-skew, dup-storm)
+// enable it automatically. On clean input the guard changes nothing.
 package main
 
 import (
@@ -49,6 +55,7 @@ func main() {
 	faultsFlag := flag.String("faults", "", "inject a named chaos scenario: "+strings.Join(scenario.Names(), ", "))
 	supervise := flag.Bool("supervise", false, "attach the supervision layer (restart crashed/silent nodes with backoff + checkpoint restore)")
 	shed := flag.Duration("shed", 0, "deadline-aware load shedding budget (0 disables): queued frames older than this are shed at dispatch")
+	guardFlag := flag.Bool("guard", false, "attach the input-integrity guard (payload validation + time sanitization + quarantine)")
 	flag.Parse()
 	parallel.SetMaxWorkers(*workers)
 
@@ -73,6 +80,12 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "avsim:", err)
 		os.Exit(1)
+	}
+
+	guarded := *guardFlag || spec.Guard
+	if guarded {
+		sys.EnableGuard(avstack.GuardConfig{})
+		fmt.Println("input-integrity guard attached")
 	}
 
 	var injector *faults.Injector
@@ -225,6 +238,24 @@ func main() {
 		}
 		if !any {
 			fmt.Println("(none)")
+		}
+	}
+
+	if guarded {
+		fmt.Println("\n--- integrity quarantine ---")
+		events := sys.IntegrityEvents()
+		if len(events) == 0 {
+			fmt.Println("(none)")
+		}
+		for _, ev := range events {
+			fmt.Printf("%-34s cause=%-18s at=%-8s count=%-6d window=[%v, %v]\n",
+				ev.Topic, ev.Cause, ev.Point, ev.Count, ev.First, ev.Last)
+		}
+		for _, t := range sys.Topics() {
+			if t.Quarantined == 0 {
+				continue
+			}
+			fmt.Printf("%-34s quarantined=%-6d delivered=%-6d\n", t.Topic, t.Quarantined, t.Messages)
 		}
 	}
 }

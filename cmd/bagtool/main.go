@@ -128,6 +128,10 @@ func summarize(r io.Reader, name string, w io.Writer) error {
 		return fmt.Errorf("%s: %w", name, err)
 	}
 	recs, readErr := br.ReadAll()
+	coverage := "none (v1 bag, no per-record checksums)"
+	if br.Checksummed() {
+		coverage = fmt.Sprintf("CRC32C on all %d records (format v%d)", br.Records(), br.Version())
+	}
 	if readErr == nil || len(recs) > 0 {
 		label := name
 		if readErr != nil {
@@ -151,6 +155,7 @@ func summarize(r io.Reader, name string, w io.Writer) error {
 			n := counts[topic]
 			fmt.Fprintf(w, "  %-20s %6d msgs (%.1f Hz)\n", topic, n, float64(n)/last.Seconds())
 		}
+		fmt.Fprintf(w, "  checksum coverage: %s\n", coverage)
 	}
 	if readErr != nil {
 		return fmt.Errorf("%s: damaged bag: %w", name, readErr)

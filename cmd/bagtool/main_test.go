@@ -107,6 +107,21 @@ func TestSummarizeIntactBag(t *testing.T) {
 	if !strings.Contains(got, "/gnss") {
 		t.Errorf("summary missing topic line:\n%s", got)
 	}
+	if !strings.Contains(got, "checksum coverage: CRC32C on all 5 records (format v2)") {
+		t.Errorf("summary missing checksum coverage:\n%s", got)
+	}
+}
+
+// TestSummarizeV1CoverageLine reads a legacy v1 bag (no checksums) and
+// checks the coverage line says so.
+func TestSummarizeV1CoverageLine(t *testing.T) {
+	data := corpusEntry(t, "truncated")
+	var out bytes.Buffer
+	_ = summarize(bytes.NewReader(data), "old.bag", &out)
+	if got := out.String(); strings.Contains(got, "messages") &&
+		!strings.Contains(got, "checksum coverage: none (v1 bag") {
+		t.Errorf("v1 coverage line missing:\n%s", got)
+	}
 }
 
 // TestSummarizeTruncatedBagNamesRecord cuts a real bag mid-stream and

@@ -6,7 +6,13 @@
 //
 //	characterize [-exp all|fig5|tab3|fig6|tab5|tab6|tab7|fig7|fig8]
 //	             [-duration 60s] [-out report.txt] [-workers N]
-//	             [-faults <scenario>] [-supervise] [-shed 100ms]
+//	             [-faults <scenario>] [-supervise] [-shed 100ms] [-guard]
+//
+// -guard attaches the input-integrity layer (internal/guard) to every
+// run. For the paper tables the input is clean, so the guarded report
+// is byte-identical to the unguarded one — the flag is the regression
+// hook that proves the guard is free on clean streams. With -faults it
+// forces the guard onto the scenario's faulted run.
 //
 // -workers bounds how many experiment configurations simulate
 // concurrently (default: the number of CPUs). Every configuration is an
@@ -44,6 +50,7 @@ func main() {
 	detector := flag.String("detector", "YOLOv3-416", "detector configuration for the chaos scenario (-faults only)")
 	supervise := flag.Bool("supervise", false, "force the supervision layer onto the chaos scenario's faulted run (-faults only)")
 	shed := flag.Duration("shed", 0, "force this deadline-shedding budget onto the chaos scenario's faulted run (-faults only)")
+	guard := flag.Bool("guard", false, "attach the input-integrity guard (no-op on the clean paper tables; forces the guard onto a -faults run)")
 	flag.Parse()
 	parallel.SetMaxWorkers(*workers)
 
@@ -68,6 +75,9 @@ func main() {
 		if *shed > 0 {
 			spec.ShedBudget = *shed
 		}
+		if *guard {
+			spec.Guard = true
+		}
 		if min := spec.MinDuration(); *duration < min {
 			fatal(fmt.Errorf("scenario %s needs -duration >= %v", spec.Name, min))
 		}
@@ -89,6 +99,7 @@ func main() {
 		fatal(err)
 	}
 	c.SetWorkers(*workers)
+	c.SetGuard(*guard)
 	fmt.Fprintf(os.Stderr, "environment ready in %.1fs; simulating %v per configuration (%d workers)\n",
 		time.Since(start).Seconds(), *duration, *workers)
 

@@ -83,6 +83,12 @@ type Config struct {
 	// from bag replay via Stack.InjectBag (the paper's ROSBAG workflow).
 	NoSensorPumps bool
 
+	// Guard attaches the input-integrity layer (internal/guard): payload
+	// validation and time sanitization at the bus boundary, quarantining
+	// corrupted frames before they reach any node. On clean input the
+	// guard is a no-op (byte-identical reports either way).
+	Guard bool
+
 	// VoxelLeaf overrides the voxel_grid_filter leaf size (meters);
 	// zero keeps the default. Ablation knob.
 	VoxelLeaf float64

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/geom"
+	"repro/internal/guard"
 	"repro/internal/hdmap"
 	"repro/internal/mathx"
 	"repro/internal/msgs"
@@ -39,6 +40,8 @@ type Stack struct {
 	Executor *platform.Executor
 	Recorder *trace.Recorder
 	Sampler  *power.Sampler
+	// Guard is the input-integrity layer, nil unless Config.Guard.
+	Guard *guard.Guard
 
 	lidar  *sensor.LiDAR
 	camera *sensor.Camera
@@ -151,6 +154,11 @@ func BuildWithMap(cfg Config, scen *world.Scenario, m *hdmap.Map) (*Stack, error
 	}
 	if err := bus.Validate(); err != nil {
 		return nil, err
+	}
+
+	if cfg.Guard {
+		s.Guard = guard.New(guard.Config{})
+		s.Guard.Attach(ex)
 	}
 
 	s.Recorder = trace.NewRecorder(trace.StandardPaths())

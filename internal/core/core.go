@@ -46,6 +46,12 @@ func (c *Characterizer) Env() *experiments.Env { return c.env }
 // only wall-clock time.
 func (c *Characterizer) SetWorkers(n int) { c.runs.Workers = n }
 
+// SetGuard attaches the input-integrity guard to every characterization
+// stack. The sensor pumps produce clean input, so guarded output is
+// byte-identical to unguarded output — the flag is the regression hook
+// that proves it. Call before any experiment runs.
+func (c *Characterizer) SetGuard(on bool) { c.runs.Guard = on }
+
 // prewarm simulates the full configuration matrix concurrently when
 // workers are enabled; serial runs warm lazily instead.
 func (c *Characterizer) prewarm() error {

@@ -43,6 +43,10 @@ type Runs struct {
 	// Workers bounds how many configurations simulate concurrently in
 	// Prewarm. <= 1 means serial (the default).
 	Workers int
+	// Guard attaches the input-integrity layer to every stack. On clean
+	// sensor input (these runs inject no faults) the guard is a no-op;
+	// the flag exists to demonstrate exactly that.
+	Guard bool
 
 	mu         sync.Mutex
 	full       map[autoware.Detector]*autoware.Stack
@@ -83,6 +87,7 @@ func (r *Runs) Full(det autoware.Detector) (*autoware.Stack, error) {
 		return s, nil
 	}
 	cfg := autoware.DefaultConfig(det)
+	cfg.Guard = r.Guard
 	s, err := autoware.BuildWithMap(cfg, r.env.Scenario, r.env.Map)
 	if err != nil {
 		return nil, err
@@ -98,6 +103,7 @@ func (r *Runs) Standalone(det autoware.Detector) (*autoware.Stack, error) {
 		return s, nil
 	}
 	cfg := autoware.DefaultConfig(det)
+	cfg.Guard = r.Guard
 	cfg.Mode = autoware.ModeVisionStandalone
 	s, err := autoware.BuildWithMap(cfg, r.env.Scenario, r.env.Map)
 	if err != nil {
@@ -115,6 +121,7 @@ func (r *Runs) Saturated(det autoware.Detector) (*autoware.Stack, error) {
 		return s, nil
 	}
 	cfg := autoware.DefaultConfig(det)
+	cfg.Guard = r.Guard
 	cfg.CameraRate = 13.5
 	s, err := autoware.BuildWithMap(cfg, r.env.Scenario, r.env.Map)
 	if err != nil {

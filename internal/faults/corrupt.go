@@ -1,0 +1,105 @@
+package faults
+
+import (
+	"math"
+
+	"repro/internal/mathx"
+	"repro/internal/msgs"
+	"repro/internal/pointcloud"
+)
+
+// corruptPayload returns a mutated deep copy of payload, simulating
+// payload bit-flips in a sensor driver or transport: non-finite
+// coordinates, out-of-range magnitudes, degenerate boxes. The original
+// is never touched — it may still be referenced by burst buffers or
+// earlier subscribers. Payload types the mutator doesn't know return
+// nil, which the injector treats as "no corruption applied".
+//
+// Every mutation draws from rng only, so a seeded schedule corrupts
+// identically across runs.
+func corruptPayload(rng *mathx.RNG, payload any) any {
+	switch p := payload.(type) {
+	case *msgs.PointCloud:
+		if p.Cloud == nil || p.Cloud.Len() == 0 {
+			return nil
+		}
+		c := &msgs.PointCloud{Cloud: p.Cloud.Clone()}
+		victims := 1 + rng.Intn(8)
+		for v := 0; v < victims; v++ {
+			i := rng.Intn(len(c.Cloud.Points))
+			pt := &c.Cloud.Points[i]
+			switch rng.Intn(5) {
+			case 0:
+				pt.Pos.X = math.NaN()
+			case 1:
+				pt.Pos.Y = math.Inf(1)
+			case 2:
+				pt.Pos.Z = math.Inf(-1)
+			case 3:
+				// Plausible bit-flip in the exponent: a coordinate
+				// teleports far outside any physical sensor range.
+				pt.Pos.X = 1e8 * rng.Range(0.5, 2)
+			case 4:
+				pt.Intensity = math.NaN()
+			}
+		}
+		return c
+	case *msgs.DetectedObjectArray:
+		if len(p.Objects) == 0 {
+			return nil
+		}
+		c := &msgs.DetectedObjectArray{Objects: append([]msgs.DetectedObject(nil), p.Objects...)}
+		i := rng.Intn(len(c.Objects))
+		obj := &c.Objects[i]
+		switch rng.Intn(3) {
+		case 0:
+			obj.Pose.Pos.X = math.NaN()
+		case 1:
+			obj.Dim.X = -obj.Dim.X - 1
+		case 2:
+			obj.Score = math.NaN()
+		}
+		return c
+	case *msgs.PoseStamped:
+		c := *p
+		if rng.Bool(0.5) {
+			c.Pose.Pos.Y = math.NaN()
+		} else {
+			c.Pose.Yaw = math.Inf(1)
+		}
+		return &c
+	}
+	return nil
+}
+
+// truncatePayload returns a copy of payload cut off mid-frame: a frac
+// prefix survives, followed by one torn record with non-finite fields
+// (the half-written struct at the cut). Unknown types return nil.
+func truncatePayload(rng *mathx.RNG, payload any, frac float64) any {
+	switch p := payload.(type) {
+	case *msgs.PointCloud:
+		if p.Cloud == nil || p.Cloud.Len() == 0 {
+			return nil
+		}
+		keep := int(frac * float64(p.Cloud.Len()))
+		c := pointcloud.New(keep + 1)
+		c.Points = append(c.Points, p.Cloud.Points[:keep]...)
+		torn := pointcloud.Point{Intensity: rng.Range(0, 1)}
+		torn.Pos.X = math.NaN()
+		c.Append(torn)
+		return &msgs.PointCloud{Cloud: c}
+	case *msgs.DetectedObjectArray:
+		if len(p.Objects) == 0 {
+			return nil
+		}
+		keep := int(frac * float64(len(p.Objects)))
+		objs := make([]msgs.DetectedObject, 0, keep+1)
+		objs = append(objs, p.Objects[:keep]...)
+		torn := msgs.DetectedObject{ID: rng.Intn(1 << 16)}
+		torn.Pose.Pos.X = math.Inf(-1)
+		torn.Dim.Y = math.NaN()
+		objs = append(objs, torn)
+		return &msgs.DetectedObjectArray{Objects: objs}
+	}
+	return nil
+}

@@ -43,6 +43,22 @@ const (
 	// Load-second tasks with Bandwidth bytes/s of memory traffic — the
 	// co-located best-effort work of the paper's Finding 1.
 	KindContention Kind = "contention"
+	// KindCorrupt flips payload bits on Topic with probability Prob:
+	// each hit substitutes a mutated copy (NaN/Inf/out-of-range fields)
+	// the integrity guard must quarantine before it corrupts node state.
+	KindCorrupt Kind = "corrupt"
+	// KindSkew offsets the stamp of messages on Topic by Skew with
+	// probability Prob — a corrupted sensor clock. Negative Skew rewinds
+	// stamps, positive Skew stamps frames in the future.
+	KindSkew Kind = "skew"
+	// KindDup delivers Copies extra identical frames (same stamp, same
+	// payload) per message on Topic with probability Prob — a
+	// duplicating driver or retransmitting transport.
+	KindDup Kind = "dup"
+	// KindTruncate truncates payloads on Topic with probability Prob,
+	// keeping a Frac prefix and leaving a torn (non-finite) tail record
+	// — a write cut off mid-frame.
+	KindTruncate Kind = "truncate"
 )
 
 // Fault is one scheduled perturbation. Which fields apply depends on
@@ -72,6 +88,12 @@ type Fault struct {
 	Bandwidth float64
 	// Workers is the number of concurrent hog streams (contention).
 	Workers int
+	// Skew is the stamp offset applied per hit (skew); may be negative.
+	Skew time.Duration
+	// Copies is the number of extra identical frames per hit (dup).
+	Copies int
+	// Frac is the kept prefix fraction of a truncated payload (truncate).
+	Frac float64
 }
 
 // ActiveAt reports whether the fault window covers virtual time t.
@@ -143,6 +165,43 @@ func (f Fault) Validate() error {
 		if f.Workers <= 0 || f.Load <= 0 {
 			return fmt.Errorf("faults: contention fault needs Workers and Load")
 		}
+	case KindCorrupt:
+		if f.Topic == "" {
+			return fmt.Errorf("faults: corrupt fault needs a topic")
+		}
+		if f.Prob <= 0 || f.Prob > 1 {
+			return fmt.Errorf("faults: corrupt probability %v outside (0, 1]", f.Prob)
+		}
+	case KindSkew:
+		if f.Topic == "" {
+			return fmt.Errorf("faults: skew fault needs a topic")
+		}
+		if f.Skew == 0 {
+			return fmt.Errorf("faults: skew fault needs a nonzero Skew")
+		}
+		if f.Prob <= 0 || f.Prob > 1 {
+			return fmt.Errorf("faults: skew probability %v outside (0, 1]", f.Prob)
+		}
+	case KindDup:
+		if f.Topic == "" {
+			return fmt.Errorf("faults: dup fault needs a topic")
+		}
+		if f.Copies <= 0 {
+			return fmt.Errorf("faults: dup fault needs positive Copies")
+		}
+		if f.Prob <= 0 || f.Prob > 1 {
+			return fmt.Errorf("faults: dup probability %v outside (0, 1]", f.Prob)
+		}
+	case KindTruncate:
+		if f.Topic == "" {
+			return fmt.Errorf("faults: truncate fault needs a topic")
+		}
+		if f.Frac < 0 || f.Frac >= 1 {
+			return fmt.Errorf("faults: truncate fraction %v outside [0, 1)", f.Frac)
+		}
+		if f.Prob <= 0 || f.Prob > 1 {
+			return fmt.Errorf("faults: truncate probability %v outside (0, 1]", f.Prob)
+		}
 	default:
 		return fmt.Errorf("faults: unknown kind %q", f.Kind)
 	}
@@ -164,6 +223,14 @@ func (f Fault) String() string {
 	case KindContention:
 		return fmt.Sprintf("%s workers=%d load=%.1fms bw=%.1fGB/s",
 			base, f.Workers, f.Load*1e3, f.Bandwidth/1e9)
+	case KindCorrupt:
+		return fmt.Sprintf("%s p=%.2f", base, f.Prob)
+	case KindSkew:
+		return fmt.Sprintf("%s p=%.2f skew=%v", base, f.Prob, f.Skew)
+	case KindDup:
+		return fmt.Sprintf("%s p=%.2f copies=%d", base, f.Prob, f.Copies)
+	case KindTruncate:
+		return fmt.Sprintf("%s p=%.2f frac=%.2f", base, f.Prob, f.Frac)
 	}
 	return base
 }

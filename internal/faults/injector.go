@@ -95,15 +95,18 @@ func (in *Injector) Attach(ex *platform.Executor, bus *ros.Bus) {
 }
 
 // chainPublishFilter installs the message-level faults (drop, delay,
-// jitter) behind any existing filter.
+// jitter, corrupt, skew, dup, truncate) behind any existing filter.
 func (in *Injector) chainPublishFilter(ex *platform.Executor) {
 	prev := ex.PublishFilter
-	ex.PublishFilter = func(topic string, now time.Duration) platform.PublishVerdict {
+	ex.PublishFilter = func(topic string, payload any, now time.Duration) platform.PublishVerdict {
 		var v platform.PublishVerdict
 		if prev != nil {
-			v = prev(topic, now)
+			v = prev(topic, payload, now)
 			if v.Drop {
 				return v
+			}
+			if v.Payload != nil {
+				payload = v.Payload
 			}
 		}
 		for i := range in.sched.Faults {
@@ -136,6 +139,32 @@ func (in *Injector) chainPublishFilter(ex *platform.Executor) {
 				}
 				v.Delay += time.Duration(n * float64(f.Sigma))
 				in.count(f, 1)
+			case KindCorrupt:
+				if rng.Bool(f.Prob) {
+					if mutated := corruptPayload(rng, payload); mutated != nil {
+						v.Payload = mutated
+						payload = mutated
+						in.count(f, 1)
+					}
+				}
+			case KindSkew:
+				if rng.Bool(f.Prob) {
+					v.StampSkew += f.Skew
+					in.count(f, 1)
+				}
+			case KindDup:
+				if rng.Bool(f.Prob) {
+					v.Copies += f.Copies
+					in.count(f, f.Copies)
+				}
+			case KindTruncate:
+				if rng.Bool(f.Prob) {
+					if mutated := truncatePayload(rng, payload, f.Frac); mutated != nil {
+						v.Payload = mutated
+						payload = mutated
+						in.count(f, 1)
+					}
+				}
 			}
 		}
 		return v

@@ -1,0 +1,49 @@
+package guard
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/nodes/filters"
+)
+
+// BenchmarkGuardHotPath measures the accept path — a clean in-order
+// cloud through payload validation and time sanitization — which runs
+// on every frame of every guarded topic. It must not allocate: the
+// guard sits ahead of the perception pipeline's zero-alloc hot paths
+// and would otherwise reintroduce the GC pressure they removed.
+func BenchmarkGuardHotPath(b *testing.B) {
+	g := New(Config{})
+	payload := cloudMsg(2048)
+	period := 100 * time.Millisecond
+	// Prime the topic clock so the steady state is measured.
+	g.Inspect(filters.TopicPointsRaw, period, payload, period)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stamp := time.Duration(i+2) * period
+		if v := g.Inspect(filters.TopicPointsRaw, stamp, payload, stamp); v.Quarantine {
+			b.Fatalf("clean frame quarantined: %s", v.Cause)
+		}
+	}
+}
+
+// TestGuardAcceptPathZeroAlloc is the hard form of the benchmark's
+// allocs/op: the accept path may not allocate at all.
+func TestGuardAcceptPathZeroAlloc(t *testing.T) {
+	g := New(Config{})
+	payload := cloudMsg(64)
+	stamp := 100 * time.Millisecond
+	g.Inspect(filters.TopicPointsRaw, stamp, payload, stamp)
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		stamp += 100 * time.Millisecond
+		if v := g.Inspect(filters.TopicPointsRaw, stamp, payload, stamp); v.Quarantine {
+			t.Fatalf("clean frame quarantined: %s", v.Cause)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("accept path allocates %.1f times per frame, want 0", allocs)
+	}
+}

@@ -1,0 +1,241 @@
+// Package guard is the bus-level input-integrity layer: a chain of
+// payload validation and time sanitization that sits at the executor's
+// ingress point — after transport, before any subscriber queue — and
+// quarantines frames a corrupted sensor or transport produced. It runs
+// ahead of the supervisor in the failure chain: the supervisor reacts
+// to nodes that crashed, the guard keeps poisoned inputs (NaN clouds,
+// rewound stamps, duplicated frames) from reaching node state in the
+// first place.
+//
+// The guard is deterministic and side-effect-free on clean input: it
+// draws no randomness, schedules no events, and its accept path
+// allocates nothing, so a guarded run over a clean stream is
+// byte-identical to an unguarded one.
+package guard
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/platform"
+)
+
+// Quarantine causes, recorded per rejected frame.
+const (
+	// CauseMalformed marks payload validation failures (NaN/Inf fields,
+	// degenerate boxes, torn records).
+	CauseMalformed = "malformed-payload"
+	// CauseStampRewind marks stamps older than the per-topic high-water
+	// mark by more than the holdback — a rewound sensor clock.
+	CauseStampRewind = "stamp-rewind"
+	// CauseDuplicate marks stamps already seen within the dup window —
+	// a duplicating driver or retransmitting transport.
+	CauseDuplicate = "duplicate-stamp"
+	// CauseFutureStamp marks stamps ahead of arrival time by more than
+	// the future tolerance — a fast sensor clock.
+	CauseFutureStamp = "future-stamp"
+)
+
+// PointIngress names the guard's detection point in integrity traces.
+const PointIngress = "ingress"
+
+// Config tunes the guard.
+type Config struct {
+	// Holdback bounds tolerated reordering: a stamp within Holdback of
+	// the topic's newest accepted stamp is admitted late (counted as
+	// reordered); older than that is quarantined as a rewind.
+	// Default 150ms.
+	Holdback time.Duration
+	// FutureTolerance bounds how far ahead of arrival time a stamp may
+	// run before it is quarantined. Default 10ms.
+	FutureTolerance time.Duration
+	// DupWindow is how many recent stamps per topic are remembered for
+	// duplicate detection. Default 32.
+	DupWindow int
+	// Validators maps topics to payload validators; nil uses
+	// DefaultRegistry. Topics without a validator skip payload checks
+	// but still get time sanitization.
+	Validators *Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Holdback <= 0 {
+		c.Holdback = 150 * time.Millisecond
+	}
+	if c.FutureTolerance <= 0 {
+		c.FutureTolerance = 10 * time.Millisecond
+	}
+	if c.DupWindow <= 0 {
+		c.DupWindow = 32
+	}
+	if c.Validators == nil {
+		c.Validators = DefaultRegistry()
+	}
+	return c
+}
+
+// topicClock is the per-topic clock model: the newest accepted stamp
+// (high-water mark), an EWMA of the inter-arrival period, and a ring
+// of recent stamps for duplicate detection.
+type topicClock struct {
+	head     time.Duration // newest accepted stamp
+	period   float64       // EWMA inter-arrival, seconds
+	seen     uint64        // accepted frames
+	recent   []time.Duration
+	recentN  int // valid entries in recent
+	recentAt int // next ring slot
+}
+
+func (tc *topicClock) remember(stamp time.Duration) {
+	tc.recent[tc.recentAt] = stamp
+	tc.recentAt = (tc.recentAt + 1) % len(tc.recent)
+	if tc.recentN < len(tc.recent) {
+		tc.recentN++
+	}
+}
+
+func (tc *topicClock) isDuplicate(stamp time.Duration) bool {
+	for i := 0; i < tc.recentN; i++ {
+		if tc.recent[i] == stamp {
+			return true
+		}
+	}
+	return false
+}
+
+// CauseCount is one (topic, cause) quarantine counter.
+type CauseCount struct {
+	Topic string
+	Cause string
+	Count int
+}
+
+type causeKey struct {
+	topic, cause string
+}
+
+// Guard inspects every bus arrival and quarantines frames that fail
+// payload validation or time sanitization. Create with New, wire with
+// Attach.
+type Guard struct {
+	cfg    Config
+	clocks map[string]*topicClock
+	counts map[causeKey]int
+
+	accepted    uint64
+	quarantined uint64
+	reordered   uint64
+}
+
+// New creates a guard; zero-value fields of cfg take defaults.
+func New(cfg Config) *Guard {
+	return &Guard{
+		cfg:    cfg.withDefaults(),
+		clocks: make(map[string]*topicClock),
+		counts: make(map[causeKey]int),
+	}
+}
+
+// Attach chains the guard onto the executor's ingress filter, in front
+// of any filter already installed (an earlier quarantine verdict wins;
+// the guard never resurrects a frame).
+func (g *Guard) Attach(ex *platform.Executor) {
+	prev := ex.IngressFilter
+	ex.IngressFilter = func(topic string, stamp time.Duration, payload any, now time.Duration) platform.IngressVerdict {
+		if prev != nil {
+			if v := prev(topic, stamp, payload, now); v.Quarantine {
+				return v
+			}
+		}
+		return g.Inspect(topic, stamp, payload, now)
+	}
+}
+
+// Inspect adjudicates one arrival. Check order: payload validation,
+// then future stamp, then duplicate, then rewind — so a frame that is
+// both malformed and mistimed is attributed to the corruption, which
+// is the root cause.
+func (g *Guard) Inspect(topic string, stamp time.Duration, payload any, now time.Duration) platform.IngressVerdict {
+	if v := g.cfg.Validators.For(topic); v != nil {
+		if err := v(payload); err != nil {
+			return g.quarantine(topic, CauseMalformed)
+		}
+	}
+
+	tc := g.clocks[topic]
+	if tc == nil {
+		tc = &topicClock{recent: make([]time.Duration, g.cfg.DupWindow)}
+		g.clocks[topic] = tc
+	}
+
+	if stamp > now+g.cfg.FutureTolerance {
+		return g.quarantine(topic, CauseFutureStamp)
+	}
+	if tc.isDuplicate(stamp) {
+		return g.quarantine(topic, CauseDuplicate)
+	}
+	if tc.seen > 0 && stamp < tc.head {
+		if tc.head-stamp > g.cfg.Holdback {
+			return g.quarantine(topic, CauseStampRewind)
+		}
+		// Late but within holdback: admit without advancing the
+		// high-water mark, like a reorder buffer releasing a straggler.
+		g.reordered++
+	} else {
+		if tc.seen > 0 && stamp > tc.head {
+			dt := (stamp - tc.head).Seconds()
+			if tc.period == 0 {
+				tc.period = dt
+			} else {
+				tc.period += 0.125 * (dt - tc.period)
+			}
+		}
+		tc.head = stamp
+	}
+	tc.seen++
+	tc.remember(stamp)
+	g.accepted++
+	return platform.IngressVerdict{}
+}
+
+func (g *Guard) quarantine(topic, cause string) platform.IngressVerdict {
+	g.quarantined++
+	g.counts[causeKey{topic, cause}]++
+	return platform.IngressVerdict{Quarantine: true, Cause: cause}
+}
+
+// Accepted returns how many frames passed inspection.
+func (g *Guard) Accepted() uint64 { return g.accepted }
+
+// Quarantined returns how many frames were rejected.
+func (g *Guard) Quarantined() uint64 { return g.quarantined }
+
+// Reordered returns how many frames were admitted late (within the
+// holdback) without advancing the topic clock.
+func (g *Guard) Reordered() uint64 { return g.reordered }
+
+// Counts returns per-(topic, cause) quarantine counters, sorted by
+// topic then cause.
+func (g *Guard) Counts() []CauseCount {
+	out := make([]CauseCount, 0, len(g.counts))
+	for k, n := range g.counts {
+		out = append(out, CauseCount{Topic: k.topic, Cause: k.cause, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Topic != out[j].Topic {
+			return out[i].Topic < out[j].Topic
+		}
+		return out[i].Cause < out[j].Cause
+	})
+	return out
+}
+
+// Period returns the EWMA inter-arrival period the clock model holds
+// for a topic, zero before two in-order frames arrived.
+func (g *Guard) Period(topic string) time.Duration {
+	tc := g.clocks[topic]
+	if tc == nil {
+		return 0
+	}
+	return time.Duration(tc.period * float64(time.Second))
+}

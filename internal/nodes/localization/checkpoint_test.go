@@ -6,8 +6,8 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/msgs"
-	"repro/internal/sensor"
 	"repro/internal/ros"
+	"repro/internal/sensor"
 )
 
 // initialize bootstraps a node at the t=25s scan and returns its pose.

@@ -1,0 +1,62 @@
+package localization
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/msgs"
+)
+
+// Validation errors are sentinels so validation allocates nothing on
+// clean inputs.
+var (
+	// ErrNonFinitePose flags a NaN/Inf pose estimate.
+	ErrNonFinitePose = errors.New("localization: pose is not finite")
+	// ErrNonFiniteFix flags a NaN/Inf GNSS position or sigma.
+	ErrNonFiniteFix = errors.New("localization: gnss fix is not finite")
+	// ErrNonFiniteIMU flags a NaN/Inf inertial sample.
+	ErrNonFiniteIMU = errors.New("localization: imu sample is not finite")
+)
+
+// ValidatePose rejects pose estimates with non-finite position, yaw or
+// fitness. A NaN pose entering the NDT predict step would poison the
+// matcher's seed and every downstream map-frame transform.
+func ValidatePose(p *msgs.PoseStamped) error {
+	if p == nil {
+		return nil
+	}
+	if !finiteVal(p.Pose.Pos.X) || !finiteVal(p.Pose.Pos.Y) || !finiteVal(p.Pose.Pos.Z) ||
+		!finiteVal(p.Pose.Yaw) || !finiteVal(p.Fitness) {
+		return ErrNonFinitePose
+	}
+	return nil
+}
+
+// ValidateGNSS rejects fixes with non-finite position or negative /
+// non-finite advertised accuracy.
+func ValidateGNSS(g *msgs.GNSS) error {
+	if g == nil {
+		return nil
+	}
+	if !finiteVal(g.Fix.Pos.X) || !finiteVal(g.Fix.Pos.Y) || !finiteVal(g.Fix.Pos.Z) ||
+		!finiteVal(g.Fix.Sigma) || g.Fix.Sigma < 0 {
+		return ErrNonFiniteFix
+	}
+	return nil
+}
+
+// ValidateIMU rejects inertial samples with non-finite rate, speed or
+// heading.
+func ValidateIMU(m *msgs.IMU) error {
+	if m == nil {
+		return nil
+	}
+	if !finiteVal(m.Sample.YawRate) || !finiteVal(m.Sample.Speed) || !finiteVal(m.Sample.Yaw) {
+		return ErrNonFiniteIMU
+	}
+	return nil
+}
+
+func finiteVal(f float64) bool {
+	return !math.IsNaN(f) && !math.IsInf(f, 0)
+}

@@ -1,0 +1,61 @@
+package tracking
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/msgs"
+)
+
+// Validation errors are sentinels so the guard's accept path stays
+// allocation-free: a hot loop over clean detections touches no heap.
+var (
+	// ErrNonFinitePose flags a NaN/Inf object pose or yaw.
+	ErrNonFinitePose = errors.New("tracking: detection pose is not finite")
+	// ErrDegenerateDim flags a negative or non-finite bounding box.
+	ErrDegenerateDim = errors.New("tracking: detection dimensions degenerate")
+	// ErrNonFiniteScore flags a NaN/Inf detection score.
+	ErrNonFiniteScore = errors.New("tracking: detection score is not finite")
+	// ErrNonFiniteVelocity flags a NaN/Inf velocity or yaw rate.
+	ErrNonFiniteVelocity = errors.New("tracking: detection velocity is not finite")
+	// ErrNonFiniteHull flags a NaN/Inf hull vertex.
+	ErrNonFiniteHull = errors.New("tracking: detection hull is not finite")
+)
+
+// ValidateDetections checks every object in the array for the
+// corruption modes a torn or bit-flipped frame exhibits: non-finite
+// poses, scores, velocities or hull vertices, and negative box
+// dimensions. A single bad object condemns the whole array — partial
+// frames are worse than missing frames for the IMM-UKF association
+// gate, which would chase a teleported centroid.
+func ValidateDetections(a *msgs.DetectedObjectArray) error {
+	if a == nil {
+		return nil
+	}
+	for i := range a.Objects {
+		o := &a.Objects[i]
+		if !finite(o.Pose.Pos.X) || !finite(o.Pose.Pos.Y) || !finite(o.Pose.Pos.Z) || !finite(o.Pose.Yaw) {
+			return ErrNonFinitePose
+		}
+		if o.Dim.X < 0 || o.Dim.Y < 0 || o.Dim.Z < 0 ||
+			!finite(o.Dim.X) || !finite(o.Dim.Y) || !finite(o.Dim.Z) {
+			return ErrDegenerateDim
+		}
+		if !finite(o.Score) {
+			return ErrNonFiniteScore
+		}
+		if !finite(o.Velocity.X) || !finite(o.Velocity.Y) || !finite(o.YawRate) {
+			return ErrNonFiniteVelocity
+		}
+		for _, v := range o.Hull {
+			if !finite(v.X) || !finite(v.Y) {
+				return ErrNonFiniteHull
+			}
+		}
+	}
+	return nil
+}
+
+func finite(f float64) bool {
+	return !math.IsNaN(f) && !math.IsInf(f, 0)
+}

@@ -71,9 +71,19 @@ type Executor struct {
 
 	// PublishFilter, when set, adjudicates every publication before it
 	// is delivered — the fault-injection point for message drops, extra
-	// transport delay and sensor timing jitter. It runs at the publish
-	// instant (before the transport delay is scheduled).
-	PublishFilter func(topic string, now time.Duration) PublishVerdict
+	// transport delay, sensor timing jitter, payload corruption, stamp
+	// skew and frame duplication. It runs at the publish instant (before
+	// the transport delay is scheduled) and sees the payload so
+	// corruption faults can substitute a mutated copy.
+	PublishFilter func(topic string, payload any, now time.Duration) PublishVerdict
+	// IngressFilter, when set, adjudicates every arrival at the bus
+	// boundary — after transport, before the message enters any
+	// subscriber queue. It is the input-integrity guard point: a
+	// quarantine verdict diverts the frame so it is never enqueued and
+	// never dispatched (see internal/guard).
+	IngressFilter func(topic string, stamp time.Duration, payload any, now time.Duration) IngressVerdict
+	// OnQuarantine observes frames diverted by the ingress filter.
+	OnQuarantine func(topic, cause string, stamp time.Duration)
 	// CallbackFilter, when set, adjudicates every callback dispatch —
 	// the fault-injection point for node stalls and crash windows. It
 	// runs after the input message is dequeued.
@@ -98,6 +108,26 @@ type PublishVerdict struct {
 	Drop bool
 	// Delay is extra transport delay added on top of the comm model.
 	Delay time.Duration
+	// Payload, when non-nil, replaces the published payload — the
+	// corruption faults substitute a mutated copy here, never touching
+	// the original (other subscribers and replay buffers may hold it).
+	Payload any
+	// StampSkew offsets the message stamp (and the matching self-origin
+	// of sensor publications) — a corrupted sensor clock. Negative skew
+	// rewinds the stamp.
+	StampSkew time.Duration
+	// Copies delivers this many extra identical frames (same stamp,
+	// same payload) right after the original — a duplicating driver.
+	Copies int
+}
+
+// IngressVerdict is an integrity-layer decision about one arrival.
+type IngressVerdict struct {
+	// Quarantine diverts the frame: it is counted per topic
+	// (TopicStats.Quarantined) but never enqueued or dispatched.
+	Quarantine bool
+	// Cause names why the frame was rejected (see internal/guard).
+	Cause string
 }
 
 // CallbackVerdict is a fault-layer decision about one callback dispatch.
@@ -181,20 +211,70 @@ func (e *Executor) Publish(topic string, payload any) {
 // deliver performs the delayed enqueue + dispatch for one publication.
 func (e *Executor) deliver(topic string, stamp time.Duration, payload any, origins []ros.Origin) {
 	delay := e.commDelay(payload)
+	copies := 0
 	if e.PublishFilter != nil {
-		v := e.PublishFilter(topic, e.Sim.Now())
+		v := e.PublishFilter(topic, payload, e.Sim.Now())
 		if v.Drop {
 			return
 		}
 		delay += v.Delay
+		if v.Payload != nil {
+			payload = v.Payload
+		}
+		if v.StampSkew != 0 {
+			stamp += v.StampSkew
+			origins = skewSelfOrigin(origins, topic, stamp)
+		}
+		copies = v.Copies
 	}
 	e.Sim.After(delay, func() {
-		e.Bus.Publish(topic, stamp, payload, origins)
-		if e.OnPublish != nil {
-			e.OnPublish(topic, ros.Header{Stamp: e.Sim.Now(), Origins: origins})
+		delivered := e.enqueue(topic, stamp, payload, origins)
+		for i := 0; i < copies; i++ {
+			if e.enqueue(topic, stamp, payload, origins) {
+				delivered = true
+			}
 		}
-		e.dispatchSubscribers(topic)
+		if delivered {
+			e.dispatchSubscribers(topic)
+		}
 	})
+}
+
+// skewSelfOrigin rewrites the origin entry of the publication's own
+// topic to the skewed stamp: a sensor whose clock skews stamps its
+// lineage with the same bogus time, which is exactly the corruption the
+// guard's time sanitization (and the trace layer's non-monotonic-origin
+// clamping) must survive.
+func skewSelfOrigin(origins []ros.Origin, topic string, stamp time.Duration) []ros.Origin {
+	out := make([]ros.Origin, len(origins))
+	copy(out, origins)
+	for i := range out {
+		if out[i].Topic == topic {
+			out[i].Stamp = stamp
+		}
+	}
+	return out
+}
+
+// enqueue runs the ingress integrity filter and, on accept, publishes
+// the message into the subscriber queues. It reports whether the frame
+// was delivered (false when quarantined).
+func (e *Executor) enqueue(topic string, stamp time.Duration, payload any, origins []ros.Origin) bool {
+	if e.IngressFilter != nil {
+		v := e.IngressFilter(topic, stamp, payload, e.Sim.Now())
+		if v.Quarantine {
+			e.Bus.RecordQuarantine(topic)
+			if e.OnQuarantine != nil {
+				e.OnQuarantine(topic, v.Cause, stamp)
+			}
+			return false
+		}
+	}
+	e.Bus.Publish(topic, stamp, payload, origins)
+	if e.OnPublish != nil {
+		e.OnPublish(topic, ros.Header{Stamp: e.Sim.Now(), Origins: origins})
+	}
+	return true
 }
 
 // dispatchSubscribers pokes every idle node subscribed to the topic.

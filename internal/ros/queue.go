@@ -2,12 +2,21 @@ package ros
 
 import "sync"
 
-// Queue is a bounded FIFO of messages with ROS subscriber semantics:
+// Queue is a bounded queue of messages with ROS subscriber semantics:
 // when a new message arrives at a full queue, the oldest queued message
 // is dropped to make room. Dropped and delivered counts feed the
 // dropped-message statistics of Table III. A depth of zero means
 // unbounded (ROS's queue_size=0 convention): the queue grows and never
 // drops.
+//
+// Delivery order is by header stamp, not arrival order: Push inserts in
+// non-decreasing stamp order (stable for duplicate stamps, preserving
+// arrival order among equals), so Peek/Pop always yield the oldest
+// stamp and drop-oldest always evicts it. For in-order streams this is
+// plain FIFO at O(1); it only differs — and only deterministically —
+// when stamps arrive out of order (skewed clocks, concurrent pushers),
+// where arrival-order FIFO used to let a newer frame block an older one
+// and drop-oldest could evict the wrong frame.
 //
 // Queues are safe for concurrent use. The simulator itself is single-
 // threaded, but the fault injector's burst generator and tests exercise
@@ -37,9 +46,9 @@ func NewQueue(depth int) *Queue {
 	return &Queue{depth: depth, buf: make([]*Message, capacity)}
 }
 
-// Push enqueues m, evicting the oldest message when full. It returns
-// the evicted message (nil when nothing was dropped, always nil for
-// unbounded queues).
+// Push enqueues m in stamp order, evicting the oldest message when
+// full. It returns the evicted message (nil when nothing was dropped,
+// always nil for unbounded queues).
 func (q *Queue) Push(m *Message) *Message {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -57,6 +66,17 @@ func (q *Queue) Push(m *Message) *Message {
 	tail := (q.head + q.count) % len(q.buf)
 	q.buf[tail] = m
 	q.count++
+	// Restore stamp order: bubble the new message backward past any
+	// later-stamped entries. Stable for equal stamps (stops at <=), and
+	// a no-op for in-order streams.
+	for i := q.count - 1; i > 0; i-- {
+		cur := (q.head + i) % len(q.buf)
+		prev := (q.head + i - 1) % len(q.buf)
+		if q.buf[prev].Header.Stamp <= q.buf[cur].Header.Stamp {
+			break
+		}
+		q.buf[prev], q.buf[cur] = q.buf[cur], q.buf[prev]
+	}
 	return evicted
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 )
 
 // msg builds a message whose payload is its push index, so eviction
@@ -153,6 +154,105 @@ func TestQueueConcurrentPush(t *testing.T) {
 			}
 			if depth > 0 && q.Len() > depth {
 				t.Errorf("Len %d exceeds depth %d", q.Len(), depth)
+			}
+		})
+	}
+}
+
+// stamped builds a message with an explicit header stamp; the payload
+// is the push index so arrival order stays checkable.
+func stamped(i int, stamp int64) *Message {
+	return &Message{Topic: "/t", Header: Header{Seq: uint64(i), Stamp: time.Duration(stamp)}, Payload: i}
+}
+
+// TestQueueStampOrderDelivery is the table-driven contract for the
+// delivery-order guarantee: Pop always yields the oldest stamp
+// regardless of arrival order, duplicate stamps preserve arrival order
+// (stable), and drop-oldest evicts the oldest stamp — not whichever
+// message happened to arrive first.
+func TestQueueStampOrderDelivery(t *testing.T) {
+	cases := []struct {
+		name    string
+		depth   int
+		stamps  []int64
+		wantPop []int // push indices in expected pop order
+		wantEv  []int // push indices expected evicted, in order
+	}{
+		{
+			name:  "in-order stream is FIFO",
+			depth: 0, stamps: []int64{10, 20, 30},
+			wantPop: []int{0, 1, 2},
+		},
+		{
+			name:  "late frame is delivered first",
+			depth: 0, stamps: []int64{20, 30, 10},
+			wantPop: []int{2, 0, 1},
+		},
+		{
+			name:  "fully reversed arrival",
+			depth: 0, stamps: []int64{40, 30, 20, 10},
+			wantPop: []int{3, 2, 1, 0},
+		},
+		{
+			name:  "duplicate stamps keep arrival order",
+			depth: 0, stamps: []int64{10, 20, 20, 20, 30},
+			wantPop: []int{0, 1, 2, 3, 4},
+		},
+		{
+			name:  "interleaved duplicates stay stable",
+			depth: 0, stamps: []int64{20, 10, 20, 10},
+			wantPop: []int{1, 3, 0, 2},
+		},
+		{
+			name:  "drop-oldest evicts oldest stamp not first arrival",
+			depth: 2, stamps: []int64{30, 10, 20},
+			// Arrivals: 30, then 10 (sorted ahead of 30). Third push
+			// evicts stamp 10 — the oldest — leaving 20, 30.
+			wantPop: []int{2, 0},
+			wantEv:  []int{1},
+		},
+		{
+			name:  "overflow under reversed stamps",
+			depth: 3, stamps: []int64{50, 40, 30, 20, 10},
+			// Each overflow evicts the oldest *queued* stamp before the
+			// incoming frame is inserted (ROS semantics: the new message
+			// always lands): push of 20 evicts 30, push of 10 evicts 20.
+			wantPop: []int{4, 1, 0},
+			wantEv:  []int{2, 3},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			q := NewQueue(tc.depth)
+			var evicted []int
+			for i, s := range tc.stamps {
+				if ev := q.Push(stamped(i, s)); ev != nil {
+					evicted = append(evicted, ev.Payload.(int))
+				}
+			}
+			for i, want := range tc.wantPop {
+				if peek := q.Peek(); peek == nil || peek.Payload.(int) != want {
+					t.Errorf("Peek %d = %v, want index %d", i, peek, want)
+				}
+				m := q.Pop()
+				if m == nil {
+					t.Fatalf("Pop %d returned nil", i)
+				}
+				if got := m.Payload.(int); got != want {
+					t.Errorf("Pop %d = index %d (stamp %v), want index %d",
+						i, got, m.Header.Stamp, want)
+				}
+			}
+			if q.Pop() != nil {
+				t.Error("queue not empty after draining")
+			}
+			if len(evicted) != len(tc.wantEv) {
+				t.Fatalf("evicted %v, want %v", evicted, tc.wantEv)
+			}
+			for i, want := range tc.wantEv {
+				if evicted[i] != want {
+					t.Errorf("eviction %d = index %d, want %d", i, evicted[i], want)
+				}
 			}
 		})
 	}

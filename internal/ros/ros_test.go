@@ -371,3 +371,44 @@ func TestTopicStatsEdgeCases(t *testing.T) {
 		t.Errorf("zero-span burst: Rate=%v Bandwidth=%v, want 0, 0", r, bw)
 	}
 }
+
+// TestTopicStatsSpanRobustness covers the two ways the observed span
+// used to go wrong once shed/quarantine accounting and clock-skew
+// faults entered the picture: a counter-first entry (Shed/Quarantine
+// recorded before any publication) must not leave a phantom First=0
+// that stretches the span back to the epoch, and non-monotonic stamps
+// from a skewed clock must widen the span min/max-wise instead of
+// driving it negative.
+func TestTopicStatsSpanRobustness(t *testing.T) {
+	b := NewBus()
+	b.EnableStats(nil)
+
+	// Counters land before the first publication ever happens.
+	b.RecordShed("/t")
+	b.RecordQuarantine("/t")
+
+	// Stamps arrive out of order (skewed clock): 5s, 2s, 9s.
+	b.Publish("/t", 5*time.Second, "x", nil)
+	b.Publish("/t", 2*time.Second, "x", nil)
+	b.Publish("/t", 9*time.Second, "x", nil)
+
+	stats := b.TopicStats()
+	if len(stats) != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	s := stats[0]
+	if s.Shed != 1 || s.Quarantined != 1 {
+		t.Errorf("counters = shed %d quarantined %d, want 1, 1", s.Shed, s.Quarantined)
+	}
+	if s.Messages != 3 {
+		t.Errorf("messages = %d, want 3", s.Messages)
+	}
+	// The span is pinned by the published stamps only — not the
+	// zero-valued First the counters created, not arrival order.
+	if s.First != 2*time.Second || s.Last != 9*time.Second {
+		t.Errorf("span = [%v, %v], want [2s, 9s]", s.First, s.Last)
+	}
+	if r := s.Rate(); r <= 0 {
+		t.Errorf("rate = %v, want positive over a 7s span", r)
+	}
+}

@@ -1,9 +1,11 @@
 package ros
 
 import (
+	"bytes"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"sort"
 	"time"
@@ -26,21 +28,6 @@ func RegisterBagType(value any) {
 	gob.Register(value)
 }
 
-// BagWriter streams records to an underlying writer.
-type BagWriter struct {
-	enc   *gob.Encoder
-	count int
-}
-
-// NewBagWriter wraps w. The header is written immediately.
-func NewBagWriter(w io.Writer) (*BagWriter, error) {
-	enc := gob.NewEncoder(w)
-	if err := enc.Encode(bagHeader{Magic: bagMagic, Version: 1}); err != nil {
-		return nil, fmt.Errorf("ros: writing bag header: %w", err)
-	}
-	return &BagWriter{enc: enc}, nil
-}
-
 type bagHeader struct {
 	Magic   string
 	Version int
@@ -48,9 +35,51 @@ type bagHeader struct {
 
 const bagMagic = "AVBAG"
 
-// Write appends one record.
+// bagFrame is one v2 record envelope: the record's gob bytes plus
+// their CRC32C. The inner encoding is stateful across frames (type
+// descriptors are sent once), so frames must be decoded in order by a
+// single stateful decoder — exactly what BagReader does.
+type bagFrame struct {
+	Data []byte
+	CRC  uint32
+}
+
+// castagnoli is the CRC32C polynomial table (the checksum storage
+// systems use for record integrity).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// BagWriter streams records to an underlying writer using the v2
+// format: every record is enveloped with a CRC32C so corruption is
+// detected at read time and attributed to the exact record, instead of
+// surfacing as a confusing gob decode error (or worse, a silently
+// wrong payload).
+type BagWriter struct {
+	enc   *gob.Encoder // outer frame stream
+	rec   *gob.Encoder // stateful record encoder, one gob message per record
+	buf   bytes.Buffer
+	count int
+}
+
+// NewBagWriter wraps w. The header is written immediately.
+func NewBagWriter(w io.Writer) (*BagWriter, error) {
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(bagHeader{Magic: bagMagic, Version: 2}); err != nil {
+		return nil, fmt.Errorf("ros: writing bag header: %w", err)
+	}
+	bw := &BagWriter{enc: enc}
+	bw.rec = gob.NewEncoder(&bw.buf)
+	return bw, nil
+}
+
+// Write appends one record with its checksum.
 func (bw *BagWriter) Write(rec BagRecord) error {
-	if err := bw.enc.Encode(rec); err != nil {
+	bw.buf.Reset()
+	if err := bw.rec.Encode(rec); err != nil {
+		return fmt.Errorf("ros: encoding bag record: %w", err)
+	}
+	data := bw.buf.Bytes()
+	frame := bagFrame{Data: data, CRC: crc32.Checksum(data, castagnoli)}
+	if err := bw.enc.Encode(frame); err != nil {
 		return fmt.Errorf("ros: writing bag record: %w", err)
 	}
 	bw.count++
@@ -60,9 +89,45 @@ func (bw *BagWriter) Write(rec BagRecord) error {
 // Count returns the number of records written.
 func (bw *BagWriter) Count() int { return bw.count }
 
-// BagReader reads records back.
+// frameBuffer feeds one frame's bytes to the stateful record decoder.
+// It implements io.ByteReader so gob uses it directly instead of
+// wrapping it in a bufio.Reader, which could read ahead across frame
+// boundaries.
+type frameBuffer struct {
+	data []byte
+	off  int
+}
+
+func (f *frameBuffer) Read(p []byte) (int, error) {
+	if f.off >= len(f.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.data[f.off:])
+	f.off += n
+	return n, nil
+}
+
+func (f *frameBuffer) ReadByte() (byte, error) {
+	if f.off >= len(f.data) {
+		return 0, io.EOF
+	}
+	b := f.data[f.off]
+	f.off++
+	return b, nil
+}
+
+func (f *frameBuffer) reset(data []byte) {
+	f.data = data
+	f.off = 0
+}
+
+// BagReader reads records back. It accepts both formats: v2 bags are
+// checksum-verified per record; v1 bags (no checksums) stay readable.
 type BagReader struct {
-	dec *gob.Decoder
+	dec     *gob.Decoder // outer stream (v1: records, v2: frames)
+	version int
+	recDec  *gob.Decoder // stateful record decoder over frames (v2)
+	frame   frameBuffer
 	// read counts successfully decoded records, so decode errors can
 	// say exactly where a corrupted or truncated bag failed.
 	read int
@@ -78,27 +143,61 @@ func NewBagReader(r io.Reader) (*BagReader, error) {
 	if h.Magic != bagMagic {
 		return nil, fmt.Errorf("ros: not a bag file (magic %q)", h.Magic)
 	}
-	if h.Version != 1 {
+	if h.Version != 1 && h.Version != 2 {
 		return nil, fmt.Errorf("ros: unsupported bag version %d", h.Version)
 	}
-	return &BagReader{dec: dec}, nil
+	br := &BagReader{dec: dec, version: h.Version}
+	if h.Version == 2 {
+		br.recDec = gob.NewDecoder(&br.frame)
+	}
+	return br, nil
 }
 
-// Next returns the next record, or io.EOF at end of bag. Decode
-// failures name the failing record (1-based) and how many records
-// decoded cleanly before it.
+// Version returns the format version of the bag being read.
+func (br *BagReader) Version() int { return br.version }
+
+// Checksummed reports whether the bag carries per-record checksums.
+func (br *BagReader) Checksummed() bool { return br.version >= 2 }
+
+// Next returns the next record, or io.EOF at end of bag. Decode and
+// checksum failures name the failing record (1-based) and how many
+// records decoded cleanly before it.
 func (br *BagReader) Next() (BagRecord, error) {
 	var rec BagRecord
-	err := br.dec.Decode(&rec)
+	if br.version == 1 {
+		err := br.dec.Decode(&rec)
+		if errors.Is(err, io.EOF) {
+			return rec, io.EOF
+		}
+		if err != nil {
+			return rec, br.recordErr(err)
+		}
+		br.read++
+		return rec, nil
+	}
+	var frame bagFrame
+	err := br.dec.Decode(&frame)
 	if errors.Is(err, io.EOF) {
 		return rec, io.EOF
 	}
 	if err != nil {
-		return rec, fmt.Errorf("ros: reading bag record %d (%d records decoded cleanly before it): %w",
-			br.read+1, br.read, err)
+		return rec, br.recordErr(err)
+	}
+	if got := crc32.Checksum(frame.Data, castagnoli); got != frame.CRC {
+		return rec, fmt.Errorf("ros: bag record %d failed checksum (stored %08x, computed %08x; %d records decoded cleanly before it)",
+			br.read+1, frame.CRC, got, br.read)
+	}
+	br.frame.reset(frame.Data)
+	if err := br.recDec.Decode(&rec); err != nil {
+		return rec, br.recordErr(err)
 	}
 	br.read++
 	return rec, nil
+}
+
+func (br *BagReader) recordErr(err error) error {
+	return fmt.Errorf("ros: reading bag record %d (%d records decoded cleanly before it): %w",
+		br.read+1, br.read, err)
 }
 
 // Records returns how many records have been decoded successfully.

@@ -18,6 +18,10 @@ type TopicStats struct {
 	// Shed counts frames consumed at dispatch by deadline-aware load
 	// shedding (the executor's ShedBudget) instead of being processed.
 	Shed uint64
+	// Quarantined counts frames diverted at the bus boundary by the
+	// input-integrity guard (see internal/guard) — rejected before they
+	// could enter any subscriber queue, so they are not in Messages.
+	Quarantined uint64
 }
 
 // Rate returns the mean publication rate in Hz over the observed span.
@@ -63,14 +67,22 @@ func (b *Bus) recordPublish(ts *topicState, stamp time.Duration, payload any) {
 		s = &TopicStats{Topic: ts.name, First: stamp}
 		b.stats.byTopic[ts.name] = s
 	}
+	// The first observed publication pins both ends of the span: an
+	// entry may predate it (created by a shed or quarantine counter with
+	// a zero First), and non-monotonic stamps from skewed clocks must
+	// widen the span min/max-wise rather than drive it negative.
+	if s.Messages == 0 {
+		s.First, s.Last = stamp, stamp
+	} else {
+		if stamp < s.First {
+			s.First = stamp
+		}
+		if stamp > s.Last {
+			s.Last = stamp
+		}
+	}
 	s.Messages++
 	s.Subscribers = len(ts.subs)
-	if stamp < s.First {
-		s.First = stamp
-	}
-	if stamp > s.Last {
-		s.Last = stamp
-	}
 	if b.stats.sizer != nil {
 		s.Bytes += b.stats.sizer(payload)
 	}
@@ -88,6 +100,20 @@ func (b *Bus) RecordShed(topic string) {
 		b.stats.byTopic[topic] = s
 	}
 	s.Shed++
+}
+
+// RecordQuarantine counts one guard-quarantined frame against a topic
+// (no-op when stats are disabled).
+func (b *Bus) RecordQuarantine(topic string) {
+	if b.stats == nil {
+		return
+	}
+	s := b.stats.byTopic[topic]
+	if s == nil {
+		s = &TopicStats{Topic: topic}
+		b.stats.byTopic[topic] = s
+	}
+	s.Quarantined++
 }
 
 // TopicStats returns per-topic statistics sorted by topic name; nil

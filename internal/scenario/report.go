@@ -107,4 +107,19 @@ func (r *Result) WriteReport(w io.Writer) {
 		}
 		fmt.Fprintf(w, "  %-34s shed=%-6d delivered=%-6d\n", t.Topic, t.Shed, t.Messages)
 	}
+
+	fmt.Fprintln(w, "\nintegrity quarantine (faulted run):")
+	if len(r.Integrity) == 0 {
+		fmt.Fprintln(w, "  (none)")
+	}
+	for _, ev := range r.Integrity {
+		fmt.Fprintf(w, "  %-34s cause=%-18s at=%-8s count=%-6d window=[%v, %v]\n",
+			ev.Topic, ev.Cause, ev.Point, ev.Count, ev.First, ev.Last)
+	}
+	for _, t := range r.Topics {
+		if t.Quarantined == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  %-34s quarantined=%-6d delivered=%-6d\n", t.Topic, t.Quarantined, t.Messages)
+	}
 }

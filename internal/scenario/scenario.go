@@ -43,6 +43,9 @@ type Spec struct {
 	// ShedBudget enables deadline-aware load shedding on the faulted
 	// run: queued frames older than the budget are shed at dispatch.
 	ShedBudget time.Duration
+	// Guard attaches the input-integrity layer (payload validation +
+	// time sanitization + quarantine) to the faulted run.
+	Guard bool
 }
 
 // Schedule bundles the spec's faults with its seed.
@@ -71,6 +74,9 @@ const (
 	NameQueueBurst   = "queue-burst"
 	NameCrashRecover = "crash-recover"
 	NameOverloadShed = "overload-shed"
+	NameCorruptLidar = "corrupt-lidar"
+	NameClockSkew    = "clock-skew"
+	NameDupStorm     = "dup-storm"
 )
 
 // visionObjectsTopic is the vision detector's output (watched by the
@@ -170,6 +176,51 @@ func builtins() []Spec {
 			}},
 			ShedBudget: 100 * time.Millisecond,
 		},
+		{
+			Name: NameCorruptLidar,
+			Description: "a tenth of LiDAR frames arrive bit-flipped (NaN/Inf " +
+				"points); the integrity guard quarantines every one before " +
+				"it can poison downstream state",
+			Seed: 0xC0227,
+			Faults: []faults.Fault{{
+				Kind: faults.KindCorrupt, Topic: "/points_raw",
+				Start: 4 * time.Second, Duration: 5 * time.Second, Prob: 0.10,
+			}},
+			Guard: true,
+		},
+		{
+			Name: NameClockSkew,
+			Description: "sensor clocks break both ways — LiDAR stamps rewind " +
+				"400 ms, camera stamps jump 400 ms ahead; the guard's time " +
+				"sanitization rejects both against its per-topic clock model",
+			Seed: 0x5CE3,
+			Faults: []faults.Fault{
+				{
+					Kind: faults.KindSkew, Topic: "/points_raw",
+					Start: 4 * time.Second, Duration: 5 * time.Second,
+					Prob: 0.25, Skew: -400 * time.Millisecond,
+				},
+				{
+					Kind: faults.KindSkew, Topic: "/image_raw",
+					Start: 4 * time.Second, Duration: 5 * time.Second,
+					Prob: 0.25, Skew: 400 * time.Millisecond,
+				},
+			},
+			Guard: true,
+		},
+		{
+			Name: NameDupStorm,
+			Description: "a duplicating driver delivers every LiDAR frame three " +
+				"times; the guard's dup window drops the copies so queues see " +
+				"each stamp exactly once",
+			Seed: 0xD0D0,
+			Faults: []faults.Fault{{
+				Kind: faults.KindDup, Topic: "/points_raw",
+				Start: 4 * time.Second, Duration: 4 * time.Second,
+				Prob: 1.0, Copies: 2,
+			}},
+			Guard: true,
+		},
 	}
 }
 
@@ -230,8 +281,11 @@ type Result struct {
 	// by a fault" from "never produced".
 	Losses []trace.FaultLoss
 	// Topics is the faulted run's per-topic traffic table, including
-	// deadline-shed counts.
+	// deadline-shed and quarantine counts.
 	Topics []ros.TopicStats
+	// Integrity aggregates the guard's quarantine record (faulted run;
+	// empty unless the spec enables the guard).
+	Integrity []trace.IntegrityEvent
 }
 
 // NodeStat returns the stats row for one node.
@@ -269,13 +323,13 @@ func RunWithEnv(scen *world.Scenario, m *hdmap.Map, spec Spec, det autoware.Dete
 		return nil, fmt.Errorf("scenario: duration %v shorter than scenario horizon %v", duration, min)
 	}
 
-	baseline, err := buildStack(scen, m, det)
+	baseline, err := buildStack(scen, m, det, false)
 	if err != nil {
 		return nil, err
 	}
 	baseline.Run(duration)
 
-	faulted, err := buildStack(scen, m, det)
+	faulted, err := buildStack(scen, m, det, spec.Guard)
 	if err != nil {
 		return nil, err
 	}
@@ -308,23 +362,25 @@ func RunWithEnv(scen *world.Scenario, m *hdmap.Map, spec Spec, det autoware.Dete
 }
 
 // buildStack assembles one stack over the shared environment.
-func buildStack(scen *world.Scenario, m *hdmap.Map, det autoware.Detector) (*autoware.Stack, error) {
+func buildStack(scen *world.Scenario, m *hdmap.Map, det autoware.Detector, guarded bool) (*autoware.Stack, error) {
 	cfg := autoware.DefaultConfig(det)
+	cfg.Guard = guarded
 	return autoware.BuildWithMap(cfg, scen, m)
 }
 
 // collect assembles the Result from two completed runs.
 func collect(spec Spec, det autoware.Detector, duration time.Duration, baseline, faulted *autoware.Stack, inj *faults.Injector) *Result {
 	r := &Result{
-		Spec:     spec,
-		Detector: det,
-		Duration: duration,
-		Events:   inj.Events(),
-		Degraded: faulted.Recorder.DegradedIntervals(),
-		Drops:    faulted.Bus.DropReports(),
-		Outages:  faulted.Recorder.Outages(),
-		Losses:   faulted.Recorder.FaultLosses(),
-		Topics:   faulted.Bus.TopicStats(),
+		Spec:      spec,
+		Detector:  det,
+		Duration:  duration,
+		Events:    inj.Events(),
+		Degraded:  faulted.Recorder.DegradedIntervals(),
+		Drops:     faulted.Bus.DropReports(),
+		Outages:   faulted.Recorder.Outages(),
+		Losses:    faulted.Recorder.FaultLosses(),
+		Topics:    faulted.Bus.TopicStats(),
+		Integrity: faulted.Recorder.IntegrityEvents(),
 	}
 
 	nodeSet := map[string]bool{}

@@ -2,12 +2,16 @@ package scenario
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/autoware"
+	"repro/internal/faults"
+	"repro/internal/guard"
 	"repro/internal/testenv"
+	"repro/internal/trace"
 )
 
 // runScenario executes a named scenario over the shared test fixtures.
@@ -327,5 +331,217 @@ func TestRunRejectsShortDuration(t *testing.T) {
 	}
 	if _, err := RunWithEnv(testenv.Scenario(), testenv.Map(), spec, autoware.DetectorSSD300, time.Second); err == nil {
 		t.Error("duration shorter than the fault horizon should error")
+	}
+}
+
+// integrityFor returns the aggregated quarantine record for one
+// (topic, cause) pair, zero-valued when absent.
+func integrityFor(res *Result, topic, cause string) trace.IntegrityEvent {
+	for _, ev := range res.Integrity {
+		if ev.Topic == topic && ev.Cause == cause {
+			return ev
+		}
+	}
+	return trace.IntegrityEvent{}
+}
+
+// eventCount sums the injector's applied-perturbation counters for one
+// (kind, target) pair.
+func eventCount(res *Result, kind faults.Kind, target string) int {
+	n := 0
+	for _, ev := range res.Events {
+		if ev.Kind == kind && ev.Target == target {
+			n += ev.Count
+		}
+	}
+	return n
+}
+
+// TestCorruptLidarQuarantined pins the tentpole end to end: bit-flipped
+// LiDAR frames cross the bus, the guard quarantines every one at
+// ingress before it reaches a subscriber queue, the rejections surface
+// in the trace and topic stats, no node ever sees a NaN — and the whole
+// report is byte-identical across two runs with the same seed.
+func TestCorruptLidarQuarantined(t *testing.T) {
+	const duration = 12 * time.Second
+	a := runScenario(t, NameCorruptLidar, duration)
+	fault := a.Spec.Faults[0]
+
+	corrupted := eventCount(a, faults.KindCorrupt, "/points_raw")
+	if corrupted == 0 {
+		t.Fatalf("injector corrupted nothing: %+v", a.Events)
+	}
+	// Every corrupted frame — no more, no fewer — was quarantined as
+	// malformed at the ingress point, inside the fault window.
+	ev := integrityFor(a, "/points_raw", guard.CauseMalformed)
+	if ev.Count != corrupted {
+		t.Errorf("quarantined %d frames, injector corrupted %d: %+v", ev.Count, corrupted, a.Integrity)
+	}
+	if ev.Point != guard.PointIngress {
+		t.Errorf("detection point = %q, want %q", ev.Point, guard.PointIngress)
+	}
+	if ev.First < fault.Start || ev.Last > fault.End()+time.Second {
+		t.Errorf("quarantine window [%v, %v] outside the fault window [%v, %v]",
+			ev.First, ev.Last, fault.Start, fault.End())
+	}
+	// The bus accounting agrees: quarantined frames never became
+	// deliveries.
+	for _, ts := range a.Topics {
+		if ts.Topic == "/points_raw" && ts.Quarantined != uint64(corrupted) {
+			t.Errorf("topic stats quarantined = %d, want %d", ts.Quarantined, corrupted)
+		}
+	}
+	// Downstream perception kept running on the surviving clean frames.
+	for _, node := range []string{"voxel_grid_filter", "ray_ground_filter", "ndt_matching"} {
+		if ns, ok := a.NodeStat(node); !ok || ns.Faulted.Count == 0 {
+			t.Errorf("%s produced nothing under corruption", node)
+		}
+	}
+
+	// Determinism: an identical second run renders the identical report.
+	b := runScenario(t, NameCorruptLidar, duration)
+	var ra, rb bytes.Buffer
+	a.WriteReport(&ra)
+	b.WriteReport(&rb)
+	if !bytes.Equal(ra.Bytes(), rb.Bytes()) {
+		t.Error("same seed + schedule produced different corrupt-lidar reports")
+	}
+	if !strings.Contains(ra.String(), "integrity quarantine") ||
+		!strings.Contains(ra.String(), guard.CauseMalformed) {
+		t.Error("report has no integrity quarantine section")
+	}
+}
+
+// TestClockSkewSanitized pins time sanitization: LiDAR stamps rewound
+// 400 ms and camera stamps run 400 ms ahead are both rejected against
+// the guard's per-topic clock model, with cause attribution matching
+// the direction of the skew.
+func TestClockSkewSanitized(t *testing.T) {
+	const duration = 12 * time.Second
+	a := runScenario(t, NameClockSkew, duration)
+
+	lidarSkews := eventCount(a, faults.KindSkew, "/points_raw")
+	camSkews := eventCount(a, faults.KindSkew, "/image_raw")
+	if lidarSkews == 0 || camSkews == 0 {
+		t.Fatalf("injector skewed nothing: %+v", a.Events)
+	}
+	// A stamp rewound 400 ms is either a rewind past the 150 ms
+	// holdback or a literal collision with a remembered stamp. Nearly
+	// every skewed LiDAR frame must be caught — the only legitimate
+	// escape is a run of consecutive skews long enough that the topic's
+	// high-water mark goes stale and a rewound stamp lands inside the
+	// holdback, where the guard deliberately admits it as a tolerated
+	// straggler (the reorder buffer doing its job).
+	lidarQ := integrityFor(a, "/points_raw", guard.CauseStampRewind).Count +
+		integrityFor(a, "/points_raw", guard.CauseDuplicate).Count
+	if lidarQ > lidarSkews || lidarQ < lidarSkews-3 {
+		t.Errorf("lidar: quarantined %d of %d skewed frames: %+v", lidarQ, lidarSkews, a.Integrity)
+	}
+	// A stamp 400 ms in the future can only be a future-stamp.
+	camQ := integrityFor(a, "/image_raw", guard.CauseFutureStamp)
+	if camQ.Count != camSkews {
+		t.Errorf("camera: future-stamp quarantined %d, skewed %d: %+v", camQ.Count, camSkews, a.Integrity)
+	}
+
+	// Determinism.
+	b := runScenario(t, NameClockSkew, duration)
+	var ra, rb bytes.Buffer
+	a.WriteReport(&ra)
+	b.WriteReport(&rb)
+	if !bytes.Equal(ra.Bytes(), rb.Bytes()) {
+		t.Error("same seed + schedule produced different clock-skew reports")
+	}
+}
+
+// TestDupStormQuarantined pins duplicate suppression: a driver
+// delivering every LiDAR frame three times gets exactly the two extra
+// copies of each frame quarantined — queues see each stamp once.
+func TestDupStormQuarantined(t *testing.T) {
+	const duration = 10 * time.Second
+	a := runScenario(t, NameDupStorm, duration)
+
+	copies := eventCount(a, faults.KindDup, "/points_raw")
+	if copies == 0 {
+		t.Fatalf("injector duplicated nothing: %+v", a.Events)
+	}
+	dupQ := integrityFor(a, "/points_raw", guard.CauseDuplicate)
+	if dupQ.Count != copies {
+		t.Errorf("quarantined %d duplicates, injector made %d copies: %+v",
+			dupQ.Count, copies, a.Integrity)
+	}
+	// Exactly one of each triplet was delivered: the faulted run's
+	// /points_raw message count matches the baseline cadence (~10 Hz
+	// over the drive), not 3x it.
+	for _, ts := range a.Topics {
+		if ts.Topic == "/points_raw" {
+			if perSec := float64(ts.Messages) / duration.Seconds(); perSec > 12 {
+				t.Errorf("duplicates leaked into delivery: %.1f msgs/s on /points_raw", perSec)
+			}
+		}
+	}
+
+	// Determinism.
+	b := runScenario(t, NameDupStorm, duration)
+	var ra, rb bytes.Buffer
+	a.WriteReport(&ra)
+	b.WriteReport(&rb)
+	if !bytes.Equal(ra.Bytes(), rb.Bytes()) {
+		t.Error("same seed + schedule produced different dup-storm reports")
+	}
+}
+
+// TestGuardCleanRunByteIdentical is the guard's do-no-harm contract:
+// over a clean drive the guarded stack produces byte-for-byte the same
+// latency samples, topic traffic and drop tables as an unguarded one —
+// the guard draws no randomness, schedules no events, quarantines
+// nothing.
+func TestGuardCleanRunByteIdentical(t *testing.T) {
+	const duration = 8 * time.Second
+	build := func(guarded bool) *autoware.Stack {
+		t.Helper()
+		cfg := autoware.DefaultConfig(autoware.DetectorSSD300)
+		cfg.Guard = guarded
+		s, err := autoware.BuildWithMap(cfg, testenv.Scenario(), testenv.Map())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	off := build(false)
+	off.Run(duration)
+	on := build(true)
+	on.Run(duration)
+
+	if on.Guard == nil {
+		t.Fatal("guarded stack has no guard attached")
+	}
+	if q := on.Guard.Quarantined(); q != 0 {
+		t.Fatalf("guard quarantined %d frames of a clean drive: %+v", q, on.Guard.Counts())
+	}
+	if on.Guard.Accepted() == 0 {
+		t.Fatal("guard inspected nothing — not attached to the ingress path")
+	}
+	if evs := on.Recorder.IntegrityEvents(); len(evs) != 0 {
+		t.Fatalf("clean run recorded integrity events: %+v", evs)
+	}
+
+	if !reflect.DeepEqual(off.Recorder.NodeNames(), on.Recorder.NodeNames()) {
+		t.Fatalf("node sets differ: %v vs %v", off.Recorder.NodeNames(), on.Recorder.NodeNames())
+	}
+	for _, n := range off.Recorder.NodeNames() {
+		if !reflect.DeepEqual(off.Recorder.NodeSamples(n), on.Recorder.NodeSamples(n)) {
+			t.Errorf("node %s latency samples differ between guard-off and guard-on", n)
+		}
+	}
+	for _, p := range off.Recorder.PathNames() {
+		if !reflect.DeepEqual(off.Recorder.PathSamples(p), on.Recorder.PathSamples(p)) {
+			t.Errorf("path %s latency samples differ between guard-off and guard-on", p)
+		}
+	}
+	if !reflect.DeepEqual(off.Bus.TopicStats(), on.Bus.TopicStats()) {
+		t.Error("topic stats differ between guard-off and guard-on")
+	}
+	if !reflect.DeepEqual(off.Bus.DropReports(), on.Bus.DropReports()) {
+		t.Error("drop reports differ between guard-off and guard-on")
 	}
 }

@@ -63,6 +63,11 @@ type Recorder struct {
 	// fault" from "never produced".
 	faultLosses map[faultLossKey]*FaultLoss
 
+	// integrity accumulates guard-quarantined frames keyed by
+	// (topic, cause, point), so reports can distinguish
+	// "dropped by the integrity guard" from dropped-by-queue/fault/shed.
+	integrity map[integrityKey]*IntegrityEvent
+
 	// Warmup discards samples before this virtual time (pipeline fill).
 	Warmup time.Duration
 }
@@ -111,6 +116,25 @@ type FaultLoss struct {
 
 type faultLossKey struct{ kind, target string }
 
+// IntegrityEvent aggregates frames the input-integrity guard
+// quarantined on one topic for one cause at one detection point —
+// diverted at the bus boundary, never dispatched.
+type IntegrityEvent struct {
+	// Topic is the topic the rejected frames were published on.
+	Topic string
+	// Cause names the rejection (e.g. "malformed-payload",
+	// "stamp-rewind", "duplicate-stamp", "future-stamp").
+	Cause string
+	// Point names where the guard detected it (e.g. "ingress").
+	Point string
+	// Count is the number of frames quarantined.
+	Count int
+	// First and Last bound the observed rejections in virtual time.
+	First, Last time.Duration
+}
+
+type integrityKey struct{ topic, cause, point string }
+
 // DegradedInterval is one window during which a watchdog substituted
 // for (or silenced) a faulty node — the degraded-operation record the
 // chaos reports surface alongside latency distributions.
@@ -139,7 +163,45 @@ func NewRecorder(paths []PathSpec) *Recorder {
 		openDegraded: make(map[string]int),
 		openOutage:   make(map[string]int),
 		faultLosses:  make(map[faultLossKey]*FaultLoss),
+		integrity:    make(map[integrityKey]*IntegrityEvent),
 	}
+}
+
+// OnQuarantine records one guard-quarantined frame (implements the
+// guard's IntegrityRecorder hook).
+func (r *Recorder) OnQuarantine(topic, cause, point string, at time.Duration) {
+	k := integrityKey{topic: topic, cause: cause, point: point}
+	ev := r.integrity[k]
+	if ev == nil {
+		ev = &IntegrityEvent{Topic: topic, Cause: cause, Point: point, First: at}
+		r.integrity[k] = ev
+	}
+	ev.Count++
+	if at < ev.First {
+		ev.First = at
+	}
+	if at > ev.Last {
+		ev.Last = at
+	}
+}
+
+// IntegrityEvents returns the aggregated quarantine record, sorted by
+// topic, then cause, then detection point.
+func (r *Recorder) IntegrityEvents() []IntegrityEvent {
+	out := make([]IntegrityEvent, 0, len(r.integrity))
+	for _, ev := range r.integrity {
+		out = append(out, *ev)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Topic != out[j].Topic {
+			return out[i].Topic < out[j].Topic
+		}
+		if out[i].Cause != out[j].Cause {
+			return out[i].Cause < out[j].Cause
+		}
+		return out[i].Point < out[j].Point
+	})
+	return out
 }
 
 // OnOutageOpen opens an outage for a node. A node has at most one open
@@ -269,6 +331,15 @@ func (r *Recorder) Attach(ex *platform.Executor) {
 			prevPub(topic, h)
 		}
 	}
+	prevQuar := ex.OnQuarantine
+	ex.OnQuarantine = func(topic, cause string, stamp time.Duration) {
+		// The detection point is the executor's ingress hook; record at
+		// arrival time (Sim.Now), not the possibly-corrupted stamp.
+		r.OnQuarantine(topic, cause, "ingress", ex.Sim.Now())
+		if prevQuar != nil {
+			prevQuar(topic, cause, stamp)
+		}
+	}
 }
 
 // OnDone records one completed callback.
@@ -282,6 +353,11 @@ func (r *Recorder) OnDone(d platform.DoneInfo) {
 	// still contribute to phase-time accounting below.
 	if d.Outputs > 0 {
 		lat := (d.Finished - d.Arrived).Seconds()
+		// A skewed input clock can stamp the arrival in the future;
+		// clamp so corrupted stamps cannot drive the span negative.
+		if lat < 0 {
+			lat = 0
+		}
 		r.nodeLatency[d.Node] = append(r.nodeLatency[d.Node], lat)
 	}
 	r.cpuSeconds[d.Node] += (d.CPUDone - d.Started).Seconds()
@@ -307,7 +383,14 @@ func (r *Recorder) OnPublish(topic string, h ros.Header) {
 		}
 		for _, o := range h.Origins {
 			if o.Topic == p.Origin {
-				r.pathLat[p.Name] = append(r.pathLat[p.Name], (h.Stamp - o.Stamp).Seconds())
+				lat := (h.Stamp - o.Stamp).Seconds()
+				// Origin stamps are not guaranteed monotonic once a
+				// clock-skew fault future-stamps a sensor frame; clamp
+				// so lineage spans never go negative.
+				if lat < 0 {
+					lat = 0
+				}
+				r.pathLat[p.Name] = append(r.pathLat[p.Name], lat)
 			}
 		}
 	}

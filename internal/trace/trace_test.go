@@ -215,3 +215,59 @@ func TestStandardPathsMatchTableIV(t *testing.T) {
 		t.Error("both object paths should share the terminal costmap topic")
 	}
 }
+
+func TestRecorderIntegrityAggregation(t *testing.T) {
+	r := NewRecorder(nil)
+	r.OnQuarantine("/points_raw", "malformed-payload", "ingress", 5*time.Second)
+	r.OnQuarantine("/points_raw", "malformed-payload", "ingress", 4*time.Second)
+	r.OnQuarantine("/points_raw", "malformed-payload", "ingress", 6*time.Second)
+	r.OnQuarantine("/points_raw", "duplicate-stamp", "ingress", 4500*time.Millisecond)
+	r.OnQuarantine("/image_raw", "future-stamp", "ingress", 7*time.Second)
+
+	evs := r.IntegrityEvents()
+	if len(evs) != 3 {
+		t.Fatalf("events = %+v", evs)
+	}
+	// Sorted by topic, then cause: /image_raw first, then /points_raw
+	// duplicate before malformed.
+	if evs[0].Topic != "/image_raw" || evs[0].Cause != "future-stamp" || evs[0].Count != 1 {
+		t.Errorf("evs[0] = %+v", evs[0])
+	}
+	if evs[1].Topic != "/points_raw" || evs[1].Cause != "duplicate-stamp" {
+		t.Errorf("evs[1] = %+v", evs[1])
+	}
+	m := evs[2]
+	if m.Cause != "malformed-payload" || m.Point != "ingress" || m.Count != 3 {
+		t.Errorf("evs[2] = %+v", m)
+	}
+	// The window widens min/max-wise regardless of arrival order.
+	if m.First != 4*time.Second || m.Last != 6*time.Second {
+		t.Errorf("window = [%v, %v], want [4s, 6s]", m.First, m.Last)
+	}
+}
+
+// TestRecorderClampsNegativeLatency pins the skew hardening: a frame
+// whose arrival stamp runs ahead of its completion (a future-stamped
+// sensor clock) must clamp to zero latency, not poison the
+// distribution with a negative sample.
+func TestRecorderClampsNegativeLatency(t *testing.T) {
+	r := NewRecorder(StandardPaths())
+	// Arrived "later" than it finished: stamp from a fast clock.
+	r.OnDone(done("n", 2*time.Second, time.Second, time.Second, 1500*time.Millisecond, 1))
+	s := r.NodeLatency("n")
+	if s.Count != 1 || s.Min < 0 || s.Max != 0 {
+		t.Errorf("latency summary = %+v, want one clamped zero sample", s)
+	}
+
+	// Same for lineage spans: an origin stamped after the terminal
+	// publication must not produce a negative path sample.
+	r2 := NewRecorder([]PathSpec{{Name: "p", Origin: "/points_raw", Terminal: "/out"}})
+	r2.OnPublish("/out", ros.Header{
+		Stamp:   time.Second,
+		Origins: []ros.Origin{{Topic: "/points_raw", Stamp: 3 * time.Second}},
+	})
+	p := r2.PathLatency("p")
+	if p.Count != 1 || p.Min < 0 || p.Max != 0 {
+		t.Errorf("path summary = %+v, want one clamped zero sample", p)
+	}
+}
