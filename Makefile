@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench-smoke fuzz-smoke chaos-smoke corruption-smoke
+.PHONY: build test race vet bench-smoke fuzz-smoke chaos-smoke corruption-smoke bench-middleware bus-stress
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,7 @@ vet:
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzBagDecode -fuzztime=10s ./internal/ros/
 	$(GO) test -run=NONE -fuzz=FuzzBagRoundTrip -fuzztime=10s ./internal/ros/
+	$(GO) test -run=NONE -fuzz=FuzzRingPushPop -fuzztime=10s ./internal/ros/
 	$(GO) test -run=NONE -fuzz=FuzzGuardValidate -fuzztime=10s ./internal/guard/
 
 # Run every built-in chaos scenario end to end (baseline + faulted
@@ -55,3 +56,17 @@ corruption-smoke:
 bench-smoke:
 	$(GO) test -run=NONE -bench='BenchmarkVoxelGrid|BenchmarkKDTreeBuild|BenchmarkKDTreeRadius' -benchmem -benchtime=10x ./internal/pointcloud/
 	$(GO) test -run=NONE -bench='BenchmarkCluster' -benchmem -benchtime=10x ./internal/nodes/lidardet/
+	$(GO) test -run=NONE -bench='BenchmarkBusPublishFanout|BenchmarkQueuePush|BenchmarkRingSteadyState' -benchmem -benchtime=10x ./internal/ros/
+
+# Middleware perf trajectory: measure the transport benches against the
+# committed pre-rewrite baselines and refresh BENCH_middleware.json.
+bench-middleware:
+	$(GO) run ./cmd/benchmw -out BENCH_middleware.json
+
+# Hammer the MPSC shim and the lock-free ring under the race detector:
+# concurrent producers plus the burst-generator republish path on a
+# shared bus, then the queue-burst chaos scenario end to end.
+bus-stress:
+	$(GO) test -race -count=1 -run='TestBusStressConcurrentBurst|TestQueueConcurrent|TestRingSPSCConcurrent' ./internal/ros/
+	$(GO) test -race -count=1 -run='TestExecutorPoolDrainsToZero' ./internal/platform/
+	$(GO) run ./cmd/characterize -faults queue-burst -duration 12s -out /dev/null

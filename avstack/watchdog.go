@@ -105,6 +105,11 @@ func (w *Watchdog) Attach() {
 // observeDeliver tracks fresh publications on watched topics,
 // de-duplicating the per-subscription fan-out by sequence number and
 // ignoring the watchdog's own substituted publications.
+//
+// Borrow contract: the pooled envelope is only valid for the duration
+// of the tap; this method copies out the stamp and the payload pointer
+// (payloads are never pooled or recycled, so lastGood stays valid) and
+// must never retain m itself without m.Retain().
 func (w *Watchdog) observeDeliver(sub *ros.Subscription, m *ros.Message) {
 	for _, st := range w.states {
 		if st.policy.Topic != sub.Topic || m.Header.Seq == st.lastSeq {

@@ -211,6 +211,12 @@ func (in *Injector) chainCallbackFilter(ex *platform.Executor) {
 
 // observeDeliver remembers the newest payload per topic for bursts,
 // de-duplicating the per-subscription fan-out by sequence number.
+//
+// Borrow contract: bus taps receive the pooled *Message for the
+// duration of the call only — retaining m (or anything reachable
+// through its Header) without m.Retain() is a use-after-recycle once
+// the pool's reclamation epoch passes. Payloads are never pooled, so
+// caching m.Payload here is safe indefinitely.
 func (in *Injector) observeDeliver(sub *ros.Subscription, m *ros.Message) {
 	if m.Header.Seq == in.lastSeq[sub.Topic] {
 		return

@@ -1,0 +1,51 @@
+package guard
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/platform"
+	"repro/internal/ros"
+)
+
+// TestGuardQuarantineReleasesEnvelope pins the pool side of the
+// quarantine path: every arrival materializes a pooled envelope before
+// the ingress filter runs, so a quarantine verdict must hand that
+// envelope straight back — a guard that diverts frames but leaks their
+// envelopes would bleed the pool dry under a corruption storm.
+func TestGuardQuarantineReleasesEnvelope(t *testing.T) {
+	sim := platform.NewSim()
+	ex := platform.NewExecutor(sim,
+		platform.NewCPU(platform.DefaultCPUConfig(), sim),
+		platform.NewGPU(platform.DefaultGPUConfig(), sim),
+		ros.NewBus(), nil)
+	sub := ex.Bus.Subscribe("probe", ros.SubSpec{Topic: "/t", Depth: 0})
+	g := New(Config{})
+	g.Attach(ex)
+
+	// Two publications with identical stamps: the guard accepts the
+	// first and quarantines the second as a duplicate.
+	ex.Publish("/t", 7)
+	ex.Publish("/t", 7)
+	sim.Run(time.Second)
+
+	if q := g.Quarantined(); q != 1 {
+		t.Fatalf("quarantined = %d, want 1 (counts %+v)", q, g.Counts())
+	}
+	ps := ex.Bus.PoolStats()
+	if ps.Acquired != 2 {
+		t.Fatalf("acquired = %d envelopes for 2 arrivals", ps.Acquired)
+	}
+	if ps.Live != 1 || ps.LiveRefs != 1 {
+		t.Fatalf("after quarantine: %+v, want exactly the accepted frame live", ps)
+	}
+	if sub.Queue.Len() != 1 {
+		t.Fatalf("queued = %d, want 1", sub.Queue.Len())
+	}
+
+	// Draining the accepted frame closes the ledger completely.
+	sub.Queue.Pop().Release()
+	if ps := ex.Bus.PoolStats(); ps.Live != 0 || ps.LiveRefs != 0 {
+		t.Fatalf("after drain: %+v", ps)
+	}
+}

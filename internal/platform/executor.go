@@ -256,10 +256,13 @@ func skewSelfOrigin(origins []ros.Origin, topic string, stamp time.Duration) []r
 	return out
 }
 
-// enqueue runs the ingress integrity filter and, on accept, publishes
-// the message into the subscriber queues. It reports whether the frame
-// was delivered (false when quarantined).
+// enqueue materializes the arrival as a pooled envelope, runs the
+// ingress integrity filter on it and, on accept, publishes it into the
+// subscriber queues. It reports whether the frame was delivered (false
+// when quarantined). A quarantined frame never reaches a queue: its
+// envelope is released straight back to the pool.
 func (e *Executor) enqueue(topic string, stamp time.Duration, payload any, origins []ros.Origin) bool {
+	m := e.Bus.NewMessage(topic, stamp, payload, origins)
 	if e.IngressFilter != nil {
 		v := e.IngressFilter(topic, stamp, payload, e.Sim.Now())
 		if v.Quarantine {
@@ -267,10 +270,11 @@ func (e *Executor) enqueue(topic string, stamp time.Duration, payload any, origi
 			if e.OnQuarantine != nil {
 				e.OnQuarantine(topic, v.Cause, stamp)
 			}
+			m.Release()
 			return false
 		}
 	}
-	e.Bus.Publish(topic, stamp, payload, origins)
+	e.Bus.PublishMessage(m)
 	if e.OnPublish != nil {
 		e.OnPublish(topic, ros.Header{Stamp: e.Sim.Now(), Origins: origins})
 	}
@@ -309,12 +313,16 @@ func (e *Executor) tryDispatch(rt *nodeRuntime) {
 	if bestSub == nil {
 		return
 	}
+	// Pop transfers the queue's reference on the message to us; every
+	// path below must end in exactly one Release — here for shed and
+	// crash-drop verdicts, in completeCallback once a callback ran.
 	msg := bestSub.Queue.Pop()
 	if e.ShedBudget > 0 && e.overBudget(msg) {
 		e.Bus.RecordShed(msg.Topic)
 		if e.OnShed != nil {
 			e.OnShed(rt.node.Name(), msg)
 		}
+		msg.Release()
 		e.tryDispatch(rt) // the next queued input, if any
 		return
 	}
@@ -324,6 +332,7 @@ func (e *Executor) tryDispatch(rt *nodeRuntime) {
 			if e.OnCallbackDrop != nil {
 				e.OnCallbackDrop(rt.node.Name(), msg)
 			}
+			msg.Release()
 			e.tryDispatch(rt) // the next queued input, if any
 			return
 		}
@@ -400,6 +409,10 @@ func (e *Executor) completeCallback(rt *nodeRuntime, msg *ros.Message, started, 
 		})
 	}
 	rt.busy = false
+	// The callback (and its observers) are done with the input; return
+	// our reference. A node that cached the message (fusion's last-good
+	// buffers) holds its own retained reference past this point.
+	msg.Release()
 	e.tryDispatch(rt)
 }
 

@@ -1,0 +1,72 @@
+package platform
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ros"
+	"repro/internal/work"
+)
+
+// relayNode forwards each input to an output topic; sinkNode consumes.
+// Both report a little work so callbacks occupy nonzero virtual time.
+type relayNode struct{}
+
+func (relayNode) Name() string              { return "relay" }
+func (relayNode) Subscribes() []ros.SubSpec { return []ros.SubSpec{{Topic: "/in", Depth: 2}} }
+func (relayNode) Process(in *ros.Message, now time.Duration) ros.Result {
+	return ros.Result{
+		Outputs: []ros.Output{{Topic: "/mid", Payload: in.Payload}},
+		Work:    work.Work{IntOps: 1000},
+	}
+}
+
+type sinkNode struct{}
+
+func (sinkNode) Name() string              { return "sink" }
+func (sinkNode) Subscribes() []ros.SubSpec { return []ros.SubSpec{{Topic: "/mid", Depth: 1}} }
+func (sinkNode) Process(in *ros.Message, now time.Duration) ros.Result {
+	return ros.Result{Work: work.Work{IntOps: 1000}}
+}
+
+// TestExecutorPoolDrainsToZero runs a finite burst through a two-node
+// chain and lets the simulation drain completely. With no events left,
+// no callback can be holding a reference and every queue is empty after
+// the nodes consumed or evicted their backlog — so the pool ledger must
+// close at exactly zero. This is the end-to-end proof that every
+// executor path (dispatch, eviction, publication of node outputs,
+// callback completion) returns its references.
+func TestExecutorPoolDrainsToZero(t *testing.T) {
+	sim := NewSim()
+	ex := NewExecutor(sim,
+		NewCPU(DefaultCPUConfig(), sim),
+		NewGPU(DefaultGPUConfig(), sim),
+		ros.NewBus(), nil)
+	ex.AddNode(relayNode{}, NodeOptions{})
+	ex.AddNode(sinkNode{}, NodeOptions{})
+
+	// A burst faster than the relay drains its depth-2 queue forces
+	// drop-oldest evictions alongside normal consumption.
+	const frames = 40
+	for i := 0; i < frames; i++ {
+		i := i
+		sim.After(time.Duration(i)*100*time.Microsecond, func() {
+			ex.Publish("/in", i)
+		})
+	}
+	sim.Run(10 * time.Second)
+
+	if p := sim.Pending(); p != 0 {
+		t.Fatalf("simulation did not drain: %d events pending", p)
+	}
+	ps := ex.Bus.PoolStats()
+	if ps.Live != 0 || ps.LiveRefs != 0 {
+		t.Fatalf("pool did not close to zero after drain: %+v", ps)
+	}
+	if ps.Acquired < frames {
+		t.Fatalf("acquired %d envelopes, want at least %d sensor frames", ps.Acquired, frames)
+	}
+	if got := ex.Bus.QueuedMessages(); got != 0 {
+		t.Fatalf("queued = %d after drain", got)
+	}
+}

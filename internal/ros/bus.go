@@ -3,6 +3,7 @@ package ros
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -26,16 +27,31 @@ type Subscription struct {
 // published messages into subscriber queues. The Bus itself is
 // timing-free; the platform layer decides *when* publishes happen and
 // models the transport/serialization delay.
+//
+// Delivery is zero-copy: one pooled envelope per publication, shared
+// by pointer across every subscriber queue with one reference each
+// (see Pool). A Bus from NewBus is exclusive — owned by the
+// single-threaded simulator, its edges lock-free SPSC rings with no
+// synchronization at all. NewSharedBus yields a fabric safe for
+// concurrent publishers (the MPSC shim): publications serialize
+// through a bus mutex and edges use mutex-shimmed queues.
 type Bus struct {
 	topics map[string]*topicState
 	// subsByNode indexes subscriptions per subscriber for executors.
 	subsByNode map[string][]*Subscription
 	// onDeliver, when set, observes every enqueue (for tracing).
+	// Observers borrow the message for the duration of the call; a
+	// layer that keeps it across events must Retain it.
 	onDeliver func(sub *Subscription, m *Message)
-	// onDrop observes every eviction.
+	// onDrop observes every eviction. The evicted message is released
+	// back to the pool when the observer returns.
 	onDrop func(sub *Subscription, evicted *Message)
 	// stats, when enabled, accumulates per-topic traffic counters.
 	stats *statsCollector
+
+	pool   *Pool
+	shared bool
+	mu     sync.Mutex
 }
 
 type topicState struct {
@@ -44,22 +60,39 @@ type topicState struct {
 	subs []*Subscription
 }
 
-// NewBus creates an empty fabric.
+// NewBus creates an empty fabric owned by a single goroutine.
 func NewBus() *Bus {
 	return &Bus{
 		topics:     make(map[string]*topicState),
 		subsByNode: make(map[string][]*Subscription),
+		pool:       NewPool(),
+	}
+}
+
+// NewSharedBus creates a fabric safe for concurrent publishers and
+// consumers — the MPSC shim the fault injector's burst generator uses
+// when pushing from outside the simulator goroutine.
+func NewSharedBus() *Bus {
+	return &Bus{
+		topics:     make(map[string]*topicState),
+		subsByNode: make(map[string][]*Subscription),
+		pool:       NewSharedPool(),
+		shared:     true,
 	}
 }
 
 // Subscribe registers a subscriber queue on a topic, creating the topic
 // on first use.
 func (b *Bus) Subscribe(nodeName string, spec SubSpec) *Subscription {
+	if b.shared {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+	}
 	ts := b.topic(spec.Topic)
 	sub := &Subscription{
 		Topic:      spec.Topic,
 		Subscriber: nodeName,
-		Queue:      NewQueue(spec.Depth),
+		Queue:      newQueue(spec.Depth, b.shared),
 	}
 	ts.subs = append(ts.subs, sub)
 	b.subsByNode[nodeName] = append(b.subsByNode[nodeName], sub)
@@ -75,31 +108,77 @@ func (b *Bus) topic(name string) *topicState {
 	return ts
 }
 
+// NewMessage acquires a pooled envelope for a publication, holding one
+// reference on behalf of the caller. PublishMessage converts that
+// reference into the subscribers'; a caller that abandons the message
+// instead (e.g. the ingress guard quarantining it before it reaches
+// any queue) must Release it back to the pool.
+func (b *Bus) NewMessage(topic string, stamp time.Duration, payload any, origins []Origin) *Message {
+	return b.pool.get(topic, stamp, payload, origins)
+}
+
 // Publish stamps the message and delivers it to every subscriber queue.
 // It returns the number of subscribers reached.
 func (b *Bus) Publish(topic string, stamp time.Duration, payload any, origins []Origin) int {
-	ts := b.topic(topic)
-	ts.seq++
-	m := &Message{
-		Topic: topic,
-		Header: Header{
-			Seq:     ts.seq,
-			Stamp:   stamp,
-			Origins: origins,
-		},
-		Payload: payload,
+	return b.PublishMessage(b.NewMessage(topic, stamp, payload, origins))
+}
+
+// PublishMessage assigns the topic sequence number and fans the
+// envelope out zero-copy: the payload is allocated (by the caller)
+// once, and each subscriber queue holds one reference to the shared
+// envelope. The caller's reference from NewMessage is consumed.
+func (b *Bus) PublishMessage(m *Message) int {
+	if b.shared {
+		b.mu.Lock()
+		defer b.mu.Unlock()
 	}
-	b.recordPublish(ts, stamp, payload)
+	b.pool.advance()
+	ts := b.topic(m.Topic)
+	ts.seq++
+	m.Header.Seq = ts.seq
+	b.recordPublish(ts, m.Header.Stamp, m.Payload)
+	if len(ts.subs) == 0 {
+		m.Release()
+		return 0
+	}
+	// Convert the caller's single reference into one per queue.
+	m.addRefs(len(ts.subs) - 1)
 	for _, sub := range ts.subs {
 		evicted := sub.Queue.Push(m)
-		if evicted != nil && b.onDrop != nil {
-			b.onDrop(sub, evicted)
+		if evicted != nil {
+			if b.onDrop != nil {
+				b.onDrop(sub, evicted)
+			}
+			evicted.Release()
 		}
 		if b.onDeliver != nil {
 			b.onDeliver(sub, m)
 		}
 	}
 	return len(ts.subs)
+}
+
+// PoolStats exposes the envelope pool's accounting — the leak-check
+// surface: after a drained run, Live and LiveRefs must equal exactly
+// the references still legitimately held (queued messages plus any
+// node-retained caches).
+func (b *Bus) PoolStats() PoolStats { return b.pool.Stats() }
+
+// QueuedMessages counts messages currently sitting in subscriber
+// queues across all topics — the transport's own outstanding
+// references.
+func (b *Bus) QueuedMessages() int {
+	if b.shared {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+	}
+	n := 0
+	for _, ts := range b.topics {
+		for _, sub := range ts.subs {
+			n += sub.Queue.Len()
+		}
+	}
+	return n
 }
 
 // SetObservers installs delivery/drop hooks (either may be nil),

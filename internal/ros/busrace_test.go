@@ -1,0 +1,125 @@
+package ros
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestBusStressConcurrentBurst is the MPSC-shim stress test the CI
+// bus-stress job runs under -race: several producer goroutines publish
+// through a shared bus while a burst republisher — modeled on the
+// fault injector's burst generator, which caches the last payload seen
+// on a topic and re-publishes it at its own rate — hammers the same
+// topic from yet another goroutine, and a consumer concurrently drains
+// one subscriber. Afterwards the books must balance exactly: every
+// publication reached every queue, and once drained the pool holds
+// zero live references.
+func TestBusStressConcurrentBurst(t *testing.T) {
+	bus := NewSharedBus()
+	subs := []*Subscription{
+		bus.Subscribe("fast", SubSpec{Topic: "/points_raw", Depth: 4}),
+		bus.Subscribe("slow", SubSpec{Topic: "/points_raw", Depth: 1}),
+		bus.Subscribe("elastic", SubSpec{Topic: "/points_raw", Depth: 0}),
+	}
+
+	// The burst generator's last-payload cache, fed by a bus tap the
+	// way faults.Injector wires its replay buffer.
+	var lastPayload atomic.Value
+	var tapSeen atomic.Uint64
+	bus.Tap(func(sub *Subscription, m *Message) {
+		// Borrow only: observers must not retain m without Retain.
+		lastPayload.Store(m.Payload)
+		tapSeen.Add(1)
+	}, nil)
+
+	const producers = 4
+	const perProducer = 400
+	const burstPushes = 600
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				stamp := time.Duration(p*perProducer+i) * time.Millisecond
+				bus.Publish("/points_raw", stamp, fmt.Sprintf("frame-%d-%d", p, i), nil)
+			}
+		}(p)
+	}
+	// Burst republisher: replays the cached payload with stale stamps,
+	// exercising the sorted-insert path under concurrency.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < burstPushes; i++ {
+			if lp := lastPayload.Load(); lp != nil {
+				bus.Publish("/points_raw", time.Duration(i)*time.Microsecond, lp, nil)
+			}
+		}
+	}()
+	// Concurrent consumer on the bounded-depth subscriber.
+	stop := make(chan struct{})
+	var consumed atomic.Uint64
+	var consumerWG sync.WaitGroup
+	consumerWG.Add(1)
+	go func() {
+		defer consumerWG.Done()
+		for {
+			if m := subs[0].Queue.Pop(); m != nil {
+				consumed.Add(1)
+				m.Release()
+				continue
+			}
+			select {
+			case <-stop:
+				return
+			default:
+				runtime.Gosched()
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	consumerWG.Wait()
+
+	// Conservation per queue: every publish arrived exactly once.
+	total := uint64(0)
+	for _, s := range subs {
+		arrived, delivered, dropped := s.Queue.Stats()
+		if arrived != delivered+dropped+uint64(s.Queue.Len()) {
+			t.Fatalf("%s: arrived=%d delivered=%d dropped=%d len=%d",
+				s.Subscriber, arrived, delivered, dropped, s.Queue.Len())
+		}
+		if total == 0 {
+			total = arrived
+		} else if arrived != total {
+			t.Fatalf("fan-out mismatch: %s saw %d, others %d", s.Subscriber, arrived, total)
+		}
+	}
+	if total < producers*perProducer {
+		t.Fatalf("arrived %d < %d produced", total, producers*perProducer)
+	}
+	if tapSeen.Load() != total*uint64(len(subs)) {
+		t.Fatalf("tap fired %d times, want %d", tapSeen.Load(), total*uint64(len(subs)))
+	}
+
+	// Drain everything still queued and the pool must balance to zero.
+	for _, s := range subs {
+		for m := s.Queue.Pop(); m != nil; m = s.Queue.Pop() {
+			m.Release()
+		}
+	}
+	ps := bus.PoolStats()
+	if ps.Live != 0 || ps.LiveRefs != 0 {
+		t.Fatalf("pool leaked after drain: %+v", ps)
+	}
+	if ps.Acquired != total {
+		t.Fatalf("acquired %d envelopes for %d publications", ps.Acquired, total)
+	}
+}

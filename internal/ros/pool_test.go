@@ -1,0 +1,190 @@
+package ros
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestPoolDoubleReleasePanics pins the loud-failure contract: releasing
+// a pooled message past zero references must panic with a diagnostic
+// naming the topic, never silently corrupt the free list.
+func TestPoolDoubleReleasePanics(t *testing.T) {
+	b := NewBus()
+	s := b.Subscribe("n", SubSpec{Topic: "/points_raw", Depth: 2})
+	b.Publish("/points_raw", time.Millisecond, "payload", nil)
+	m := s.Queue.Pop()
+	m.Release()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("double release should panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "/points_raw") {
+			t.Fatalf("panic should name the topic, got %v", r)
+		}
+	}()
+	m.Release()
+}
+
+// TestPoolRetainAfterReleasePanics: a retain on a fully released
+// envelope is a use-after-free in the making.
+func TestPoolRetainAfterReleasePanics(t *testing.T) {
+	b := NewBus()
+	s := b.Subscribe("n", SubSpec{Topic: "/t", Depth: 1})
+	b.Publish("/t", 0, 1, nil)
+	m := s.Queue.Pop()
+	m.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("retain after final release should panic")
+		}
+	}()
+	m.Retain()
+}
+
+// TestPoolExactAccounting drives publications through a two-subscriber
+// fan-out and checks the books balance to exactly zero once every
+// reference is returned.
+func TestPoolExactAccounting(t *testing.T) {
+	b := NewBus()
+	s1 := b.Subscribe("a", SubSpec{Topic: "/t", Depth: 0})
+	s2 := b.Subscribe("b", SubSpec{Topic: "/t", Depth: 0})
+	const n = 20
+	for i := 0; i < n; i++ {
+		b.Publish("/t", time.Duration(i), i, nil)
+	}
+	ps := b.PoolStats()
+	if ps.Live != n || ps.LiveRefs != 2*n {
+		t.Fatalf("mid-flight stats = %+v, want Live=%d LiveRefs=%d", ps, n, 2*n)
+	}
+	if got := b.QueuedMessages(); got != 2*n {
+		t.Fatalf("queued = %d, want %d", got, 2*n)
+	}
+	for _, s := range []*Subscription{s1, s2} {
+		for m := s.Queue.Pop(); m != nil; m = s.Queue.Pop() {
+			m.Release()
+		}
+	}
+	ps = b.PoolStats()
+	if ps.Live != 0 || ps.LiveRefs != 0 {
+		t.Fatalf("drained stats = %+v, want Live=0 LiveRefs=0", ps)
+	}
+	if ps.Acquired != n {
+		t.Fatalf("acquired = %d, want %d", ps.Acquired, n)
+	}
+}
+
+// TestPoolEvictionReleases: drop-oldest eviction must return the
+// evicted envelope's reference to the pool (via the bus), not leak it.
+func TestPoolEvictionReleases(t *testing.T) {
+	b := NewBus()
+	s := b.Subscribe("n", SubSpec{Topic: "/t", Depth: 2})
+	for i := 0; i < 50; i++ {
+		b.Publish("/t", time.Duration(i), i, nil)
+	}
+	ps := b.PoolStats()
+	if ps.Live != 2 || ps.LiveRefs != 2 {
+		t.Fatalf("after 50 publishes into depth-2: %+v, want Live=2 LiveRefs=2", ps)
+	}
+	for m := s.Queue.Pop(); m != nil; m = s.Queue.Pop() {
+		m.Release()
+	}
+	if ps := b.PoolStats(); ps.Live != 0 || ps.LiveRefs != 0 {
+		t.Fatalf("drained: %+v", ps)
+	}
+}
+
+// TestPoolEpochReclamation pins the reclamation grace: a retired
+// envelope must survive two epoch advances (two publications) before
+// the pool may hand it out again — so an observer that borrowed the
+// pointer during the event that released it never sees it rewritten.
+func TestPoolEpochReclamation(t *testing.T) {
+	b := NewBus()
+	s := b.Subscribe("n", SubSpec{Topic: "/t", Depth: 4})
+
+	publish := func(i int) *Message {
+		b.Publish("/t", time.Duration(i), i, nil)
+		m := s.Queue.Pop()
+		return m
+	}
+
+	m1 := publish(1)
+	m1.Release() // retired at the epoch after publish #1
+	if m2 := publish(2); m2 == m1 {
+		t.Fatal("envelope reused immediately after release (no epoch grace)")
+	} else {
+		m2.Release()
+	}
+	m3 := publish(3)
+	if m3 == m1 {
+		t.Fatal("envelope reused after a single epoch advance")
+	}
+	m3.Release()
+	m4 := publish(4)
+	if m4 != m1 {
+		t.Fatalf("envelope not recycled after two epoch advances: got %p, want %p", m4, m1)
+	}
+	m4.Release()
+}
+
+// TestPoolAbandonedMessageReleases covers the quarantine path: an
+// envelope acquired via NewMessage but never published must release
+// cleanly back to the pool.
+func TestPoolAbandonedMessageReleases(t *testing.T) {
+	b := NewBus()
+	b.Subscribe("n", SubSpec{Topic: "/t", Depth: 1})
+	m := b.NewMessage("/t", time.Second, "corrupt", nil)
+	if ps := b.PoolStats(); ps.Live != 1 || ps.LiveRefs != 1 {
+		t.Fatalf("after NewMessage: %+v", ps)
+	}
+	m.Release()
+	if ps := b.PoolStats(); ps.Live != 0 || ps.LiveRefs != 0 {
+		t.Fatalf("after abandoning: %+v", ps)
+	}
+	// Sequence numbers are only assigned on publication, so the
+	// abandoned frame must not have consumed one.
+	s := b.SubscriptionsOf("n")[0]
+	b.Publish("/t", 2*time.Second, "good", nil)
+	if got := s.Queue.Pop(); got.Header.Seq != 1 {
+		t.Fatalf("first delivered seq = %d, want 1", got.Header.Seq)
+	}
+}
+
+// TestPoolNoSubscribersRecycles: publishing into the void must not
+// leak the envelope.
+func TestPoolNoSubscribersRecycles(t *testing.T) {
+	b := NewBus()
+	for i := 0; i < 10; i++ {
+		b.Publish("/nothing", time.Duration(i), i, nil)
+	}
+	if ps := b.PoolStats(); ps.Live != 0 || ps.LiveRefs != 0 {
+		t.Fatalf("no-subscriber publishes leaked: %+v", ps)
+	}
+}
+
+// TestPoolOriginsCopied: the pooled envelope must own its origin
+// storage — mutating the caller's slice after publish cannot reach the
+// queued message, or recycling would alias unrelated publications.
+func TestPoolOriginsCopied(t *testing.T) {
+	b := NewBus()
+	s := b.Subscribe("n", SubSpec{Topic: "/t", Depth: 1})
+	origins := []Origin{{Topic: "/points_raw", Stamp: 5}}
+	b.Publish("/t", 10, "x", origins)
+	origins[0].Stamp = 999
+	m := s.Queue.Pop()
+	defer m.Release()
+	if len(m.Header.Origins) != 1 || m.Header.Origins[0].Stamp != 5 {
+		t.Fatalf("origins aliased the caller slice: %+v", m.Header.Origins)
+	}
+}
+
+// TestUnpooledMessageRefOpsNoop: directly constructed messages (tests,
+// tools, bag replay) ignore the reference protocol entirely.
+func TestUnpooledMessageRefOpsNoop(t *testing.T) {
+	m := &Message{Topic: "/t"}
+	m.Retain()
+	m.Release()
+	m.Release() // must not panic without a pool
+}

@@ -18,15 +18,23 @@ import "sync"
 // where arrival-order FIFO used to let a newer frame block an older one
 // and drop-oldest could evict the wrong frame.
 //
-// Queues are safe for concurrent use. The simulator itself is single-
-// threaded, but the fault injector's burst generator and tests exercise
-// queues from multiple goroutines.
+// The storage is a lock-free SPSC ring (see ring.go). Two constructors
+// select the synchronization mode:
+//
+//   - NewQueue keeps the historical "safe for concurrent use" contract
+//     by serializing every operation through a mutex — the MPSC shim
+//     that lets multiple goroutines (the burst-republish race tests,
+//     external tools) push into one subscriber.
+//   - NewExclusiveQueue is the simulator hot path: a single goroutine
+//     owns both ends, so push/pop run with no lock and no atomic
+//     read-modify-write at all — the fix for the old queue paying a
+//     mutex acquire/release per message on a single-threaded run.
 type Queue struct {
-	mu    sync.Mutex
+	r     ring
 	depth int // 0 = unbounded
-	buf   []*Message
-	head  int
-	count int
+
+	shared bool
+	mu     sync.Mutex
 
 	delivered uint64 // total pushes that ultimately got consumed or queued
 	dropped   uint64 // messages evicted before consumption
@@ -34,8 +42,15 @@ type Queue struct {
 }
 
 // NewQueue creates a queue with the given depth; 0 means unbounded.
-// Negative depths panic.
-func NewQueue(depth int) *Queue {
+// Negative depths panic. The queue is safe for concurrent use.
+func NewQueue(depth int) *Queue { return newQueue(depth, true) }
+
+// NewExclusiveQueue creates a queue owned by a single goroutine: all
+// operations run without synchronization. The deterministic simulator
+// uses this mode for every bus edge.
+func NewExclusiveQueue(depth int) *Queue { return newQueue(depth, false) }
+
+func newQueue(depth int, shared bool) *Queue {
 	if depth < 0 {
 		panic("ros: queue depth must be >= 0")
 	}
@@ -43,84 +58,89 @@ func NewQueue(depth int) *Queue {
 	if depth == 0 {
 		capacity = 8 // initial storage for the unbounded case
 	}
-	return &Queue{depth: depth, buf: make([]*Message, capacity)}
+	q := &Queue{depth: depth, shared: shared}
+	q.r.init(capacity)
+	return q
 }
 
 // Push enqueues m in stamp order, evicting the oldest message when
 // full. It returns the evicted message (nil when nothing was dropped,
-// always nil for unbounded queues).
+// always nil for unbounded queues). The caller owns any reference held
+// by the evicted message; the bus releases it after the drop observers
+// have run.
 func (q *Queue) Push(m *Message) *Message {
-	q.mu.Lock()
-	defer q.mu.Unlock()
+	if q.shared {
+		q.mu.Lock()
+		evicted := q.push(m)
+		q.mu.Unlock()
+		return evicted
+	}
+	return q.push(m)
+}
+
+func (q *Queue) push(m *Message) *Message {
 	q.arrived++
 	var evicted *Message
-	if q.depth > 0 && q.count == q.depth {
-		evicted = q.buf[q.head]
-		q.buf[q.head] = nil
-		q.head = (q.head + 1) % len(q.buf)
-		q.count--
-		q.dropped++
-	} else if q.depth == 0 && q.count == len(q.buf) {
-		q.grow()
-	}
-	tail := (q.head + q.count) % len(q.buf)
-	q.buf[tail] = m
-	q.count++
-	// Restore stamp order: bubble the new message backward past any
-	// later-stamped entries. Stable for equal stamps (stops at <=), and
-	// a no-op for in-order streams.
-	for i := q.count - 1; i > 0; i-- {
-		cur := (q.head + i) % len(q.buf)
-		prev := (q.head + i - 1) % len(q.buf)
-		if q.buf[prev].Header.Stamp <= q.buf[cur].Header.Stamp {
-			break
+	if q.depth > 0 {
+		if q.r.len() == q.depth {
+			evicted = q.r.pop()
+			q.dropped++
 		}
-		q.buf[prev], q.buf[cur] = q.buf[cur], q.buf[prev]
+	} else if q.r.full() {
+		q.r.grow()
+	}
+	// In-order arrival (the overwhelmingly common case) is a plain SPSC
+	// append; only out-of-order stamps pay for the sorted insert.
+	if last := q.r.newest(); last == nil || last.Header.Stamp <= m.Header.Stamp {
+		q.r.tryPush(m)
+	} else {
+		q.r.insertSorted(m)
 	}
 	return evicted
 }
 
-// grow doubles the ring storage of an unbounded queue, unrolling the
-// ring so the oldest message lands at index 0.
-func (q *Queue) grow() {
-	next := make([]*Message, 2*len(q.buf))
-	for i := 0; i < q.count; i++ {
-		next[i] = q.buf[(q.head+i)%len(q.buf)]
+// Pop removes and returns the oldest message, or nil when empty. The
+// queue's reference to a pooled message transfers to the caller, who
+// must Release it when done.
+func (q *Queue) Pop() *Message {
+	if q.shared {
+		q.mu.Lock()
+		m := q.pop()
+		q.mu.Unlock()
+		return m
 	}
-	q.buf = next
-	q.head = 0
+	return q.pop()
 }
 
-// Pop removes and returns the oldest message, or nil when empty.
-func (q *Queue) Pop() *Message {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	if q.count == 0 {
-		return nil
+func (q *Queue) pop() *Message {
+	m := q.r.pop()
+	if m != nil {
+		q.delivered++
 	}
-	m := q.buf[q.head]
-	q.buf[q.head] = nil
-	q.head = (q.head + 1) % len(q.buf)
-	q.count--
-	q.delivered++
 	return m
 }
 
-// Peek returns the oldest message without removing it, or nil.
+// Peek returns the oldest message without removing it, or nil. The
+// queue keeps its reference; the returned message is a borrow.
 func (q *Queue) Peek() *Message {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	if q.count == 0 {
-		return nil
+	if q.shared {
+		q.mu.Lock()
+		m := q.r.peek()
+		q.mu.Unlock()
+		return m
 	}
-	return q.buf[q.head]
+	return q.r.peek()
 }
 
 // Len returns the number of queued messages.
 func (q *Queue) Len() int {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	return q.count
+	if q.shared {
+		q.mu.Lock()
+		n := q.r.len()
+		q.mu.Unlock()
+		return n
+	}
+	return q.r.len()
 }
 
 // Depth returns the configured capacity (0 = unbounded).
@@ -128,15 +148,19 @@ func (q *Queue) Depth() int { return q.depth }
 
 // Stats returns (arrived, delivered, dropped) counts.
 func (q *Queue) Stats() (arrived, delivered, dropped uint64) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
+	if q.shared {
+		q.mu.Lock()
+		defer q.mu.Unlock()
+	}
 	return q.arrived, q.delivered, q.dropped
 }
 
 // DropRate returns dropped/arrived in [0, 1]; 0 when nothing arrived.
 func (q *Queue) DropRate() float64 {
-	q.mu.Lock()
-	defer q.mu.Unlock()
+	if q.shared {
+		q.mu.Lock()
+		defer q.mu.Unlock()
+	}
 	if q.arrived == 0 {
 		return 0
 	}

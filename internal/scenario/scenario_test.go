@@ -544,4 +544,21 @@ func TestGuardCleanRunByteIdentical(t *testing.T) {
 	if !reflect.DeepEqual(off.Bus.DropReports(), on.Bus.DropReports()) {
 		t.Error("drop reports differ between guard-off and guard-on")
 	}
+
+	// The guard rides the ingress path and borrows each envelope during
+	// inspection; it must never retain one. Both stacks' pool ledgers
+	// have to close identically at the cutoff.
+	for _, s := range []*autoware.Stack{off, on} {
+		ps := s.Bus.PoolStats()
+		queued := int64(s.Bus.QueuedMessages())
+		held := ps.LiveRefs - queued
+		if max := int64(len(s.Executor.NodeNames())) + 2; held < 0 || held > max {
+			t.Errorf("pool out of balance: %d live refs, %d queued (held %d, allowed 0..%d)",
+				ps.LiveRefs, queued, held, max)
+		}
+	}
+	offPS, onPS := off.Bus.PoolStats(), on.Bus.PoolStats()
+	if offPS.Acquired != onPS.Acquired || offPS.Live != onPS.Live || offPS.LiveRefs != onPS.LiveRefs {
+		t.Errorf("pool stats differ between guard-off %+v and guard-on %+v", offPS, onPS)
+	}
 }

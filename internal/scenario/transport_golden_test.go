@@ -1,0 +1,138 @@
+package scenario
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"repro/avstack"
+	"repro/internal/autoware"
+	"repro/internal/faults"
+	"repro/internal/testenv"
+)
+
+// The transport-rewrite regression net: every built-in scenario, run
+// with the guard and the supervisor enabled, must render a report whose
+// bytes hash to the values recorded from the pre-rewrite (mutex queue,
+// per-publish allocation) transport. The transport layer is allowed to
+// change its mechanism — rings, pooling, refcounts — but not a single
+// observable: stamp order, eviction choice, seq numbering, drop counts,
+// quarantine counts, latency samples.
+//
+// Refresh (only legitimate when simulation semantics intentionally
+// change): UPDATE_TRANSPORT_GOLDENS=1 go test -run TestTransportGoldenReports ./internal/scenario/
+
+// transportGoldenDuration covers every builtin horizon (the latest
+// fault window closes at 9 s; MinDuration adds 1 s of recovery).
+const transportGoldenDuration = 10 * time.Second
+
+const transportGoldenFile = "testdata/transport_goldens.txt"
+
+// runTransportScenario executes one spec's faulted leg with guard and
+// supervision forced on, mirroring RunWithEnv's attach order exactly
+// (injector, then supervisor, then shedding, then watchdog).
+func runTransportScenario(t *testing.T, spec Spec, baseline *autoware.Stack) (*Result, *autoware.Stack) {
+	t.Helper()
+	spec.Guard = true
+	spec.Supervise = true
+	if min := spec.MinDuration(); transportGoldenDuration < min {
+		t.Fatalf("%s: golden duration %v below scenario horizon %v", spec.Name, transportGoldenDuration, min)
+	}
+	faulted, err := buildStack(testenv.Scenario(), testenv.Map(), autoware.DetectorSSD300, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := faults.New(spec.Schedule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.SetLossRecorder(faulted.Recorder)
+	inj.Attach(faulted.Executor, faulted.Bus)
+	if _, err := avstack.AttachDefaultSupervision(faulted, spec.Seed); err != nil {
+		t.Fatal(err)
+	}
+	if spec.ShedBudget > 0 {
+		faulted.Executor.ShedBudget = spec.ShedBudget
+	}
+	if len(spec.Watch) > 0 {
+		wd := avstack.NewWatchdog(faulted, avstack.WatchdogConfig{
+			Period:   spec.WatchPeriod,
+			Policies: spec.Watch,
+		})
+		wd.Attach()
+	}
+	faulted.Run(transportGoldenDuration)
+	return collect(spec, autoware.DetectorSSD300, transportGoldenDuration, baseline, faulted, inj), faulted
+}
+
+// checkPoolBalance asserts the pool's reference ledger closes at the
+// simulation cutoff: every live reference is either sitting in a
+// subscriber queue, held by a callback that was mid-flight when the
+// clock stopped (at most one per node), or pinned by the fusion node's
+// latest-vision/latest-pose caches (at most two). Anything beyond that
+// bound is a leaked envelope; a negative balance means a queue holds a
+// message the pool thinks is dead — a double release.
+func checkPoolBalance(t *testing.T, name string, stack *autoware.Stack) {
+	t.Helper()
+	ps := stack.Bus.PoolStats()
+	queued := int64(stack.Bus.QueuedMessages())
+	held := ps.LiveRefs - queued
+	maxHeld := int64(len(stack.Executor.NodeNames())) + 2
+	if held < 0 || held > maxHeld {
+		t.Errorf("%s: pool out of balance at cutoff: %d live refs, %d queued (held %d, allowed 0..%d); stats %+v",
+			name, ps.LiveRefs, queued, held, maxHeld, ps)
+	}
+}
+
+func TestTransportGoldenReports(t *testing.T) {
+	baseline, err := buildStack(testenv.Scenario(), testenv.Map(), autoware.DetectorSSD300, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline.Run(transportGoldenDuration)
+
+	var got bytes.Buffer
+	for _, spec := range builtins() {
+		res, faulted := runTransportScenario(t, spec, baseline)
+		var rep bytes.Buffer
+		res.WriteReport(&rep)
+		fmt.Fprintf(&got, "%-14s sha256=%x\n", spec.Name, sha256.Sum256(rep.Bytes()))
+		checkPoolBalance(t, spec.Name, faulted)
+	}
+
+	if os.Getenv("UPDATE_TRANSPORT_GOLDENS") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(transportGoldenFile, got.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s:\n%s", transportGoldenFile, got.String())
+		return
+	}
+
+	want, err := os.ReadFile(transportGoldenFile)
+	if err != nil {
+		t.Fatalf("missing goldens (run with UPDATE_TRANSPORT_GOLDENS=1 to record): %v", err)
+	}
+	if bytes.Equal(got.Bytes(), want) {
+		return
+	}
+	wantLines := bytes.Split(bytes.TrimRight(want, "\n"), []byte("\n"))
+	gotLines := bytes.Split(bytes.TrimRight(got.Bytes(), "\n"), []byte("\n"))
+	for i := 0; i < len(wantLines) || i < len(gotLines); i++ {
+		var w, g string
+		if i < len(wantLines) {
+			w = string(wantLines[i])
+		}
+		if i < len(gotLines) {
+			g = string(gotLines[i])
+		}
+		if w != g {
+			t.Errorf("report hash diverged from pre-rewrite transport:\n  want %s\n  got  %s", w, g)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/autoware"
+	"repro/internal/parallel"
+	"repro/internal/testenv"
+)
+
+// TestTransportWorkerInvariance pins the determinism contract of the
+// lock-free transport under the one knob that changes real parallelism:
+// the worker budget. The queue-burst scenario (guard and supervisor on,
+// faults active) must produce a bit-exact trace — every node and path
+// latency sample, plus the rendered report — whether the compute
+// kernels run on 1, 2 or 8 workers. Rings and refcounting live on the
+// single-threaded simulation spine; worker count may only change *when*
+// wall-clock work happens, never any simulated observable.
+func TestTransportWorkerInvariance(t *testing.T) {
+	spec, err := ByName(NameQueueBurst)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type outcome struct {
+		report      string
+		fingerprint string
+	}
+	run := func(workers int) outcome {
+		prev := parallel.MaxWorkers()
+		parallel.SetMaxWorkers(workers)
+		defer parallel.SetMaxWorkers(prev)
+		baseline, err := buildStack(testenv.Scenario(), testenv.Map(), autoware.DetectorSSD300, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseline.Run(transportGoldenDuration)
+		res, faulted := runTransportScenario(t, spec, baseline)
+		var rep bytes.Buffer
+		res.WriteReport(&rep)
+		return outcome{report: rep.String(), fingerprint: faulted.Recorder.Fingerprint()}
+	}
+
+	ref := run(1)
+	for _, workers := range []int{2, 8} {
+		got := run(workers)
+		if got.fingerprint != ref.fingerprint {
+			t.Errorf("latency fingerprint diverged between 1 and %d workers", workers)
+		}
+		if got.report != ref.report {
+			t.Errorf("rendered report diverged between 1 and %d workers", workers)
+		}
+	}
+}

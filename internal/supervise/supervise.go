@@ -252,6 +252,12 @@ func (s *Supervisor) chainOnDone(ex *platform.Executor) {
 
 // observeDeliver tracks fresh publications on watched output topics,
 // de-duplicating the per-subscription fan-out by sequence number.
+//
+// Borrow contract: the pooled envelope is valid only for this call;
+// the supervisor copies out the scalar stamp and sequence and retains
+// neither m nor anything reachable through its header. (A dropped
+// callback input is released by the executor, not here — the verdict
+// in chainCallbackFilter only decides, it never owns the envelope.)
 func (s *Supervisor) observeDeliver(sub *ros.Subscription, m *ros.Message) {
 	for _, name := range s.order {
 		st := s.states[name]

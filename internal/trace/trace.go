@@ -6,7 +6,9 @@
 package trace
 
 import (
+	"fmt"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/mathx"
@@ -473,6 +475,29 @@ func (r *Recorder) GPUShare(node string) float64 {
 
 // Callbacks returns how many callbacks a node completed.
 func (r *Recorder) Callbacks(node string) int { return r.callbacks[node] }
+
+// Fingerprint renders every recorded node and path latency sample as
+// an exact hexadecimal float, giving a bit-exact digest of the run for
+// determinism tests: two runs are behaviourally identical iff their
+// fingerprints match, with no decimal rounding to hide divergence.
+func (r *Recorder) Fingerprint() string {
+	var b strings.Builder
+	for _, n := range r.NodeNames() {
+		fmt.Fprintf(&b, "node %s:", n)
+		for _, v := range r.NodeSamples(n) {
+			fmt.Fprintf(&b, " %x", v)
+		}
+		b.WriteByte('\n')
+	}
+	for _, p := range r.PathNames() {
+		fmt.Fprintf(&b, "path %s:", p)
+		for _, v := range r.PathSamples(p) {
+			fmt.Fprintf(&b, " %x", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
 
 func toMillis(sec []float64) []float64 {
 	out := make([]float64, len(sec))
