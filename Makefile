@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench-smoke fuzz-smoke chaos-smoke corruption-smoke bench-middleware bus-stress
+.PHONY: build test race vet bench-smoke fuzz-smoke chaos-smoke corruption-smoke bench-middleware bus-stress sched-smoke docs-lint
 
 build:
 	$(GO) build ./...
@@ -31,7 +31,7 @@ fuzz-smoke:
 # Run every built-in chaos scenario end to end (baseline + faulted
 # stack each) and throw the reports away — a crash in any injection,
 # supervision or shedding path fails the target.
-CHAOS_SCENARIOS = contention camera-stall lidar-drop sensor-jitter queue-burst crash-recover overload-shed
+CHAOS_SCENARIOS = contention camera-stall lidar-drop sensor-jitter queue-burst crash-recover overload-shed contention-tuned
 chaos-smoke:
 	@for s in $(CHAOS_SCENARIOS); do \
 		echo "==> $$s"; \
@@ -62,6 +62,30 @@ bench-smoke:
 # committed pre-rewrite baselines and refresh BENCH_middleware.json.
 bench-middleware:
 	$(GO) run ./cmd/benchmw -out BENCH_middleware.json
+
+# Scheduler tail-latency closure: run the auto-tuner against the
+# contention scenario (characterize exits non-zero if the elected
+# schedule's p99 is worse than the no-scheduler baseline), then the
+# regression pair — the pinned tuned schedule must beat plain
+# contention's p99, and the scheduled trace must be bit-exact across
+# worker counts. The JSON search record lands in BENCH_sched.json.
+sched-smoke:
+	$(GO) run ./cmd/characterize -exp tune -duration 12s -seed 1 -bench BENCH_sched.json -out /dev/null
+	$(GO) test -count=1 -run='TestContentionTunedImprovesP99|TestSchedWorkerInvariance' ./internal/scenario/
+	$(GO) test -count=1 ./internal/sched/
+
+# Docs hygiene: formatting, vet, and a package comment on every
+# internal package (godoc's first requirement for a readable map).
+docs-lint:
+	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then echo "gofmt -l flagged:"; echo "$$fmt"; exit 1; fi
+	$(GO) vet ./...
+	@missing=""; \
+	for d in $$(find internal -type d ! -path '*testdata*'); do \
+		ls $$d/*.go >/dev/null 2>&1 || continue; \
+		grep -ls '^// Package ' $$d/*.go >/dev/null || missing="$$missing $$d"; \
+	done; \
+	if [ -n "$$missing" ]; then echo "missing package comment in:$$missing"; exit 1; fi
+	@echo "docs-lint clean"
 
 # Hammer the MPSC shim and the lock-free ring under the race detector:
 # concurrent producers plus the burst-generator republish path on a

@@ -7,7 +7,7 @@
 //
 //	avsim [-detector SSD512|SSD300|YOLOv3-416] [-duration 30s]
 //	      [-planning] [-status 5s] [-workers N] [-faults <scenario>]
-//	      [-supervise] [-shed 100ms] [-guard]
+//	      [-supervise] [-shed 100ms] [-guard] [-sched]
 //
 // avsim drives a single stack, so -workers (default: the number of
 // CPUs) bounds the host threads used by intra-frame shard loops (voxel
@@ -30,6 +30,15 @@
 // frames are quarantined and reported instead of reaching any node.
 // Scenarios that request it (corrupt-lidar, clock-skew, dup-storm)
 // enable it automatically. On clean input the guard changes nothing.
+//
+// -sched attaches the critical-path deadline scheduler (internal/sched)
+// with the pinned contention-tuned knobs: earliest-origin-deadline
+// dispatch, deadline shedding and a CPU admission cap. avsim drives a
+// single stack, so there is no profiling leg to measure criticality on
+// and the priority tie-break falls back to registration order; use
+// `characterize -faults contention-tuned` (or -exp tune) for the fully
+// profiled schedule. Scenarios that pin a schedule (contention-tuned)
+// enable the scheduler automatically with their own knobs.
 package main
 
 import (
@@ -56,6 +65,7 @@ func main() {
 	supervise := flag.Bool("supervise", false, "attach the supervision layer (restart crashed/silent nodes with backoff + checkpoint restore)")
 	shed := flag.Duration("shed", 0, "deadline-aware load shedding budget (0 disables): queued frames older than this are shed at dispatch")
 	guardFlag := flag.Bool("guard", false, "attach the input-integrity guard (payload validation + time sanitization + quarantine)")
+	schedFlag := flag.Bool("sched", false, "attach the critical-path deadline scheduler (EDF dispatch + deadline shedding + admission cap)")
 	flag.Parse()
 	parallel.SetMaxWorkers(*workers)
 
@@ -124,6 +134,17 @@ func main() {
 	if budget > 0 {
 		sys.EnableShedding(budget)
 		fmt.Printf("deadline shedding armed: budget=%v\n", budget)
+	}
+	if *schedFlag || spec.Sched != nil {
+		knobs := scenario.ContentionTunedKnobs()
+		if spec.Sched != nil {
+			knobs = *spec.Sched
+		}
+		// Single-stack run: no profiling leg, so criticality is nil and
+		// the priority tie-break degrades to registration order.
+		sys.AttachScheduler(nil, knobs)
+		fmt.Printf("deadline scheduler attached: priorities=%t shed=%v max_inflight=%d\n",
+			knobs.UsePriorities, knobs.ShedBudget, knobs.MaxInflight)
 	}
 
 	for elapsed := time.Duration(0); elapsed < *duration; {

@@ -4,9 +4,22 @@
 //
 // Usage:
 //
-//	characterize [-exp all|fig5|tab3|fig6|tab5|tab6|tab7|fig7|fig8]
+//	characterize [-exp all|fig5|tab3|fig6|tab5|tab6|tab7|fig7|fig8|tune]
 //	             [-duration 60s] [-out report.txt] [-workers N]
 //	             [-faults <scenario>] [-supervise] [-shed 100ms] [-guard]
+//	             [-sched] [-seed 1] [-bench BENCH_sched.json]
+//
+// -exp tune runs the scheduler auto-tuner instead of the paper tables:
+// a clean profiling drive measures per-node criticality from lineage
+// chains, then every seeded candidate schedule replays the chaos
+// scenario named by -faults (default: contention) and the one with the
+// lowest worst-path p99 wins. The full search is serialized to -bench
+// as BENCH_sched.json; candidate 0 is always the no-scheduler baseline,
+// so the winner is never worse than not scheduling. -seed drives the
+// candidate search; the whole procedure is deterministic.
+//
+// -sched forces the pinned contention-tuned schedule onto a -faults
+// run (criticality profiled on the run's own baseline leg).
 //
 // -guard attaches the input-integrity layer (internal/guard) to every
 // run. For the paper tables the input is clean, so the guarded report
@@ -26,6 +39,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -51,6 +65,9 @@ func main() {
 	supervise := flag.Bool("supervise", false, "force the supervision layer onto the chaos scenario's faulted run (-faults only)")
 	shed := flag.Duration("shed", 0, "force this deadline-shedding budget onto the chaos scenario's faulted run (-faults only)")
 	guard := flag.Bool("guard", false, "attach the input-integrity guard (no-op on the clean paper tables; forces the guard onto a -faults run)")
+	schedFlag := flag.Bool("sched", false, "force the pinned contention-tuned schedule onto the chaos scenario's faulted run (-faults only)")
+	seed := flag.Uint64("seed", 1, "candidate-search seed for -exp tune")
+	bench := flag.String("bench", "BENCH_sched.json", "write the -exp tune search results to this JSON file")
 	flag.Parse()
 	parallel.SetMaxWorkers(*workers)
 
@@ -64,10 +81,53 @@ func main() {
 		w = f
 	}
 
+	if *exp == "tune" {
+		name := *faultsFlag
+		if name == "" {
+			name = scenario.NameContention
+		}
+		spec, err := scenario.ByName(name)
+		if err != nil {
+			fatal(err)
+		}
+		if min := spec.MinDuration(); *duration < min {
+			fatal(fmt.Errorf("scenario %s needs -duration >= %v", spec.Name, min))
+		}
+		fmt.Fprintf(os.Stderr, "building environment (scenario + HD map)...\n")
+		start := time.Now()
+		rep, err := scenario.Tune(spec, autoware.Detector(*detector), *duration, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		writeTuneReport(w, rep)
+		if *bench != "" {
+			data, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(*bench, append(data, '\n'), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "search results written to %s\n", *bench)
+		}
+		// Tune's contract: candidate 0 is the no-scheduler baseline and
+		// is always feasible, so the winner can never be worse. Treat a
+		// violation as the bug it would be (sched-smoke relies on this).
+		if rep.Best.P99 > rep.Baseline.P99 {
+			fatal(fmt.Errorf("tuned p99 %.2f ms worse than baseline %.2f ms", rep.Best.P99, rep.Baseline.P99))
+		}
+		fmt.Fprintf(os.Stderr, "done in %.1fs\n", time.Since(start).Seconds())
+		return
+	}
+
 	if *faultsFlag != "" {
 		spec, err := scenario.ByName(*faultsFlag)
 		if err != nil {
 			fatal(err)
+		}
+		if *schedFlag {
+			k := scenario.ContentionTunedKnobs()
+			spec.Sched = &k
 		}
 		if *supervise {
 			spec.Supervise = true
@@ -135,6 +195,31 @@ func main() {
 		fmt.Fprintf(os.Stderr, "raw data exported to %s\n", *csvDir)
 	}
 	fmt.Fprintf(os.Stderr, "done in %.1fs\n", time.Since(start).Seconds())
+}
+
+// writeTuneReport renders the search in the report house style: the
+// baseline, the winner, and every candidate with its verdict.
+func writeTuneReport(w io.Writer, rep *scenario.TuneReport) {
+	fmt.Fprintf(w, "=== Scheduler auto-tune: %s (%.0fs drive, search seed %d) ===\n",
+		rep.Scenario, rep.DurationSeconds, rep.SearchSeed)
+	fmt.Fprintf(w, "budget: %.0f ms end-to-end\n\n", rep.BudgetMS)
+	fmt.Fprintf(w, "%-28s %-22s %9s %9s %8s %s\n", "candidate", "worst path", "p50(ms)", "p99(ms)", "samples", "verdict")
+	for _, c := range rep.Candidates {
+		verdict := "ok"
+		switch {
+		case c.Error != "":
+			verdict = "error: " + c.Error
+		case !c.Feasible:
+			verdict = "infeasible (gutted samples)"
+		case c.Name == rep.Best.Name:
+			verdict = "BEST"
+		}
+		fmt.Fprintf(w, "%-28s %-22s %9.2f %9.2f %8d %s\n", c.Name, c.Path, c.P50, c.P99, c.Samples, verdict)
+	}
+	fmt.Fprintf(w, "\nbaseline p99 %.2f ms -> tuned p99 %.2f ms (%.1f%% improvement)\n",
+		rep.Baseline.P99, rep.Best.P99, rep.P99ImprovementPct)
+	fmt.Fprintf(w, "winning knobs: priorities=%t shed=%dms max_inflight=%d queue_depth=%d\n",
+		rep.Best.Priorities, rep.Best.ShedMS, rep.Best.MaxInflight, rep.Best.QueueDepth)
 }
 
 func fatal(err error) {

@@ -6,6 +6,23 @@
 // inputs — reproducible on demand instead of accidental: the same seed
 // and schedule always produce the same perturbation sequence, so chaos
 // runs are regression-testable byte for byte.
+//
+// Hook point and ordering. The injector perturbs at the *publish*
+// instant (the executor's PublishFilter, plus a CallbackFilter for
+// stall/crash verdicts, the bus's chainable Tap for burst replay, and
+// the CPU model for contention hogs). It is the FIRST layer in the
+// executor's decision chain — everything it lets through is then
+// adjudicated by the guard at ingress, the supervisor at dispatch, and
+// the scheduler's pick last (injector → guard → supervisor →
+// scheduler), so a fault is always upstream of every mitigation that
+// might answer it.
+//
+// Ownership. Filter hooks borrow the message for the duration of the
+// call: corruption faults substitute a freshly cloned payload rather
+// than mutating the original, the burst pump republishes retained
+// *payload* pointers (never pooled envelopes), and a drop verdict
+// leaves the release to the executor — the injector itself never
+// touches the transport's reference ledger.
 package faults
 
 import (

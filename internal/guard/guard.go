@@ -1,11 +1,25 @@
 // Package guard is the bus-level input-integrity layer: a chain of
 // payload validation and time sanitization that sits at the executor's
 // ingress point — after transport, before any subscriber queue — and
-// quarantines frames a corrupted sensor or transport produced. It runs
-// ahead of the supervisor in the failure chain: the supervisor reacts
-// to nodes that crashed, the guard keeps poisoned inputs (NaN clouds,
-// rewound stamps, duplicated frames) from reaching node state in the
-// first place.
+// quarantines frames a corrupted sensor or transport produced.
+//
+// Hook point and ordering. The guard owns the executor's IngressFilter
+// and is the second layer in the decision chain — the fault injector
+// perturbs at publish upstream of it; the supervisor (dispatch) and
+// the scheduler (the pick itself) sit downstream: the supervisor
+// reacts to nodes that crashed while the guard keeps poisoned inputs
+// (NaN clouds, rewound stamps, duplicated frames) from reaching node
+// state in the first place, and a quarantined frame is never enqueued,
+// so neither the supervisor nor the scheduler ever sees it.
+// Guard.Attach chains behind any existing ingress filter and an
+// earlier quarantine verdict wins — the guard never resurrects a
+// frame.
+//
+// Ownership. The ingress hook borrows the message for the call only;
+// a quarantine verdict hands the envelope's ingress reference back to
+// the bus for release, and an accept passes it through untouched — the
+// guard retains nothing and the transport's refcount ledger balances
+// identically with or without it.
 //
 // The guard is deterministic and side-effect-free on clean input: it
 // draws no randomness, schedules no events, and its accept path

@@ -29,7 +29,8 @@ type nodeRuntime struct {
 // DoneInfo describes one completed node callback for observers.
 type DoneInfo struct {
 	Node string
-	// Input is the message that triggered the callback.
+	// Input is the message that triggered the callback. Borrowed: valid
+	// only for the duration of the OnDone call.
 	Input *ros.Message
 	// Arrived is when the input reached the node's queue.
 	Arrived time.Duration
@@ -43,6 +44,34 @@ type DoneInfo struct {
 	Work work.Work
 	// Outputs is how many messages the callback published.
 	Outputs int
+	// Published lists the topics the callback published on, in output
+	// order — the forward half of lineage chaining: an output published
+	// at Finished on Published[i] is the parent of whichever callback
+	// later consumes it (see trace.ChainLog).
+	Published []string
+	// FusedInputs lists previously cached messages whose origins were
+	// merged into the outputs' lineage (fusion's latest-input caches).
+	// Borrowed: valid only for the duration of the OnDone call.
+	FusedInputs []*ros.Message
+}
+
+// SchedPolicy is the decision surface of the deadline scheduler
+// (internal/sched). When Executor.Sched is non-nil the FIFO
+// registration-order dispatch is replaced by a global earliest-deadline
+// pick with criticality tie-breaks; a nil policy keeps the seed
+// dispatch byte-identical.
+type SchedPolicy interface {
+	// Priority returns the node's criticality (higher = more critical);
+	// it breaks ties between candidates with equal deadlines.
+	Priority(node string) float64
+	// NodeShedBudget returns the per-node deadline-shedding budget. A
+	// zero return falls back to the executor's global ShedBudget.
+	NodeShedBudget(node string) time.Duration
+	// MaxInflight caps how many callbacks may be CPU-resident at once
+	// (0 = uncapped). The cap applies at admission; a callback releases
+	// its slot at the CPU/GPU pipeline boundary (the preemption point),
+	// so a GPU-phase node does not hold back CPU work.
+	MaxInflight() int
 }
 
 // Executor binds ROS nodes to the simulated platform: it pulls messages
@@ -100,6 +129,19 @@ type Executor struct {
 	ShedBudget time.Duration
 	// OnShed observes frames consumed by the deadline shedder.
 	OnShed func(node string, m *ros.Message)
+
+	// Sched, when non-nil, enables the deadline scheduler: dispatch
+	// picks the ready (node, message) candidate with the earliest
+	// origin-stamp deadline across the whole graph, breaking ties by
+	// the policy's criticality priorities and then registration order.
+	// Nil keeps the seed FIFO registration-order dispatch, byte for
+	// byte. See internal/sched.
+	Sched SchedPolicy
+	// inflight counts CPU-resident callbacks under the scheduler's
+	// admission cap. A slot is taken when a callback's CPU phase is
+	// submitted and released when that phase completes — the CPU/GPU
+	// pipeline boundary — so GPU offload never blocks CPU admission.
+	inflight int
 }
 
 // PublishVerdict is a fault-layer decision about one publication.
@@ -283,6 +325,10 @@ func (e *Executor) enqueue(topic string, stamp time.Duration, payload any, origi
 
 // dispatchSubscribers pokes every idle node subscribed to the topic.
 func (e *Executor) dispatchSubscribers(topic string) {
+	if e.Sched != nil {
+		e.schedDispatch()
+		return
+	}
 	for _, name := range e.order {
 		rt := e.runtimes[name]
 		for _, sub := range rt.subs {
@@ -292,6 +338,118 @@ func (e *Executor) dispatchSubscribers(topic string) {
 			}
 		}
 	}
+}
+
+// deadlineOf returns a message's scheduling key: the oldest sensor
+// origin stamp (every path shares the same end-to-end budget, so
+// earliest origin = earliest absolute deadline). Messages without
+// lineage fall back to their publish stamp.
+func deadlineOf(m *ros.Message) time.Duration {
+	if len(m.Header.Origins) == 0 {
+		return m.Header.Stamp
+	}
+	oldest := m.Header.Origins[0].Stamp
+	for _, o := range m.Header.Origins[1:] {
+		if o.Stamp < oldest {
+			oldest = o.Stamp
+		}
+	}
+	return oldest
+}
+
+// schedDispatch runs the deadline scheduler's admission loop: while the
+// inflight cap has room, pick the ready (node, message) candidate with
+// the earliest deadline — criticality, then registration order, break
+// ties — and start it. Shed and crash-drop verdicts consume the input
+// without taking a slot, so the loop re-picks until a callback starts
+// or no candidate remains. Every decision reads only virtual-time
+// state, keeping dispatch order bit-identical across host worker counts.
+func (e *Executor) schedDispatch() {
+	for {
+		if cap := e.Sched.MaxInflight(); cap > 0 && e.inflight >= cap {
+			return
+		}
+		rt, sub := e.pickReady()
+		if rt == nil {
+			return
+		}
+		// Progress is guaranteed: every iteration either consumes the
+		// picked message (run, shed, drop) or marks the node busy
+		// (stall), and pickReady skips busy nodes.
+		e.startScheduled(rt, sub)
+	}
+}
+
+// pickReady scans idle nodes and returns the candidate with the
+// earliest deadline. Ties fall to the higher-criticality node, then to
+// registration order (the seed dispatch order), so the pick is total
+// and deterministic.
+func (e *Executor) pickReady() (*nodeRuntime, *ros.Subscription) {
+	var bestRT *nodeRuntime
+	var bestSub *ros.Subscription
+	var bestDeadline time.Duration
+	var bestPrio float64
+	for _, name := range e.order {
+		rt := e.runtimes[name]
+		if rt.busy {
+			continue
+		}
+		for _, sub := range rt.subs {
+			m := sub.Queue.Peek()
+			if m == nil {
+				continue
+			}
+			d := deadlineOf(m)
+			if bestRT == nil || d < bestDeadline {
+				bestRT, bestSub, bestDeadline = rt, sub, d
+				bestPrio = e.Sched.Priority(name)
+				continue
+			}
+			if d == bestDeadline {
+				if p := e.Sched.Priority(name); p > bestPrio {
+					bestRT, bestSub, bestPrio = rt, sub, p
+				}
+			}
+		}
+	}
+	return bestRT, bestSub
+}
+
+// startScheduled pops the chosen input and runs the shed check (per-node
+// budget, falling back to the global one), the callback filter, and the
+// callback itself. Shed and drop verdicts consume the input and leave
+// the node idle; a stall marks it busy until the callback runs.
+func (e *Executor) startScheduled(rt *nodeRuntime, sub *ros.Subscription) {
+	msg := sub.Queue.Pop()
+	budget := e.Sched.NodeShedBudget(rt.node.Name())
+	if budget <= 0 {
+		budget = e.ShedBudget
+	}
+	if budget > 0 && e.overBudget(msg, budget) {
+		e.Bus.RecordShed(msg.Topic)
+		if e.OnShed != nil {
+			e.OnShed(rt.node.Name(), msg)
+		}
+		msg.Release()
+		return
+	}
+	if e.CallbackFilter != nil {
+		v := e.CallbackFilter(rt.node.Name(), msg, e.Sim.Now())
+		if v.Drop {
+			if e.OnCallbackDrop != nil {
+				e.OnCallbackDrop(rt.node.Name(), msg)
+			}
+			msg.Release()
+			return
+		}
+		if v.Stall > 0 {
+			rt.busy = true
+			e.Sim.After(v.Stall, func() { e.runCallback(rt, msg) })
+			return
+		}
+	}
+	rt.busy = true
+	e.runCallback(rt, msg)
 }
 
 // tryDispatch starts the next callback on an idle node with input.
@@ -317,7 +475,7 @@ func (e *Executor) tryDispatch(rt *nodeRuntime) {
 	// path below must end in exactly one Release — here for shed and
 	// crash-drop verdicts, in completeCallback once a callback ran.
 	msg := bestSub.Queue.Pop()
-	if e.ShedBudget > 0 && e.overBudget(msg) {
+	if e.ShedBudget > 0 && e.overBudget(msg, e.ShedBudget) {
 		e.Bus.RecordShed(msg.Topic)
 		if e.OnShed != nil {
 			e.OnShed(rt.node.Name(), msg)
@@ -347,12 +505,12 @@ func (e *Executor) tryDispatch(rt *nodeRuntime) {
 }
 
 // overBudget reports whether a message's oldest sensor origin already
-// exceeds the shedding budget. Messages without origin lineage are
-// never shed.
-func (e *Executor) overBudget(m *ros.Message) bool {
+// exceeds the given shedding budget. Messages without origin lineage
+// are never shed.
+func (e *Executor) overBudget(m *ros.Message, budget time.Duration) bool {
 	now := e.Sim.Now()
 	for _, o := range m.Header.Origins {
-		if now-o.Stamp > e.ShedBudget {
+		if now-o.Stamp > budget {
 			return true
 		}
 	}
@@ -376,6 +534,9 @@ func (e *Executor) runCallback(rt *nodeRuntime, msg *ros.Message) {
 	if cpuSeconds > 0 {
 		bwDemand = res.Work.BytesTouched * rt.costScale / cpuSeconds
 	}
+	if e.Sched != nil {
+		e.inflight++
+	}
 	e.CPU.Submit(rt.node.Name(), cpuSeconds, bwDemand, func() {
 		cpuDone := e.Sim.Now()
 		finish := cpuDone
@@ -385,6 +546,14 @@ func (e *Executor) runCallback(rt *nodeRuntime, msg *ros.Message) {
 		e.Sim.Schedule(finish, func() {
 			e.completeCallback(rt, msg, started, cpuDone, res)
 		})
+		if e.Sched != nil {
+			// Preemption point: the CPU phase is over, so the admission
+			// slot frees here even though the node stays busy through
+			// its GPU phase — the next-most-urgent callback's CPU work
+			// overlaps this node's offload.
+			e.inflight--
+			e.schedDispatch()
+		}
 	})
 }
 
@@ -397,15 +566,24 @@ func (e *Executor) completeCallback(rt *nodeRuntime, msg *ros.Message, started, 
 		e.deliver(out.Topic, now, out.Payload, origins)
 	}
 	if e.OnDone != nil {
+		var published []string
+		if len(res.Outputs) > 0 {
+			published = make([]string, len(res.Outputs))
+			for i, out := range res.Outputs {
+				published[i] = out.Topic
+			}
+		}
 		e.OnDone(DoneInfo{
-			Node:     rt.node.Name(),
-			Input:    msg,
-			Arrived:  msg.Header.Stamp,
-			Started:  started,
-			CPUDone:  cpuDone,
-			Finished: now,
-			Work:     res.Work,
-			Outputs:  len(res.Outputs),
+			Node:        rt.node.Name(),
+			Input:       msg,
+			Arrived:     msg.Header.Stamp,
+			Started:     started,
+			CPUDone:     cpuDone,
+			Finished:    now,
+			Work:        res.Work,
+			Outputs:     len(res.Outputs),
+			Published:   published,
+			FusedInputs: res.FusedInputs,
 		})
 	}
 	rt.busy = false
@@ -413,6 +591,10 @@ func (e *Executor) completeCallback(rt *nodeRuntime, msg *ros.Message, started, 
 	// our reference. A node that cached the message (fusion's last-good
 	// buffers) holds its own retained reference past this point.
 	msg.Release()
+	if e.Sched != nil {
+		e.schedDispatch()
+		return
+	}
 	e.tryDispatch(rt)
 }
 

@@ -4,6 +4,26 @@
 // oldest message when full (the source of Table III's dropped-message
 // statistics), and message headers that carry origin lineage so
 // end-to-end computation paths can be traced through the graph.
+//
+// Hook points and ordering. The bus is the substrate the executor's
+// decision chain hangs off: the fault injector perturbs at publish
+// (upstream of the transport), the guard adjudicates at ingress (after
+// transport, before any subscriber queue — a quarantined frame is
+// never enqueued), the supervisor filters at dispatch, and the
+// scheduler picks last, peeking queue heads without popping. Observers
+// (taps, drop hooks) chain and never veto.
+//
+// Ownership. Message envelopes are pooled and reference-counted: one
+// writer per topic publishes the same envelope to every subscriber
+// queue (zero copies), each consumption point — queue eviction,
+// quarantine, deadline shed, callback-filter drop, callback completion
+// — returns exactly one reference, and long-lived holders (fusion's
+// latest-input caches) must Retain/Release explicitly. Hook borrowers
+// may read an envelope only for the duration of the call; epoch-based
+// reclamation keeps a just-released envelope stable until two further
+// publications pass. Payloads are never pooled and may be retained
+// indefinitely. Double release and retain-after-free panic, naming the
+// topic.
 package ros
 
 import (

@@ -33,15 +33,21 @@ const transportGoldenFile = "testdata/transport_goldens.txt"
 
 // runTransportScenario executes one spec's faulted leg with guard and
 // supervision forced on, mirroring RunWithEnv's attach order exactly
-// (injector, then supervisor, then shedding, then watchdog).
-func runTransportScenario(t *testing.T, spec Spec, baseline *autoware.Stack) (*Result, *autoware.Stack) {
+// (injector, then supervisor, then shedding, then watchdog, then
+// scheduler). chains is the lineage log observed on the shared baseline
+// run; only sched-enabled specs consult it.
+func runTransportScenario(t *testing.T, spec Spec, baseline *autoware.Stack, chains *avstack.ChainLog) (*Result, *autoware.Stack) {
 	t.Helper()
 	spec.Guard = true
 	spec.Supervise = true
 	if min := spec.MinDuration(); transportGoldenDuration < min {
 		t.Fatalf("%s: golden duration %v below scenario horizon %v", spec.Name, transportGoldenDuration, min)
 	}
-	faulted, err := buildStack(testenv.Scenario(), testenv.Map(), autoware.DetectorSSD300, true)
+	depth := 0
+	if spec.Sched != nil {
+		depth = spec.Sched.QueueDepth
+	}
+	faulted, err := buildStack(testenv.Scenario(), testenv.Map(), autoware.DetectorSSD300, true, depth)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,6 +69,9 @@ func runTransportScenario(t *testing.T, spec Spec, baseline *autoware.Stack) (*R
 			Policies: spec.Watch,
 		})
 		wd.Attach()
+	}
+	if spec.Sched != nil {
+		avstack.AttachScheduler(faulted, avstack.AnalyzeCriticality(chains.Chains()), *spec.Sched)
 	}
 	faulted.Run(transportGoldenDuration)
 	return collect(spec, autoware.DetectorSSD300, transportGoldenDuration, baseline, faulted, inj), faulted
@@ -88,15 +97,19 @@ func checkPoolBalance(t *testing.T, name string, stack *autoware.Stack) {
 }
 
 func TestTransportGoldenReports(t *testing.T) {
-	baseline, err := buildStack(testenv.Scenario(), testenv.Map(), autoware.DetectorSSD300, false)
+	baseline, err := buildStack(testenv.Scenario(), testenv.Map(), autoware.DetectorSSD300, false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The chain log is a pure observer: with it attached the baseline
+	// report — and therefore every pre-scheduler golden hash — is
+	// byte-identical to the pre-lineage recording.
+	chains := avstack.AttachChainLog(baseline)
 	baseline.Run(transportGoldenDuration)
 
 	var got bytes.Buffer
 	for _, spec := range builtins() {
-		res, faulted := runTransportScenario(t, spec, baseline)
+		res, faulted := runTransportScenario(t, spec, baseline, chains)
 		var rep bytes.Buffer
 		res.WriteReport(&rep)
 		fmt.Fprintf(&got, "%-14s sha256=%x\n", spec.Name, sha256.Sum256(rep.Bytes()))

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"repro/avstack"
 	"repro/internal/autoware"
 	"repro/internal/parallel"
 	"repro/internal/testenv"
@@ -31,12 +32,13 @@ func TestTransportWorkerInvariance(t *testing.T) {
 		prev := parallel.MaxWorkers()
 		parallel.SetMaxWorkers(workers)
 		defer parallel.SetMaxWorkers(prev)
-		baseline, err := buildStack(testenv.Scenario(), testenv.Map(), autoware.DetectorSSD300, false)
+		baseline, err := buildStack(testenv.Scenario(), testenv.Map(), autoware.DetectorSSD300, false, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
+		chains := avstack.AttachChainLog(baseline)
 		baseline.Run(transportGoldenDuration)
-		res, faulted := runTransportScenario(t, spec, baseline)
+		res, faulted := runTransportScenario(t, spec, baseline, chains)
 		var rep bytes.Buffer
 		res.WriteReport(&rep)
 		return outcome{report: rep.String(), fingerprint: faulted.Recorder.Fingerprint()}
@@ -50,6 +52,40 @@ func TestTransportWorkerInvariance(t *testing.T) {
 		}
 		if got.report != ref.report {
 			t.Errorf("rendered report diverged between 1 and %d workers", workers)
+		}
+	}
+}
+
+// TestSchedWorkerInvariance extends the determinism contract to the
+// deadline scheduler: the contention-tuned scenario — EDF pick,
+// criticality tie-breaks, per-node shedding and the admission cap all
+// active — must produce a bit-exact latency fingerprint on 1, 2 and 8
+// workers. The scheduler reads only virtual-time state, so a scheduled
+// run may differ from FIFO but never from itself across worker budgets.
+func TestSchedWorkerInvariance(t *testing.T) {
+	spec, err := ByName(NameContentionTuned)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(workers int) string {
+		prev := parallel.MaxWorkers()
+		parallel.SetMaxWorkers(workers)
+		defer parallel.SetMaxWorkers(prev)
+		baseline, err := buildStack(testenv.Scenario(), testenv.Map(), autoware.DetectorSSD300, false, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chains := avstack.AttachChainLog(baseline)
+		baseline.Run(transportGoldenDuration)
+		_, faulted := runTransportScenario(t, spec, baseline, chains)
+		return faulted.Recorder.Fingerprint()
+	}
+
+	ref := run(1)
+	for _, workers := range []int{2, 8} {
+		if got := run(workers); got != ref {
+			t.Errorf("scheduled fingerprint diverged between 1 and %d workers", workers)
 		}
 	}
 }

@@ -1,0 +1,192 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"repro/avstack"
+	"repro/internal/autoware"
+	"repro/internal/faults"
+	"repro/internal/hdmap"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/world"
+)
+
+// e2eBudgetMS is the paper's end-to-end latency budget the tuner
+// optimizes against.
+const e2eBudgetMS = 100.0
+
+// tuneMinSamplesFrac is the feasibility floor: a candidate keeping
+// fewer than this fraction of the baseline's end-to-end samples is
+// rejected regardless of its p99 (a schedule must not win by shedding
+// the traffic it was meant to serve).
+const tuneMinSamplesFrac = 0.5
+
+// TuneCandidate is one evaluated schedule in a tuning report.
+type TuneCandidate struct {
+	Name        string `json:"name"`
+	Priorities  bool   `json:"priorities"`
+	ShedMS      int64  `json:"shed_budget_ms"`
+	MaxInflight int    `json:"max_inflight"`
+	QueueDepth  int    `json:"queue_depth"`
+	// Path is the worst (highest-p99) computation path under this
+	// schedule; P50/P99 are that path's latencies in milliseconds.
+	Path     string  `json:"path"`
+	P50      float64 `json:"p50_ms"`
+	P99      float64 `json:"p99_ms"`
+	Samples  int     `json:"samples"`
+	Feasible bool    `json:"feasible"`
+	Error    string  `json:"error,omitempty"`
+}
+
+// TuneReport is the auto-tuner's output, serialized to BENCH_sched.json
+// by `characterize -exp tune`.
+type TuneReport struct {
+	Scenario        string  `json:"scenario"`
+	DurationSeconds float64 `json:"duration_s"`
+	SearchSeed      uint64  `json:"search_seed"`
+	BudgetMS        float64 `json:"budget_ms"`
+	// Baseline is candidate 0: the scenario with no scheduler attached.
+	Baseline TuneCandidate `json:"baseline"`
+	// Best is the feasible candidate with the lowest worst-path p99;
+	// never worse than Baseline (the baseline is always feasible and
+	// deterministic reruns reproduce it exactly).
+	Best              TuneCandidate   `json:"best"`
+	P99ImprovementPct float64         `json:"p99_improvement_pct"`
+	Candidates        []TuneCandidate `json:"candidates"`
+}
+
+// Tune runs the deterministic auto-tuner on a scenario's faulted leg:
+// profile criticality on a clean drive, then evaluate the seeded
+// candidate schedules and report the one minimizing worst-path p99.
+// Building the HD map dominates wall time; see TuneWithEnv for reuse.
+func Tune(spec Spec, det autoware.Detector, duration time.Duration, searchSeed uint64) (*TuneReport, error) {
+	scen := world.NewScenario(world.DefaultScenarioConfig())
+	mc := hdmap.DefaultConfig()
+	mc.ScanSpacing = 10
+	m, err := hdmap.Build(scen, mc)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: building map: %w", err)
+	}
+	return TuneWithEnv(scen, m, spec, det, duration, searchSeed)
+}
+
+// TuneWithEnv is Tune over an existing environment. It runs one clean
+// profiling drive (lineage chains → criticality), then one faulted
+// drive per candidate: injector attached, scheduler attached with the
+// candidate's knobs (none for the Disabled baseline), identical
+// duration. Everything underneath is deterministic, so the same inputs
+// always elect the same winner.
+func TuneWithEnv(scen *world.Scenario, m *hdmap.Map, spec Spec, det autoware.Detector, duration time.Duration, searchSeed uint64) (*TuneReport, error) {
+	if err := spec.Schedule().Validate(); err != nil {
+		return nil, err
+	}
+	if min := spec.MinDuration(); duration < min {
+		return nil, fmt.Errorf("scenario: duration %v shorter than scenario horizon %v", duration, min)
+	}
+
+	profile, err := buildStack(scen, m, det, false, 0)
+	if err != nil {
+		return nil, err
+	}
+	chains := avstack.AttachChainLog(profile)
+	profile.Run(duration)
+	crit := sched.Analyze(chains.Chains())
+
+	cands := sched.DefaultCandidates(searchSeed, platform.DefaultCPUConfig().Cores)
+	best, outcomes, err := sched.Tune(cands, tuneMinSamplesFrac, func(c sched.Candidate) (sched.Eval, error) {
+		return evalCandidate(scen, m, spec, det, duration, crit, c)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &TuneReport{
+		Scenario:        spec.Name,
+		DurationSeconds: duration.Seconds(),
+		SearchSeed:      searchSeed,
+		BudgetMS:        e2eBudgetMS,
+	}
+	for i, o := range outcomes {
+		tc := toTuneCandidate(o)
+		rep.Candidates = append(rep.Candidates, tc)
+		if i == 0 {
+			rep.Baseline = tc
+		}
+		if i == best {
+			rep.Best = tc
+		}
+	}
+	if rep.Baseline.P99 > 0 {
+		rep.P99ImprovementPct = 100 * (rep.Baseline.P99 - rep.Best.P99) / rep.Baseline.P99
+	}
+	return rep, nil
+}
+
+// evalCandidate runs the spec's faulted leg under one candidate
+// schedule and measures the worst path. Sched specs are tuned from
+// scratch: the candidate's knobs replace (not compose with) whatever
+// Spec.Sched pins.
+func evalCandidate(scen *world.Scenario, m *hdmap.Map, spec Spec, det autoware.Detector, duration time.Duration, crit *sched.Criticality, c sched.Candidate) (sched.Eval, error) {
+	depth := 0
+	if !c.Disabled {
+		depth = c.Knobs.QueueDepth
+	}
+	st, err := buildStack(scen, m, det, spec.Guard, depth)
+	if err != nil {
+		return sched.Eval{}, err
+	}
+	inj, err := faults.New(spec.Schedule())
+	if err != nil {
+		return sched.Eval{}, err
+	}
+	inj.Attach(st.Executor, st.Bus)
+	if spec.Supervise {
+		if _, err := avstack.AttachDefaultSupervision(st, spec.Seed); err != nil {
+			return sched.Eval{}, err
+		}
+	}
+	if spec.ShedBudget > 0 {
+		st.Executor.ShedBudget = spec.ShedBudget
+	}
+	if !c.Disabled {
+		avstack.AttachScheduler(st, crit, c.Knobs)
+	}
+	st.Run(duration)
+
+	// Worst path by p99 (ties to name order — PathNames is sorted), with
+	// the sample floor taken over every path's total so a schedule
+	// cannot hide a path it starved.
+	var ev sched.Eval
+	for _, p := range st.Recorder.PathNames() {
+		s := st.Recorder.PathLatency(p)
+		ev.Samples += s.Count
+		if s.Count == 0 {
+			continue
+		}
+		if ev.Path == "" || s.P99 > ev.P99 {
+			ev.Path, ev.P50, ev.P99 = p, s.Median, s.P99
+		}
+	}
+	return ev, nil
+}
+
+func toTuneCandidate(o sched.Outcome) TuneCandidate {
+	tc := TuneCandidate{
+		Name:        o.Candidate.Name,
+		Priorities:  o.Candidate.Knobs.UsePriorities,
+		ShedMS:      o.Candidate.Knobs.ShedBudget.Milliseconds(),
+		MaxInflight: o.Candidate.Knobs.MaxInflight,
+		QueueDepth:  o.Candidate.Knobs.QueueDepth,
+		Path:        o.Eval.Path,
+		P50:         o.Eval.P50,
+		P99:         o.Eval.P99,
+		Samples:     o.Eval.Samples,
+		Feasible:    o.Feasible,
+	}
+	if o.Err != nil {
+		tc.Error = o.Err.Error()
+	}
+	return tc
+}

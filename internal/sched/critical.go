@@ -1,0 +1,162 @@
+package sched
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// NodeCriticality is one node's accumulated critical-path accounting
+// across a set of completed chains.
+type NodeCriticality struct {
+	Node string
+	// OnPathTime is the total span time (queue wait + compute + offload)
+	// the node contributed while on a chain's critical walk.
+	OnPathTime time.Duration
+	// OnPathCount counts chains where the node was on the critical walk.
+	OnPathCount int
+	// Appearances counts chains where the node appeared at all.
+	Appearances int
+	// MinSlack is the smallest measured slack over every chain where the
+	// node was off the critical walk: how much later its output could
+	// have arrived without delaying the terminal. Zero when the node was
+	// ever on the walk (an on-path span has no slack by definition).
+	MinSlack time.Duration
+	// Share is OnPathTime over the total makespan of all chains — the
+	// fraction of measured end-to-end latency this node carried, and the
+	// quantity priorities derive from.
+	Share float64
+}
+
+// Criticality is the per-node result of analyzing a chain population.
+type Criticality struct {
+	nodes         map[string]*NodeCriticality
+	totalMakespan time.Duration
+	chains        int
+}
+
+// Analyze walks every chain backwards from its terminal span and
+// accumulates per-node criticality. At each step the *gating* parent —
+// the one whose output arrived last, i.e. with the latest finish stamp
+// (ties to the earlier span for determinism) — extends the critical
+// walk; every other parent p is charged slack gating.Finished −
+// p.Finished, the measured headroom it had. The walk ends at a span
+// with no recorded parents (a sensor fed it directly).
+func Analyze(chains []trace.Chain) *Criticality {
+	c := &Criticality{nodes: make(map[string]*NodeCriticality)}
+	for _, ch := range chains {
+		c.analyzeOne(ch)
+	}
+	c.finalize()
+	return c
+}
+
+func (c *Criticality) analyzeOne(ch trace.Chain) {
+	if len(ch.Spans) == 0 {
+		return
+	}
+	c.chains++
+	c.totalMakespan += ch.Makespan()
+
+	seen := make(map[string]bool, len(ch.Spans))
+	for _, sp := range ch.Spans {
+		if !seen[sp.Node] {
+			seen[sp.Node] = true
+			c.node(sp.Node).Appearances++
+		}
+	}
+
+	onPath := make(map[string]bool, len(ch.Spans))
+	cur := len(ch.Spans) - 1 // the terminal producer
+	for cur >= 0 {
+		sp := ch.Spans[cur]
+		nc := c.node(sp.Node)
+		nc.OnPathTime += sp.Duration()
+		if !onPath[sp.Node] {
+			onPath[sp.Node] = true
+			nc.OnPathCount++
+		}
+		if len(sp.Parents) == 0 {
+			break
+		}
+		gating := sp.Parents[0]
+		for _, p := range sp.Parents[1:] {
+			if ch.Spans[p].Finished > ch.Spans[gating].Finished {
+				gating = p
+			}
+		}
+		for _, p := range sp.Parents {
+			if p == gating {
+				continue
+			}
+			slack := ch.Spans[gating].Finished - ch.Spans[p].Finished
+			off := c.node(ch.Spans[p].Node)
+			if off.MinSlack == 0 || slack < off.MinSlack {
+				// Only meaningful while the node has never been on a
+				// walk; finalize clears it otherwise.
+				off.MinSlack = slack
+			}
+		}
+		cur = gating
+	}
+}
+
+func (c *Criticality) node(name string) *NodeCriticality {
+	nc := c.nodes[name]
+	if nc == nil {
+		nc = &NodeCriticality{Node: name}
+		c.nodes[name] = nc
+	}
+	return nc
+}
+
+// finalize computes shares and zeroes the slack of nodes that made any
+// critical walk (slack only describes consistently-off-path nodes).
+func (c *Criticality) finalize() {
+	for _, nc := range c.nodes {
+		if c.totalMakespan > 0 {
+			nc.Share = float64(nc.OnPathTime) / float64(c.totalMakespan)
+		}
+		if nc.OnPathCount > 0 {
+			nc.MinSlack = 0
+		}
+	}
+}
+
+// Chains returns how many chains the analysis consumed.
+func (c *Criticality) Chains() int { return c.chains }
+
+// Priority returns the node's criticality share (0 for unseen nodes) —
+// the tie-break quantity the executor's deadline pick consults.
+func (c *Criticality) Priority(node string) float64 {
+	if nc := c.nodes[node]; nc != nil {
+		return nc.Share
+	}
+	return 0
+}
+
+// Slack returns the node's minimum measured slack (0 for on-path or
+// unseen nodes).
+func (c *Criticality) Slack(node string) time.Duration {
+	if nc := c.nodes[node]; nc != nil {
+		return nc.MinSlack
+	}
+	return 0
+}
+
+// Nodes returns per-node criticality sorted by descending share, then
+// name — the report order for DESIGN §11's priority table.
+func (c *Criticality) Nodes() []NodeCriticality {
+	out := make([]NodeCriticality, 0, len(c.nodes))
+	for _, nc := range c.nodes {
+		out = append(out, *nc)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Share != out[j].Share {
+			return out[i].Share > out[j].Share
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}

@@ -19,6 +19,21 @@
 // streams split from the config seed, so a deterministic simulation
 // stays deterministic with the supervisor attached: the same seed and
 // fault schedule always produce the same restart timeline.
+//
+// Hook point and ordering. The supervisor lives at the executor's
+// *dispatch* instant (CallbackFilter, chained in front of the fault
+// injector's so crash verdicts from below are visible) plus a bus Tap
+// for output liveness. In the decision chain it is third: the injector
+// perturbs at publish, the guard adjudicates at ingress — a
+// quarantined frame is never dispatched, so quarantine is never
+// mistaken for a crash — and the scheduler's pick runs last, choosing
+// only among dispatches the supervisor let stand.
+//
+// Ownership. The callback filter borrows the dispatched message for
+// the call; a Drop verdict for a down node leaves the release to the
+// executor. Checkpoints are deep copies on both sides of the
+// Checkpointer contract — the supervisor retains no live node state
+// and no bus envelopes.
 package supervise
 
 import (
