@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench-smoke fuzz-smoke chaos-smoke corruption-smoke bench-middleware bus-stress sched-smoke docs-lint
+.PHONY: build test race vet bench-smoke fuzz-smoke chaos-smoke corruption-smoke bench-middleware bus-stress sched-smoke search-smoke docs-lint
 
 build:
 	$(GO) build ./...
@@ -19,14 +19,16 @@ race:
 vet:
 	$(GO) vet ./...
 
-# Short fuzzing pass over the rosbag codec (seed corpus is checked in
-# under internal/ros/testdata/fuzz). Go allows one -fuzz target per
+# Short fuzzing pass over the repo's codecs: rosbag, ring, guard
+# payloads, and the scenario-params line (seed corpora are checked in
+# under each package's testdata/fuzz). Go allows one -fuzz target per
 # invocation, so each target gets its own ~10s run.
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzBagDecode -fuzztime=10s ./internal/ros/
 	$(GO) test -run=NONE -fuzz=FuzzBagRoundTrip -fuzztime=10s ./internal/ros/
 	$(GO) test -run=NONE -fuzz=FuzzRingPushPop -fuzztime=10s ./internal/ros/
 	$(GO) test -run=NONE -fuzz=FuzzGuardValidate -fuzztime=10s ./internal/guard/
+	$(GO) test -run=NONE -fuzz=FuzzScenarioParams -fuzztime=10s ./internal/world/
 
 # Run every built-in chaos scenario end to end (baseline + faulted
 # stack each) and throw the reports away — a crash in any injection,
@@ -73,6 +75,18 @@ sched-smoke:
 	$(GO) run ./cmd/characterize -exp tune -duration 12s -seed 1 -bench BENCH_sched.json -out /dev/null
 	$(GO) test -count=1 -run='TestContentionTunedImprovesP99|TestSchedWorkerInvariance' ./internal/scenario/
 	$(GO) test -count=1 ./internal/sched/
+
+# Adversarial latency search smoke: run a tiny seeded search twice over
+# the compact space (characterize exits non-zero if the elected worst
+# case undercuts the baseline) and demand byte-identical JSON reports —
+# the reproducibility contract behind every pinned gen-* scenario —
+# plus the search/world/faults codec and generator test suites.
+search-smoke:
+	$(GO) run ./cmd/characterize -exp search -duration 7s -seed 3 -budget 3 -space compact -bench /tmp/search_a.json -out /dev/null
+	$(GO) run ./cmd/characterize -exp search -duration 7s -seed 3 -budget 3 -space compact -bench /tmp/search_b.json -out /dev/null
+	cmp /tmp/search_a.json /tmp/search_b.json
+	$(GO) test -count=1 -short ./internal/search/
+	$(GO) test -count=1 ./internal/world/ ./internal/faults/
 
 # Docs hygiene: formatting, vet, and a package comment on every
 # internal package (godoc's first requirement for a readable map).

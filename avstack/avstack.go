@@ -29,6 +29,7 @@ import (
 	"repro/internal/power"
 	"repro/internal/ros"
 	"repro/internal/trace"
+	"repro/internal/world"
 )
 
 // Detector selects the image-detection algorithm.
@@ -61,6 +62,11 @@ type Options struct {
 	// MapFile loads a prebuilt HD map (see cmd/mapbuilder) instead of
 	// synthesizing one during construction.
 	MapFile string
+	// Scenario overrides the whole drive parameterization with a
+	// procedurally generated (or hand-built) world config — traffic mix,
+	// pedestrian bursts, weather profile, city topology. Nil keeps the
+	// scripted default. See world.Generate and world.ParseParams.
+	Scenario *world.ScenarioConfig
 }
 
 // System is an assembled, runnable stack.
@@ -91,6 +97,9 @@ func NewSystemWithOptions(det Detector, opts Options) (*System, error) {
 	}
 	if opts.Warmup > 0 {
 		cfg.Warmup = opts.Warmup
+	}
+	if opts.Scenario != nil {
+		cfg.Scenario = *opts.Scenario
 	}
 	if opts.LeadVehicle {
 		cfg.Scenario.LeadVehicle = true

@@ -8,6 +8,7 @@
 //	avsim [-detector SSD512|SSD300|YOLOv3-416] [-duration 30s]
 //	      [-planning] [-status 5s] [-workers N] [-faults <scenario>]
 //	      [-supervise] [-shed 100ms] [-guard] [-sched]
+//	      [-world "<params>"] [-gen <seed>] [-space default|compact]
 //
 // avsim drives a single stack, so -workers (default: the number of
 // CPUs) bounds the host threads used by intra-frame shard loops (voxel
@@ -39,6 +40,13 @@
 // `characterize -faults contention-tuned` (or -exp tune) for the fully
 // profiled schedule. Scenarios that pin a schedule (contention-tuned)
 // enable the scheduler automatically with their own knobs.
+//
+// -world drives a procedurally generated world instead of the scripted
+// default: pass a params line (the world.MarshalParams codec — the
+// string `characterize -exp search` reports as "worst world"). -gen
+// generates one from a seed over the -space sampling space and prints
+// its params line. Generated chaos scenarios (-faults gen-*) carry
+// their own world and need neither flag.
 package main
 
 import (
@@ -46,6 +54,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -53,6 +62,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/parallel"
 	"repro/internal/scenario"
+	"repro/internal/world"
 )
 
 func main() {
@@ -66,6 +76,9 @@ func main() {
 	shed := flag.Duration("shed", 0, "deadline-aware load shedding budget (0 disables): queued frames older than this are shed at dispatch")
 	guardFlag := flag.Bool("guard", false, "attach the input-integrity guard (payload validation + time sanitization + quarantine)")
 	schedFlag := flag.Bool("sched", false, "attach the critical-path deadline scheduler (EDF dispatch + deadline shedding + admission cap)")
+	worldFlag := flag.String("world", "", "drive a generated world: a params line (see world.MarshalParams)")
+	genFlag := flag.String("gen", "", "generate the world from this seed instead of the scripted default")
+	spaceFlag := flag.String("space", "default", "sampling space for -gen: default or compact")
 	flag.Parse()
 	parallel.SetMaxWorkers(*workers)
 
@@ -83,9 +96,50 @@ func main() {
 		}
 	}
 
+	// Resolve the drive parameterization: explicit params line, then a
+	// generator seed, then whatever a generated chaos scenario carries.
+	var wcfg *world.ScenarioConfig
+	switch {
+	case *worldFlag != "":
+		c, err := world.ParseParams(*worldFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "avsim: -world:", err)
+			os.Exit(1)
+		}
+		wcfg = &c
+	case *genFlag != "":
+		seed, err := strconv.ParseUint(*genFlag, 0, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "avsim: -gen %q is not a seed\n", *genFlag)
+			os.Exit(1)
+		}
+		var sp world.ParamSpace
+		switch *spaceFlag {
+		case "default":
+			sp = world.DefaultSpace()
+		case "compact":
+			sp = world.CompactSpace()
+		default:
+			fmt.Fprintf(os.Stderr, "avsim: unknown -space %q (have default, compact)\n", *spaceFlag)
+			os.Exit(1)
+		}
+		c, err := world.Generate(sp, seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "avsim: -gen:", err)
+			os.Exit(1)
+		}
+		wcfg = &c
+	case spec.World != nil:
+		wcfg = spec.World
+	}
+	if wcfg != nil {
+		fmt.Printf("generated world: %s\n", world.MarshalParams(*wcfg))
+	}
+
 	fmt.Println("assembling stack (map synthesis takes a few seconds)...")
 	sys, err := avstack.NewSystemWithOptions(avstack.Detector(*detector), avstack.Options{
 		WithPlanning: *planning,
+		Scenario:     wcfg,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "avsim:", err)

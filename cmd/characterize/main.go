@@ -4,10 +4,11 @@
 //
 // Usage:
 //
-//	characterize [-exp all|fig5|tab3|fig6|tab5|tab6|tab7|fig7|fig8|tune]
+//	characterize [-exp all|fig5|tab3|fig6|tab5|tab6|tab7|fig7|fig8|tune|search]
 //	             [-duration 60s] [-out report.txt] [-workers N]
 //	             [-faults <scenario>] [-supervise] [-shed 100ms] [-guard]
 //	             [-sched] [-seed 1] [-bench BENCH_sched.json]
+//	             [-budget 12] [-space default|compact]
 //
 // -exp tune runs the scheduler auto-tuner instead of the paper tables:
 // a clean profiling drive measures per-node criticality from lineage
@@ -20,6 +21,17 @@
 //
 // -sched forces the pinned contention-tuned schedule onto a -faults
 // run (criticality profiled on the run's own baseline leg).
+//
+// -exp search runs the adversarial latency search: -budget seeded
+// candidates — procedurally generated worlds (internal/world.Generate)
+// plus sampled fault schedules — are evaluated against the scripted
+// baseline drive, and the feasible candidate with the HIGHEST
+// worst-path p99 wins. It is the tuner's mirror image: tune minimizes
+// the tail, search hunts latency-budget violations to pin as
+// regression scenarios. -space picks the sampling space, -seed drives
+// every decision, and the full search is serialized to -bench (default
+// BENCH_search.json here). Same seed ⇒ byte-identical report and the
+// same elected worst case.
 //
 // -guard attaches the input-integrity layer (internal/guard) to every
 // run. For the paper tables the input is clean, so the guarded report
@@ -52,6 +64,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/parallel"
 	"repro/internal/scenario"
+	"repro/internal/search"
+	"repro/internal/world"
 )
 
 func main() {
@@ -61,13 +75,15 @@ func main() {
 	csvDir := flag.String("csv", "", "also export raw per-sample data as CSV files into this directory")
 	workers := flag.Int("workers", runtime.NumCPU(), "max concurrent experiment configurations (results are identical for any value)")
 	faultsFlag := flag.String("faults", "", "run a chaos scenario instead of the paper tables: "+strings.Join(scenario.Names(), ", "))
-	detector := flag.String("detector", "YOLOv3-416", "detector configuration for the chaos scenario (-faults only)")
+	detector := flag.String("detector", "YOLOv3-416", "detector configuration for the chaos scenario (-faults) and the adversarial search (-exp search)")
 	supervise := flag.Bool("supervise", false, "force the supervision layer onto the chaos scenario's faulted run (-faults only)")
 	shed := flag.Duration("shed", 0, "force this deadline-shedding budget onto the chaos scenario's faulted run (-faults only)")
 	guard := flag.Bool("guard", false, "attach the input-integrity guard (no-op on the clean paper tables; forces the guard onto a -faults run)")
 	schedFlag := flag.Bool("sched", false, "force the pinned contention-tuned schedule onto the chaos scenario's faulted run (-faults only)")
-	seed := flag.Uint64("seed", 1, "candidate-search seed for -exp tune")
-	bench := flag.String("bench", "BENCH_sched.json", "write the -exp tune search results to this JSON file")
+	seed := flag.Uint64("seed", 1, "candidate-search seed for -exp tune and -exp search")
+	bench := flag.String("bench", "", "write the -exp tune/search results to this JSON file (default BENCH_sched.json / BENCH_search.json)")
+	budget := flag.Int("budget", 12, "evaluated candidates for -exp search, including the scripted baseline")
+	space := flag.String("space", "default", "sampling space for -exp search: default or compact")
 	flag.Parse()
 	parallel.SetMaxWorkers(*workers)
 
@@ -100,21 +116,48 @@ func main() {
 			fatal(err)
 		}
 		writeTuneReport(w, rep)
-		if *bench != "" {
-			data, err := json.MarshalIndent(rep, "", "  ")
-			if err != nil {
-				fatal(err)
-			}
-			if err := os.WriteFile(*bench, append(data, '\n'), 0o644); err != nil {
-				fatal(err)
-			}
-			fmt.Fprintf(os.Stderr, "search results written to %s\n", *bench)
-		}
+		writeBench(orDefault(*bench, "BENCH_sched.json"), rep)
 		// Tune's contract: candidate 0 is the no-scheduler baseline and
 		// is always feasible, so the winner can never be worse. Treat a
 		// violation as the bug it would be (sched-smoke relies on this).
 		if rep.Best.P99 > rep.Baseline.P99 {
 			fatal(fmt.Errorf("tuned p99 %.2f ms worse than baseline %.2f ms", rep.Best.P99, rep.Baseline.P99))
+		}
+		fmt.Fprintf(os.Stderr, "done in %.1fs\n", time.Since(start).Seconds())
+		return
+	}
+
+	if *exp == "search" {
+		var sp world.ParamSpace
+		switch *space {
+		case "default":
+			sp = world.DefaultSpace()
+		case "compact":
+			sp = world.CompactSpace()
+		default:
+			fatal(fmt.Errorf("unknown -space %q (have default, compact)", *space))
+		}
+		fmt.Fprintf(os.Stderr, "searching %d candidates (%s space, seed %d, %v per eval)...\n",
+			*budget, *space, *seed, *duration)
+		start := time.Now()
+		rep, err := search.Run(search.Config{
+			Space:     sp,
+			SpaceName: *space,
+			Seed:      *seed,
+			Budget:    *budget,
+			Duration:  *duration,
+			Detector:  autoware.Detector(*detector),
+		})
+		if err != nil {
+			fatal(err)
+		}
+		writeSearchReport(w, rep)
+		writeBench(orDefault(*bench, "BENCH_search.json"), rep)
+		// Search's contract, mirroring tune's: the scripted baseline is
+		// always feasible, so the elected worst case can never be better
+		// (lower-p99) than it. search-smoke relies on this.
+		if rep.Worst.P99 < rep.Baseline.P99 {
+			fatal(fmt.Errorf("worst p99 %.2f ms below baseline %.2f ms", rep.Worst.P99, rep.Baseline.P99))
 		}
 		fmt.Fprintf(os.Stderr, "done in %.1fs\n", time.Since(start).Seconds())
 		return
@@ -220,6 +263,63 @@ func writeTuneReport(w io.Writer, rep *scenario.TuneReport) {
 		rep.Baseline.P99, rep.Best.P99, rep.P99ImprovementPct)
 	fmt.Fprintf(w, "winning knobs: priorities=%t shed=%dms max_inflight=%d queue_depth=%d\n",
 		rep.Best.Priorities, rep.Best.ShedMS, rep.Best.MaxInflight, rep.Best.QueueDepth)
+}
+
+// writeSearchReport renders the adversarial search in the same house
+// style as the tuner: baseline, worst case, and every candidate with
+// its verdict.
+func writeSearchReport(w io.Writer, rep *search.Report) {
+	fmt.Fprintf(w, "=== Adversarial latency search: %s space (%.0fs drive, search seed %d, %s) ===\n",
+		rep.Space, rep.DurationSeconds, rep.SearchSeed, rep.Detector)
+	fmt.Fprintf(w, "budget: %.0f ms end-to-end; %d candidates\n\n", rep.BudgetMS, rep.Budget)
+	fmt.Fprintf(w, "%-18s %-22s %9s %9s %8s %-22s %s\n",
+		"candidate", "worst path", "p50(ms)", "p99(ms)", "samples", "top node (share)", "verdict")
+	for _, c := range rep.Candidates {
+		verdict := "ok"
+		switch {
+		case c.Error != "":
+			verdict = "error: " + c.Error
+		case !c.Feasible:
+			verdict = "infeasible (gutted samples)"
+		case c.Name == rep.Worst.Name && c.Violation:
+			verdict = "WORST (budget violation)"
+		case c.Name == rep.Worst.Name:
+			verdict = "WORST"
+		case c.Violation:
+			verdict = "budget violation"
+		}
+		top := ""
+		if c.TopNode != "" {
+			top = fmt.Sprintf("%s (%.0f%%)", c.TopNode, 100*c.TopShare)
+		}
+		fmt.Fprintf(w, "%-18s %-22s %9.2f %9.2f %8d %-22s %s\n",
+			c.Name, c.Path, c.P50, c.P99, c.Samples, top, verdict)
+	}
+	fmt.Fprintf(w, "\nbaseline p99 %.2f ms -> worst p99 %.2f ms (+%.1f%%), %d budget violation(s)\n",
+		rep.Baseline.P99, rep.Worst.P99, rep.P99InflationPct, rep.Violations)
+	fmt.Fprintf(w, "worst world: %s\n", rep.Worst.Params)
+	for _, f := range rep.Worst.Faults {
+		fmt.Fprintf(w, "worst fault: %s\n", f)
+	}
+}
+
+// writeBench serializes a search/tune report to its JSON artifact.
+func writeBench(name string, rep any) {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(name, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "search results written to %s\n", name)
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
 }
 
 func fatal(err error) {

@@ -64,9 +64,11 @@ func Build(cfg Config) (*Stack, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	scen := world.NewScenario(cfg.Scenario)
+	scen, err := world.BuildScenario(cfg.Scenario)
+	if err != nil {
+		return nil, err
+	}
 	var m *hdmap.Map
-	var err error
 	if cfg.MapFile != "" {
 		m, err = hdmap.LoadFile(cfg.MapFile)
 	} else {
@@ -82,6 +84,28 @@ func Build(cfg Config) (*Stack, error) {
 func BuildWithMap(cfg Config, scen *world.Scenario, m *hdmap.Map) (*Stack, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	// Weather rides in the scenario config as a sensor-noise profile:
+	// the world itself stays noise-free (and the HD map with it — maps
+	// are surveyed in clear weather), the sensor suite degrades. A
+	// zero-value profile changes nothing, so scripted runs keep their
+	// golden-pinned sensor streams bit for bit.
+	if n := cfg.Scenario.Noise; !n.IsZero() {
+		if err := n.Validate(); err != nil {
+			return nil, err
+		}
+		if n.LiDARRange > 0 {
+			cfg.LiDAR.RangeNoise *= n.LiDARRange
+		}
+		if n.LiDARDrop > 0 {
+			cfg.LiDAR.DropProb += n.LiDARDrop
+			if cfg.LiDAR.DropProb > 0.95 {
+				cfg.LiDAR.DropProb = 0.95
+			}
+		}
+		if n.CameraPixel > 0 {
+			cfg.Camera.PixelNoise *= n.CameraPixel
+		}
 	}
 	sim := platform.NewSim()
 	cpu := platform.NewCPU(cfg.CPU, sim)

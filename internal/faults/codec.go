@@ -1,0 +1,187 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ErrFaultSyntax marks fault text the codec cannot decode. Semantic
+// violations (a drop fault without a topic) surface as the same
+// Validate errors the programmatic API returns.
+var ErrFaultSyntax = errors.New("faults: invalid fault line")
+
+// The fault codec serializes one Fault as a single line of
+// space-separated key=value tokens, kind first:
+//
+//	kind=contention start=2s dur=6s load=0.008 bw=2e+09 workers=3
+//	kind=drop topic=/points_raw start=1s dur=5s p=0.35
+//
+// It is the text form the adversarial search uses to mutate, pin, and
+// replay fault schedules: FormatFault∘ParseFault is the identity on
+// canonical lines, ParseFault∘FormatFault the identity on valid faults,
+// and hostile input yields an error — never a panic. Durations use Go
+// duration syntax; floats use shortest exact form.
+
+// FormatFault renders f as one canonical fault line. Only fields the
+// kind consumes are emitted, and only when nonzero, so the line is
+// minimal and stable under re-parsing.
+func FormatFault(f Fault) string {
+	var b strings.Builder
+	put := func(key, val string) {
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(key)
+		b.WriteByte('=')
+		b.WriteString(val)
+	}
+	putF := func(key string, v float64) {
+		if v != 0 {
+			put(key, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+	}
+	putD := func(key string, v time.Duration) {
+		if v != 0 {
+			put(key, v.String())
+		}
+	}
+	put("kind", string(f.Kind))
+	if f.Topic != "" {
+		put("topic", f.Topic)
+	}
+	if f.Node != "" {
+		put("node", f.Node)
+	}
+	putD("start", f.Start)
+	putD("dur", f.Duration)
+	putF("p", f.Prob)
+	putD("delay", f.Delay)
+	putD("sigma", f.Sigma)
+	putF("rate", f.Rate)
+	putF("load", f.Load)
+	putF("bw", f.Bandwidth)
+	if f.Workers != 0 {
+		put("workers", strconv.Itoa(f.Workers))
+	}
+	putD("skew", f.Skew)
+	if f.Copies != 0 {
+		put("copies", strconv.Itoa(f.Copies))
+	}
+	putF("frac", f.Frac)
+	return b.String()
+}
+
+// ParseFault decodes one fault line into a validated Fault. Syntax
+// problems wrap ErrFaultSyntax; semantically invalid faults return the
+// corresponding Validate error. No input panics.
+func ParseFault(line string) (Fault, error) {
+	var f Fault
+	seen := make(map[string]bool, 8)
+	for _, tok := range strings.Fields(line) {
+		key, val, ok := strings.Cut(tok, "=")
+		if !ok || key == "" || val == "" {
+			return f, fmt.Errorf("%w: token %q is not key=value", ErrFaultSyntax, tok)
+		}
+		if seen[key] {
+			return f, fmt.Errorf("%w: duplicate key %q", ErrFaultSyntax, key)
+		}
+		seen[key] = true
+		if err := setFaultField(&f, key, val); err != nil {
+			return f, err
+		}
+	}
+	if !seen["kind"] {
+		return f, fmt.Errorf("%w: missing kind", ErrFaultSyntax)
+	}
+	if err := f.Validate(); err != nil {
+		return Fault{}, err
+	}
+	return f, nil
+}
+
+func setFaultField(f *Fault, key, val string) error {
+	parseF := func() (float64, error) {
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil || v != v || v > 1e300 || v < -1e300 {
+			return 0, fmt.Errorf("%w: key %q: %q is not a finite number", ErrFaultSyntax, key, val)
+		}
+		return v, nil
+	}
+	parseD := func() (time.Duration, error) {
+		v, err := time.ParseDuration(val)
+		if err != nil {
+			return 0, fmt.Errorf("%w: key %q: %q is not a duration", ErrFaultSyntax, key, val)
+		}
+		return v, nil
+	}
+	parseInt := func() (int, error) {
+		v, err := strconv.Atoi(val)
+		if err != nil {
+			return 0, fmt.Errorf("%w: key %q: %q is not an integer", ErrFaultSyntax, key, val)
+		}
+		return v, nil
+	}
+	var err error
+	switch key {
+	case "kind":
+		f.Kind = Kind(val)
+	case "topic":
+		if !codecSafeName(val) {
+			return fmt.Errorf("%w: topic %q has characters the codec cannot carry", ErrFaultSyntax, val)
+		}
+		f.Topic = val
+	case "node":
+		if !codecSafeName(val) {
+			return fmt.Errorf("%w: node %q has characters the codec cannot carry", ErrFaultSyntax, val)
+		}
+		f.Node = val
+	case "start":
+		f.Start, err = parseD()
+		if err == nil && f.Start < 0 {
+			err = fmt.Errorf("%w: negative start %v", ErrFaultSyntax, f.Start)
+		}
+	case "dur":
+		f.Duration, err = parseD()
+	case "p":
+		f.Prob, err = parseF()
+	case "delay":
+		f.Delay, err = parseD()
+	case "sigma":
+		f.Sigma, err = parseD()
+	case "rate":
+		f.Rate, err = parseF()
+	case "load":
+		f.Load, err = parseF()
+	case "bw":
+		f.Bandwidth, err = parseF()
+	case "workers":
+		f.Workers, err = parseInt()
+	case "skew":
+		f.Skew, err = parseD()
+	case "copies":
+		f.Copies, err = parseInt()
+	case "frac":
+		f.Frac, err = parseF()
+	default:
+		return fmt.Errorf("%w: unknown key %q", ErrFaultSyntax, key)
+	}
+	return err
+}
+
+// codecSafeName bounds topic/node names to printable ASCII without
+// whitespace or '=', so every formatted line tokenizes back losslessly.
+func codecSafeName(s string) bool {
+	if len(s) == 0 || len(s) > 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c <= ' ' || c > '~' || c == '=' {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,94 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// codecFaults covers every kind with representative field mixes.
+func codecFaults() []Fault {
+	return []Fault{
+		{Kind: KindDrop, Topic: "/points_raw", Start: time.Second, Duration: 5 * time.Second, Prob: 0.35},
+		{Kind: KindDelay, Topic: "/image_raw", Start: 2 * time.Second, Duration: 3 * time.Second,
+			Delay: 12 * time.Millisecond, Sigma: 4 * time.Millisecond},
+		{Kind: KindJitter, Topic: "/points_raw", Duration: 8 * time.Second, Sigma: 7 * time.Millisecond},
+		{Kind: KindStall, Node: "ndt_matching", Start: 500 * time.Millisecond, Duration: 4 * time.Second,
+			Delay: 30 * time.Millisecond},
+		{Kind: KindCrash, Node: "ekf_localizer", Start: 6 * time.Second, Duration: 2 * time.Second},
+		{Kind: KindBurst, Topic: "/detection/objects", Duration: time.Second, Rate: 400},
+		{Kind: KindContention, Start: 2 * time.Second, Duration: 6 * time.Second,
+			Workers: 3, Load: 0.008, Bandwidth: 2e9},
+		{Kind: KindCorrupt, Topic: "/points_raw", Duration: 5 * time.Second, Prob: 0.2},
+		{Kind: KindSkew, Topic: "/image_raw", Duration: 5 * time.Second, Prob: 0.5, Skew: -2 * time.Second},
+		{Kind: KindDup, Topic: "/points_raw", Duration: 5 * time.Second, Prob: 0.25, Copies: 2},
+		{Kind: KindTruncate, Topic: "/points_raw", Duration: 5 * time.Second, Prob: 0.4, Frac: 0.6},
+	}
+}
+
+func TestFaultCodecRoundTrip(t *testing.T) {
+	for _, f := range codecFaults() {
+		line := FormatFault(f)
+		back, err := ParseFault(line)
+		if err != nil {
+			t.Fatalf("%s: parse(%q): %v", f.Kind, line, err)
+		}
+		if back != f {
+			t.Fatalf("%s: round-trip mismatch\nline: %s\ngot:  %+v\nwant: %+v", f.Kind, line, back, f)
+		}
+		if again := FormatFault(back); again != line {
+			t.Fatalf("%s: format not canonical: %q vs %q", f.Kind, line, again)
+		}
+	}
+}
+
+func TestParseFaultRejects(t *testing.T) {
+	cases := map[string]string{
+		"empty":            "",
+		"missing kind":     "topic=/points_raw dur=5s p=0.5",
+		"unknown kind":     "kind=gremlin dur=5s",
+		"unknown key":      "kind=drop topic=/points_raw dur=5s p=0.5 color=red",
+		"duplicate key":    "kind=drop topic=/points_raw dur=5s p=0.5 p=0.6",
+		"bare token":       "kind=drop topic",
+		"bad duration":     "kind=drop topic=/points_raw dur=five p=0.5",
+		"bad float":        "kind=drop topic=/points_raw dur=5s p=high",
+		"nan prob":         "kind=drop topic=/points_raw dur=5s p=NaN",
+		"huge rate":        "kind=burst topic=/points_raw dur=5s rate=1e308",
+		"negative start":   "kind=drop topic=/points_raw start=-1s dur=5s p=0.5",
+		"zero duration":    "kind=drop topic=/points_raw p=0.5",
+		"drop sans topic":  "kind=drop dur=5s p=0.5",
+		"prob above one":   "kind=drop topic=/points_raw dur=5s p=1.5",
+		"topic with space": "kind=drop topic=/points\x00raw dur=5s p=0.5",
+		"topic with eq":    "kind=drop topic=/a=b dur=5s p=0.5",
+		"stall sans node":  "kind=stall dur=5s delay=10ms",
+	}
+	for name, line := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ParseFault(line); err == nil {
+				t.Fatalf("ParseFault(%q) accepted invalid input", line)
+			}
+		})
+	}
+	// Syntax errors carry the sentinel; semantic ones carry Validate's.
+	if _, err := ParseFault("kind=drop topic=/p dur=5s p=0.5 p=0.6"); !errors.Is(err, ErrFaultSyntax) {
+		t.Fatalf("duplicate key error = %v, want ErrFaultSyntax", err)
+	}
+}
+
+// TestFaultCodecMatchesValidate pins that anything ParseFault accepts
+// also passes the programmatic Validate — the codec adds syntax, not a
+// second semantic standard.
+func TestFaultCodecMatchesValidate(t *testing.T) {
+	for _, f := range codecFaults() {
+		if err := f.Validate(); err != nil {
+			t.Fatalf("%s: table fault invalid: %v", f.Kind, err)
+		}
+		got, err := ParseFault(FormatFault(f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("%s: parsed fault invalid: %v", f.Kind, err)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"embed"
+
+	"repro/internal/search"
+)
+
+// Generated chaos scenarios are adversarial-search winners pinned as
+// regressions: when `characterize -exp search` elects a worst case
+// whose latency breaks the end-to-end budget, its candidate text
+// (world params line + fault schedule, see search.MarshalCandidate)
+// is committed under testdata/gen_*.scenario and becomes a named
+// scenario like the builtins — runnable via -faults, hashed by the
+// transport golden net, and checked for worker invariance. The stack
+// they measure is the hardened one the search measured: guard and
+// supervision forced on, mirroring the golden harness.
+
+//go:embed testdata/gen_*.scenario
+var generatedFS embed.FS
+
+// Generated returns the pinned search-winner scenarios, sorted by
+// file name. The embedded specs are part of the build; a file that
+// fails to parse is a programmer error and panics.
+func Generated() []Spec {
+	entries, err := generatedFS.ReadDir("testdata")
+	if err != nil {
+		panic(fmt.Sprintf("scenario: reading embedded generated scenarios: %v", err))
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name() < entries[j].Name() })
+	var specs []Spec
+	for _, e := range entries {
+		data, err := generatedFS.ReadFile("testdata/" + e.Name())
+		if err != nil {
+			panic(fmt.Sprintf("scenario: reading %s: %v", e.Name(), err))
+		}
+		c, err := search.ParseCandidate(string(data))
+		if err != nil {
+			panic(fmt.Sprintf("scenario: parsing %s: %v", e.Name(), err))
+		}
+		specs = append(specs, Spec{
+			Name: c.Name,
+			Description: fmt.Sprintf("search-pinned worst case (%s): generated world + %d-fault schedule "+
+				"elected by the adversarial latency search for breaking the end-to-end budget", e.Name(), len(c.Faults)),
+			Seed:      c.FaultSeed,
+			Faults:    c.Faults,
+			World:     &c.World,
+			Guard:     true,
+			Supervise: true,
+		})
+	}
+	return specs
+}

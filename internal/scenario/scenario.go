@@ -54,6 +54,21 @@ type Spec struct {
 	// so the priorities the faulted run schedules with come from the
 	// drive it is actually defending.
 	Sched *sched.Knobs
+	// World, when non-nil, replaces the scripted default drive with a
+	// procedurally generated parameterization (see world.Generate and
+	// internal/search): traffic mix, pedestrian bursts, weather, city
+	// topology. Run builds the environment from it; RunWithEnv callers
+	// must pass an environment built from the same config.
+	World *world.ScenarioConfig
+}
+
+// worldConfig resolves the drive parameterization: the spec's generated
+// world if set, else the scripted default.
+func (s Spec) worldConfig() world.ScenarioConfig {
+	if s.World != nil {
+		return *s.World
+	}
+	return world.DefaultScenarioConfig()
 }
 
 // Schedule bundles the spec's faults with its seed.
@@ -266,9 +281,10 @@ func builtins() []Spec {
 	}
 }
 
-// Names lists the built-in scenario names in report order.
+// Names lists every named scenario in report order: the builtins,
+// then the pinned search winners (gen-*).
 func Names() []string {
-	specs := builtins()
+	specs := append(builtins(), Generated()...)
 	out := make([]string, len(specs))
 	for i, s := range specs {
 		out[i] = s.Name
@@ -276,9 +292,9 @@ func Names() []string {
 	return out
 }
 
-// ByName resolves a built-in scenario.
+// ByName resolves a built-in or generated scenario.
 func ByName(name string) (Spec, error) {
-	for _, s := range builtins() {
+	for _, s := range append(builtins(), Generated()...) {
 		if s.Name == name {
 			return s, nil
 		}
@@ -344,7 +360,10 @@ func (r *Result) NodeStat(node string) (NodeStat, bool) {
 // the scenario's HD map dominates wall time; tests with a cached
 // environment should use RunWithEnv.
 func Run(spec Spec, det autoware.Detector, duration time.Duration) (*Result, error) {
-	scen := world.NewScenario(world.DefaultScenarioConfig())
+	scen, err := world.BuildScenario(spec.worldConfig())
+	if err != nil {
+		return nil, fmt.Errorf("scenario: building world: %w", err)
+	}
 	mc := hdmap.DefaultConfig()
 	mc.ScanSpacing = 10
 	m, err := hdmap.Build(scen, mc)
@@ -365,7 +384,7 @@ func RunWithEnv(scen *world.Scenario, m *hdmap.Map, spec Spec, det autoware.Dete
 		return nil, fmt.Errorf("scenario: duration %v shorter than scenario horizon %v", duration, min)
 	}
 
-	baseline, err := buildStack(scen, m, det, false, 0)
+	baseline, err := buildStack(scen, m, det, false, 0, spec.worldConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -381,7 +400,7 @@ func RunWithEnv(scen *world.Scenario, m *hdmap.Map, spec Spec, det autoware.Dete
 	if spec.Sched != nil {
 		depth = spec.Sched.QueueDepth
 	}
-	faulted, err := buildStack(scen, m, det, spec.Guard, depth)
+	faulted, err := buildStack(scen, m, det, spec.Guard, depth, spec.worldConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -420,9 +439,13 @@ func RunWithEnv(scen *world.Scenario, m *hdmap.Map, spec Spec, det autoware.Dete
 
 // buildStack assembles one stack over the shared environment. depth > 0
 // overrides the vision detector's input queue depth (the scheduler's
-// QueueDepth knob; 0 keeps the stock configuration).
-func buildStack(scen *world.Scenario, m *hdmap.Map, det autoware.Detector, guarded bool, depth int) (*autoware.Stack, error) {
+// QueueDepth knob; 0 keeps the stock configuration). wcfg is the drive
+// parameterization the environment was built from — it must match scen,
+// and it carries the weather profile BuildWithMap degrades the sensor
+// suite with.
+func buildStack(scen *world.Scenario, m *hdmap.Map, det autoware.Detector, guarded bool, depth int, wcfg world.ScenarioConfig) (*autoware.Stack, error) {
 	cfg := autoware.DefaultConfig(det)
+	cfg.Scenario = wcfg
 	cfg.Guard = guarded
 	if depth > 0 {
 		cfg.VisionQueueDepth = depth

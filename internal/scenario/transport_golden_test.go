@@ -11,7 +11,9 @@ import (
 	"repro/avstack"
 	"repro/internal/autoware"
 	"repro/internal/faults"
+	"repro/internal/hdmap"
 	"repro/internal/testenv"
+	"repro/internal/world"
 )
 
 // The transport-rewrite regression net: every built-in scenario, run
@@ -34,9 +36,11 @@ const transportGoldenFile = "testdata/transport_goldens.txt"
 // runTransportScenario executes one spec's faulted leg with guard and
 // supervision forced on, mirroring RunWithEnv's attach order exactly
 // (injector, then supervisor, then shedding, then watchdog, then
-// scheduler). chains is the lineage log observed on the shared baseline
-// run; only sched-enabled specs consult it.
-func runTransportScenario(t *testing.T, spec Spec, baseline *autoware.Stack, chains *avstack.ChainLog) (*Result, *autoware.Stack) {
+// scheduler). scen and m are the environment the spec's world resolves
+// to (the shared testenv for builtins; a spec-owned build for generated
+// scenarios). chains is the lineage log observed on the matching
+// baseline run; only sched-enabled specs consult it.
+func runTransportScenario(t *testing.T, spec Spec, scen *world.Scenario, m *hdmap.Map, baseline *autoware.Stack, chains *avstack.ChainLog) (*Result, *autoware.Stack) {
 	t.Helper()
 	spec.Guard = true
 	spec.Supervise = true
@@ -47,7 +51,7 @@ func runTransportScenario(t *testing.T, spec Spec, baseline *autoware.Stack, cha
 	if spec.Sched != nil {
 		depth = spec.Sched.QueueDepth
 	}
-	faulted, err := buildStack(testenv.Scenario(), testenv.Map(), autoware.DetectorSSD300, true, depth)
+	faulted, err := buildStack(scen, m, autoware.DetectorSSD300, true, depth, spec.worldConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +101,7 @@ func checkPoolBalance(t *testing.T, name string, stack *autoware.Stack) {
 }
 
 func TestTransportGoldenReports(t *testing.T) {
-	baseline, err := buildStack(testenv.Scenario(), testenv.Map(), autoware.DetectorSSD300, false, 0)
+	baseline, err := buildStack(testenv.Scenario(), testenv.Map(), autoware.DetectorSSD300, false, 0, world.DefaultScenarioConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,11 +113,52 @@ func TestTransportGoldenReports(t *testing.T) {
 
 	var got bytes.Buffer
 	for _, spec := range builtins() {
-		res, faulted := runTransportScenario(t, spec, baseline, chains)
+		res, faulted := runTransportScenario(t, spec, testenv.Scenario(), testenv.Map(), baseline, chains)
 		var rep bytes.Buffer
 		res.WriteReport(&rep)
 		fmt.Fprintf(&got, "%-14s sha256=%x\n", spec.Name, sha256.Sum256(rep.Bytes()))
 		checkPoolBalance(t, spec.Name, faulted)
+	}
+
+	// The pinned search winners run over their own generated worlds:
+	// each builds its environment and its own fault-free baseline leg,
+	// then hashes the same side-by-side report. Their lines append after
+	// the builtins, so pinning a new worst case never perturbs the
+	// pre-existing golden prefix.
+	for _, spec := range Generated() {
+		scen, err := world.BuildScenario(*spec.World)
+		if err != nil {
+			t.Fatalf("%s: building world: %v", spec.Name, err)
+		}
+		mc := hdmap.DefaultConfig()
+		mc.ScanSpacing = 10
+		m, err := hdmap.Build(scen, mc)
+		if err != nil {
+			t.Fatalf("%s: building map: %v", spec.Name, err)
+		}
+		genBaseline, err := buildStack(scen, m, autoware.DetectorSSD300, false, 0, spec.worldConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		genBaseline.Run(transportGoldenDuration)
+		res, faulted := runTransportScenario(t, spec, scen, m, genBaseline, nil)
+		var rep bytes.Buffer
+		res.WriteReport(&rep)
+		fmt.Fprintf(&got, "%-14s sha256=%x\n", spec.Name, sha256.Sum256(rep.Bytes()))
+		checkPoolBalance(t, spec.Name, faulted)
+		// A pinned search winner earned its place by breaking the
+		// end-to-end budget; if the violation ever heals on its own, the
+		// pin is stale and the search should be re-run.
+		worst := 0.0
+		for _, p := range res.Paths {
+			if p.Faulted.Count > 0 && p.Faulted.P99 > worst {
+				worst = p.Faulted.P99
+			}
+		}
+		if worst <= e2eBudgetMS {
+			t.Errorf("%s: pinned violation healed: worst faulted p99 %.2f ms within the %.0f ms budget",
+				spec.Name, worst, e2eBudgetMS)
+		}
 	}
 
 	if os.Getenv("UPDATE_TRANSPORT_GOLDENS") != "" {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/autoware"
 	"repro/internal/parallel"
 	"repro/internal/testenv"
+	"repro/internal/world"
 )
 
 // TestTransportWorkerInvariance pins the determinism contract of the
@@ -32,13 +33,13 @@ func TestTransportWorkerInvariance(t *testing.T) {
 		prev := parallel.MaxWorkers()
 		parallel.SetMaxWorkers(workers)
 		defer parallel.SetMaxWorkers(prev)
-		baseline, err := buildStack(testenv.Scenario(), testenv.Map(), autoware.DetectorSSD300, false, 0)
+		baseline, err := buildStack(testenv.Scenario(), testenv.Map(), autoware.DetectorSSD300, false, 0, world.DefaultScenarioConfig())
 		if err != nil {
 			t.Fatal(err)
 		}
 		chains := avstack.AttachChainLog(baseline)
 		baseline.Run(transportGoldenDuration)
-		res, faulted := runTransportScenario(t, spec, baseline, chains)
+		res, faulted := runTransportScenario(t, spec, testenv.Scenario(), testenv.Map(), baseline, chains)
 		var rep bytes.Buffer
 		res.WriteReport(&rep)
 		return outcome{report: rep.String(), fingerprint: faulted.Recorder.Fingerprint()}
@@ -72,13 +73,13 @@ func TestSchedWorkerInvariance(t *testing.T) {
 		prev := parallel.MaxWorkers()
 		parallel.SetMaxWorkers(workers)
 		defer parallel.SetMaxWorkers(prev)
-		baseline, err := buildStack(testenv.Scenario(), testenv.Map(), autoware.DetectorSSD300, false, 0)
+		baseline, err := buildStack(testenv.Scenario(), testenv.Map(), autoware.DetectorSSD300, false, 0, world.DefaultScenarioConfig())
 		if err != nil {
 			t.Fatal(err)
 		}
 		chains := avstack.AttachChainLog(baseline)
 		baseline.Run(transportGoldenDuration)
-		_, faulted := runTransportScenario(t, spec, baseline, chains)
+		_, faulted := runTransportScenario(t, spec, testenv.Scenario(), testenv.Map(), baseline, chains)
 		return faulted.Recorder.Fingerprint()
 	}
 

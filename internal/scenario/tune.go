@@ -86,7 +86,7 @@ func TuneWithEnv(scen *world.Scenario, m *hdmap.Map, spec Spec, det autoware.Det
 		return nil, fmt.Errorf("scenario: duration %v shorter than scenario horizon %v", duration, min)
 	}
 
-	profile, err := buildStack(scen, m, det, false, 0)
+	profile, err := buildStack(scen, m, det, false, 0, spec.worldConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -133,7 +133,7 @@ func evalCandidate(scen *world.Scenario, m *hdmap.Map, spec Spec, det autoware.D
 	if !c.Disabled {
 		depth = c.Knobs.QueueDepth
 	}
-	st, err := buildStack(scen, m, det, spec.Guard, depth)
+	st, err := buildStack(scen, m, det, spec.Guard, depth, spec.worldConfig())
 	if err != nil {
 		return sched.Eval{}, err
 	}

@@ -1,6 +1,8 @@
 package world
 
 import (
+	"fmt"
+
 	"repro/internal/geom"
 	"repro/internal/mathx"
 )
@@ -31,6 +33,12 @@ type CityConfig struct {
 	// BuildingDensity in [0,1] is the chance a lot inside a block gets
 	// a building.
 	BuildingDensity float64
+	// FurnitureSeed, when nonzero, gives street furniture (poles) its
+	// own RNG stream instead of continuing the building stream. The
+	// scripted default keeps it zero — the shared stream is pinned by
+	// historical golden hashes — but generated cities always set it, so
+	// mutating BuildingDensity cannot reshuffle pole placement.
+	FurnitureSeed uint64
 }
 
 // DefaultCityConfig mirrors a dense mid-rise urban district, matching
@@ -45,10 +53,24 @@ func DefaultCityConfig() CityConfig {
 	}
 }
 
-// NewCity deterministically generates a city from the config.
+// NewCity deterministically generates a city from the config. It
+// panics on an invalid config; generated configs should go through
+// BuildCity, which reports the problem as a sentinel error instead.
 func NewCity(cfg CityConfig) *City {
-	if cfg.Blocks <= 0 || cfg.BlockSize <= 0 {
-		panic("world: invalid city config")
+	c, err := BuildCity(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// BuildCity deterministically generates a city from the config,
+// rejecting invalid parameter combinations with an error wrapping
+// ErrCityConfig (hostile or mutated configs must never panic the
+// generator).
+func BuildCity(cfg CityConfig) (*City, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	rng := mathx.NewRNG(cfg.Seed)
 	c := &City{
@@ -86,10 +108,16 @@ func NewCity(cfg CityConfig) *City {
 			}
 		}
 	}
-	// Street furniture: poles at intersection corners.
+	// Street furniture: poles at intersection corners. With a furniture
+	// seed the poles own their stream; otherwise they continue the
+	// building stream (the legacy derivation the goldens pin).
+	frng := rng
+	if cfg.FurnitureSeed != 0 {
+		frng = mathx.NewRNG(cfg.FurnitureSeed)
+	}
 	for ix := 0; ix <= cfg.Blocks; ix++ {
 		for iy := 0; iy <= cfg.Blocks; iy++ {
-			if !rng.Bool(0.6) {
+			if !frng.Bool(0.6) {
 				continue
 			}
 			px := float64(ix)*cfg.BlockSize + cfg.StreetWidth/2 + 1
@@ -103,7 +131,23 @@ func NewCity(cfg CityConfig) *City {
 		}
 	}
 	c.buildIndex()
-	return c
+	return c, nil
+}
+
+// Validate rejects parameter combinations the generator cannot turn
+// into a well-formed city. Every violation wraps ErrCityConfig.
+func (cfg CityConfig) Validate() error {
+	switch {
+	case cfg.Blocks <= 0 || cfg.Blocks > maxBlocks:
+		return fmt.Errorf("%w: blocks %d outside [1, %d]", ErrCityConfig, cfg.Blocks, maxBlocks)
+	case !isFinite(cfg.BlockSize) || cfg.BlockSize <= 0:
+		return fmt.Errorf("%w: block size %v not a positive finite length", ErrCityConfig, cfg.BlockSize)
+	case !isFinite(cfg.StreetWidth) || cfg.StreetWidth < 0 || cfg.StreetWidth >= cfg.BlockSize:
+		return fmt.Errorf("%w: street width %v outside [0, block size)", ErrCityConfig, cfg.StreetWidth)
+	case !isFinite(cfg.BuildingDensity) || cfg.BuildingDensity < 0 || cfg.BuildingDensity > 1:
+		return fmt.Errorf("%w: building density %v outside [0, 1]", ErrCityConfig, cfg.BuildingDensity)
+	}
+	return nil
 }
 
 func (c *City) buildIndex() {

@@ -1,0 +1,46 @@
+package world
+
+import (
+	"errors"
+	"math"
+)
+
+// Sentinel errors for the scenario generator. Every rejection from
+// BuildCity/BuildScenario (and therefore from the params codec) wraps
+// one of these, so callers — the adversarial search harness mutating
+// configs, the codec fuzzer feeding hostile input — can classify the
+// failure with errors.Is instead of parsing messages. The generator
+// contract is: a valid drivable scenario, or a named sentinel error,
+// never a panic.
+var (
+	// ErrCityConfig marks a city parameterization the generator cannot
+	// realize (non-positive sizes, density outside [0,1], ...).
+	ErrCityConfig = errors.New("world: invalid city config")
+	// ErrCityTooSmall marks a city with too few blocks to host the
+	// scripted ego loop and traffic placement (minimum 3 per axis).
+	ErrCityTooSmall = errors.New("world: city too small for a drivable ego loop")
+	// ErrTrafficConfig marks invalid traffic volumes.
+	ErrTrafficConfig = errors.New("world: invalid traffic config")
+	// ErrEgoConfig marks an undrivable ego parameterization.
+	ErrEgoConfig = errors.New("world: invalid ego config")
+	// ErrBurstConfig marks an invalid pedestrian-burst parameterization.
+	ErrBurstConfig = errors.New("world: invalid pedestrian burst config")
+	// ErrNoiseConfig marks an invalid sensor-noise/weather profile.
+	ErrNoiseConfig = errors.New("world: invalid noise profile")
+	// ErrSpaceConfig marks a degenerate sampling space.
+	ErrSpaceConfig = errors.New("world: invalid param space")
+	// ErrParams marks scenario-parameter text the codec cannot decode.
+	ErrParams = errors.New("world: invalid scenario params")
+)
+
+// maxBlocks bounds city size so hostile codec input cannot demand an
+// effectively unbounded allocation (lots grow quadratically in blocks).
+const maxBlocks = 64
+
+// maxTrafficActors bounds the total scripted population per class for
+// the same reason.
+const maxTrafficActors = 4096
+
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}

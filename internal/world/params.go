@@ -1,0 +1,204 @@
+package world
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// The scenario-parameter codec serializes a ScenarioConfig as a single
+// line of space-separated key=value tokens in a fixed key order:
+//
+//	blocks=8 size=100 street=14 density=0.85 cityseed=0xa07a0 ...
+//
+// One line describes one sampled world, so a search candidate, a pinned
+// regression scenario, and a params file row are all the same string.
+// The codec is strict and total: ParseParams either returns a config
+// that passes Validate or a sentinel error wrapping ErrParams (or the
+// validation sentinel) — hostile input never panics. Marshal∘Parse is
+// the identity on valid configs, and Parse∘Marshal is the identity on
+// canonical lines, which is what FuzzScenarioParams pins.
+
+// MarshalParams serializes cfg as one canonical params line. Zero-value
+// optional sections (burst, noise) are omitted, so the scripted default
+// stays a short line.
+func MarshalParams(cfg ScenarioConfig) string {
+	var b strings.Builder
+	put := func(key, val string) {
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(key)
+		b.WriteByte('=')
+		b.WriteString(val)
+	}
+	putInt := func(key string, v int) { put(key, strconv.Itoa(v)) }
+	putF := func(key string, v float64) { put(key, strconv.FormatFloat(v, 'g', -1, 64)) }
+	putHex := func(key string, v uint64) { put(key, "0x"+strconv.FormatUint(v, 16)) }
+
+	putInt("blocks", cfg.City.Blocks)
+	putF("size", cfg.City.BlockSize)
+	putF("street", cfg.City.StreetWidth)
+	putF("density", cfg.City.BuildingDensity)
+	putHex("cityseed", cfg.City.Seed)
+	if cfg.City.FurnitureSeed != 0 {
+		putHex("furnitureseed", cfg.City.FurnitureSeed)
+	}
+	putHex("seed", cfg.Seed)
+	putInt("cars", cfg.NumCars)
+	putInt("peds", cfg.NumPedestrians)
+	putInt("cyclists", cfg.NumCyclists)
+	putF("ego", cfg.EgoSpeed)
+	if cfg.LeadVehicle {
+		put("lead", "1")
+	}
+	if cfg.SplitStreams {
+		put("split", "1")
+	}
+	if cfg.Burst.Count != 0 {
+		putInt("burst", cfg.Burst.Count)
+		putInt("burststreet", cfg.Burst.Street)
+		putF("burstradius", cfg.Burst.Radius)
+		putF("burststagger", cfg.Burst.Stagger)
+	}
+	if !cfg.Noise.IsZero() {
+		name := cfg.Noise.Name
+		if name == "" {
+			name = "custom"
+		}
+		put("weather", name)
+		putF("lidarnoise", cfg.Noise.LiDARRange)
+		putF("lidardrop", cfg.Noise.LiDARDrop)
+		putF("pixelnoise", cfg.Noise.CameraPixel)
+	}
+	return b.String()
+}
+
+// ParseParams decodes one params line into a validated ScenarioConfig.
+// Unknown keys, duplicate keys, malformed values, and configs that fail
+// Validate are all rejected with sentinel errors; no input panics.
+func ParseParams(line string) (ScenarioConfig, error) {
+	var cfg ScenarioConfig
+	seen := make(map[string]bool, 16)
+	for _, tok := range strings.Fields(line) {
+		key, val, ok := strings.Cut(tok, "=")
+		if !ok || key == "" || val == "" {
+			return cfg, fmt.Errorf("%w: token %q is not key=value", ErrParams, tok)
+		}
+		if seen[key] {
+			return cfg, fmt.Errorf("%w: duplicate key %q", ErrParams, key)
+		}
+		seen[key] = true
+		if err := setParam(&cfg, key, val); err != nil {
+			return cfg, err
+		}
+	}
+	if len(seen) == 0 {
+		return cfg, fmt.Errorf("%w: empty params line", ErrParams)
+	}
+	// Optional-section sub-keys are only meaningful with their lead key
+	// present: an orphaned nonzero sub-value would be dropped by
+	// MarshalParams and silently break canonical round-trip.
+	if cfg.Burst.Count == 0 && cfg.Burst != (PedBurst{}) {
+		return cfg, fmt.Errorf("%w: burst sub-keys without a burst count", ErrParams)
+	}
+	if !seen["weather"] && !cfg.Noise.IsZero() {
+		return cfg, fmt.Errorf("%w: noise overrides without a weather name", ErrParams)
+	}
+	if err := cfg.Validate(); err != nil {
+		return ScenarioConfig{}, err
+	}
+	return cfg, nil
+}
+
+func setParam(cfg *ScenarioConfig, key, val string) error {
+	parseInt := func() (int, error) {
+		v, err := strconv.Atoi(val)
+		if err != nil {
+			return 0, fmt.Errorf("%w: key %q: %q is not an integer", ErrParams, key, val)
+		}
+		return v, nil
+	}
+	parseF := func() (float64, error) {
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return 0, fmt.Errorf("%w: key %q: %q is not a number", ErrParams, key, val)
+		}
+		return v, nil
+	}
+	parseHex := func() (uint64, error) {
+		s := strings.TrimPrefix(val, "0x")
+		v, err := strconv.ParseUint(s, 16, 64)
+		if err != nil {
+			return 0, fmt.Errorf("%w: key %q: %q is not a hex seed", ErrParams, key, val)
+		}
+		return v, nil
+	}
+	var err error
+	switch key {
+	case "blocks":
+		cfg.City.Blocks, err = parseInt()
+	case "size":
+		cfg.City.BlockSize, err = parseF()
+	case "street":
+		cfg.City.StreetWidth, err = parseF()
+	case "density":
+		cfg.City.BuildingDensity, err = parseF()
+	case "cityseed":
+		cfg.City.Seed, err = parseHex()
+	case "furnitureseed":
+		cfg.City.FurnitureSeed, err = parseHex()
+		if err == nil && cfg.City.FurnitureSeed == 0 {
+			err = fmt.Errorf("%w: furnitureseed must be nonzero when present", ErrParams)
+		}
+	case "seed":
+		cfg.Seed, err = parseHex()
+	case "cars":
+		cfg.NumCars, err = parseInt()
+	case "peds":
+		cfg.NumPedestrians, err = parseInt()
+	case "cyclists":
+		cfg.NumCyclists, err = parseInt()
+	case "ego":
+		cfg.EgoSpeed, err = parseF()
+	case "lead":
+		err = parseFlag(key, val, &cfg.LeadVehicle)
+	case "split":
+		err = parseFlag(key, val, &cfg.SplitStreams)
+	case "burst":
+		cfg.Burst.Count, err = parseInt()
+		if err == nil && cfg.Burst.Count == 0 {
+			err = fmt.Errorf("%w: burst count must be nonzero when present", ErrParams)
+		}
+	case "burststreet":
+		cfg.Burst.Street, err = parseInt()
+	case "burstradius":
+		cfg.Burst.Radius, err = parseF()
+	case "burststagger":
+		cfg.Burst.Stagger, err = parseF()
+	case "weather":
+		if !validProfileName(val) || val == "" {
+			return fmt.Errorf("%w: weather name %q (want lowercase [a-z0-9-], <= 24 chars)", ErrParams, val)
+		}
+		cfg.Noise.Name = val
+	case "lidarnoise":
+		cfg.Noise.LiDARRange, err = parseF()
+	case "lidardrop":
+		cfg.Noise.LiDARDrop, err = parseF()
+	case "pixelnoise":
+		cfg.Noise.CameraPixel, err = parseF()
+	default:
+		return fmt.Errorf("%w: unknown key %q", ErrParams, key)
+	}
+	return err
+}
+
+// parseFlag accepts only the canonical "1" (flags are omitted when
+// false, so any other value would break round-trip stability).
+func parseFlag(key, val string, dst *bool) error {
+	if val != "1" {
+		return fmt.Errorf("%w: key %q: %q is not the flag value 1", ErrParams, key, val)
+	}
+	*dst = true
+	return nil
+}

@@ -1,0 +1,52 @@
+package world
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzScenarioParams pins the codec's two safety properties against
+// hostile input: ParseParams never panics (it returns a validated
+// config or a sentinel error), and any accepted input reaches a stable
+// canonical form — marshal∘parse is the identity on parse results, and
+// the canonical line re-parses to the identical config.
+func FuzzScenarioParams(f *testing.F) {
+	f.Add(MarshalParams(DefaultScenarioConfig()))
+	for seed := uint64(0); seed < 4; seed++ {
+		if cfg, err := Generate(DefaultSpace(), seed); err == nil {
+			f.Add(MarshalParams(cfg))
+		}
+	}
+	f.Add("")
+	f.Add("blocks=8")
+	f.Add("blocks=8 blocks=9")
+	f.Add("weather=rain lidarnoise=1e308")
+	f.Add("blocks=8 size=NaN street=14 density=0.5 cityseed=0x1 seed=0x2 cars=1 peds=0 cyclists=0 ego=9")
+	f.Fuzz(func(t *testing.T, line string) {
+		cfg, err := ParseParams(line) // must never panic
+		if err != nil {
+			return
+		}
+		// Accepted input must be a valid config...
+		if verr := cfg.Validate(); verr != nil {
+			t.Fatalf("ParseParams(%q) accepted invalid config: %v", line, verr)
+		}
+		// ...with a canonical form that is a fixed point of the codec.
+		canon := MarshalParams(cfg)
+		back, err := ParseParams(canon)
+		if err != nil {
+			t.Fatalf("canonical line %q does not re-parse: %v", canon, err)
+		}
+		if back != cfg {
+			t.Fatalf("canonical round-trip mismatch for %q:\ncanon: %s\ngot:   %+v\nwant:  %+v",
+				line, canon, back, cfg)
+		}
+		if again := MarshalParams(back); again != canon {
+			t.Fatalf("marshal not stable: %q vs %q", canon, again)
+		}
+		// Canonical lines never need escaping: single spaces, no tabs.
+		if strings.ContainsAny(canon, "\t\n\r") || strings.Contains(canon, "  ") {
+			t.Fatalf("canonical line contains raw whitespace: %q", canon)
+		}
+	})
+}
