@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench-smoke fuzz-smoke chaos-smoke corruption-smoke bench-middleware bus-stress sched-smoke search-smoke docs-lint
+.PHONY: build test race vet bench-smoke fuzz-smoke chaos-smoke corruption-smoke bench-middleware bus-stress sched-smoke search-smoke fleet-smoke docs-lint
 
 build:
 	$(GO) build ./...
@@ -87,6 +87,17 @@ search-smoke:
 	cmp /tmp/search_a.json /tmp/search_b.json
 	$(GO) test -count=1 -short ./internal/search/
 	$(GO) test -count=1 ./internal/world/ ./internal/faults/
+
+# Fleet service smoke: the avfleet self-test drives a real loopback
+# instance over HTTP — healthy jobs plus a byte-identical cache hit, a
+# crash-then-recover retry, a crash-always dead letter, a past-deadline
+# job, and queue saturation answered with an explicit 429 — and exits
+# non-zero if any contract breaks or the service crashes. Then the
+# package's chaos-isolation and retry-determinism tests (unaffected
+# tenants byte-identical to solo runs with crashing/stalling neighbours).
+fleet-smoke:
+	$(GO) run ./cmd/avfleet -smoke
+	$(GO) test -count=1 -run='TestFleetIsolationUnderChaos|TestFleetRetryDeterminism' ./internal/fleet/
 
 # Docs hygiene: formatting, vet, and a package comment on every
 # internal package (godoc's first requirement for a readable map).

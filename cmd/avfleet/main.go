@@ -1,0 +1,91 @@
+// Command avfleet serves vehicle simulations as a fleet: a long-running
+// HTTP service that accepts jobs keyed by (scenario, seed, world
+// params, config), runs each as an isolated virtual-time vehicle on the
+// shared worker pool, and aggregates per-tenant results.
+//
+// Usage:
+//
+//	avfleet [-addr :8373] [-workers N] [-queue 64] [-detector SSD300]
+//	        [-duration 8s] [-retries 2] [-retry-base 50ms] [-retry-seed 1]
+//	        [-attempt-timeout 0] [-target-p99 0] [-cache 256] [-chaos]
+//	        [-smoke]
+//
+// Endpoints:
+//
+//	POST /jobs            submit a job; ?wait=1 blocks for the result
+//	GET  /jobs/{id}       job record
+//	GET  /jobs/{id}/report  final side-by-side report
+//	GET  /fleetz          ladder state, queue, per-tenant p50/p99,
+//	                      retries/sheds/rejections, dead letters
+//	GET  /healthz         liveness
+//
+// Overload is explicit, never silent: a full admission queue answers
+// 429, the shedding ladder rejects best-effort tenants with 429, and
+// the draining state answers 503 until the backlog clears. Identical
+// job keys are served from the result cache byte-identically.
+//
+// -chaos enables per-job fault injection (crash/stall attempts) for
+// harness use; leave it off in real deployments. -smoke starts the
+// service on a loopback port, drives the full robustness surface over
+// real HTTP — healthy jobs, a cache hit, a crash-then-recover retry, a
+// crash-always dead letter, a past-deadline job, queue saturation —
+// and exits non-zero if any contract is violated.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/autoware"
+	"repro/internal/fleet"
+)
+
+func main() {
+	addr := flag.String("addr", ":8373", "listen address")
+	workers := flag.Int("workers", 0, "max concurrently simulating vehicles (0 = NumCPU)")
+	queue := flag.Int("queue", 64, "admission queue depth (overflow answers 429)")
+	detector := flag.String("detector", string(autoware.DetectorSSD300), "vision detector (SSD300, SSD512, YOLOv3-416)")
+	duration := flag.Duration("duration", 8*time.Second, "default virtual drive length per job")
+	retries := flag.Int("retries", 2, "retry budget for transient (crash/timeout) failures")
+	retryBase := flag.Duration("retry-base", 50*time.Millisecond, "first backoff delay (doubles per retry, seeded jitter)")
+	retrySeed := flag.Uint64("retry-seed", 1, "seed for the deterministic backoff jitter")
+	attemptTimeout := flag.Duration("attempt-timeout", 0, "wall-clock bound per attempt (0 = job deadline only)")
+	targetP99 := flag.Duration("target-p99", 0, "healthy completion p99; sustained drift past it sheds load (0 = off)")
+	cache := flag.Int("cache", 256, "result cache entries (negative disables)")
+	chaos := flag.Bool("chaos", false, "allow per-job chaos injection (crash/stall attempts)")
+	smoke := flag.Bool("smoke", false, "run the self-test against a loopback instance and exit")
+	flag.Parse()
+
+	cfg := fleet.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		Detector:       autoware.Detector(*detector),
+		Duration:       *duration,
+		RetryBudget:    *retries,
+		RetryBase:      *retryBase,
+		RetrySeed:      *retrySeed,
+		AttemptTimeout: *attemptTimeout,
+		TargetP99:      *targetP99,
+		CacheSize:      *cache,
+		AllowChaos:     *chaos,
+	}
+
+	if *smoke {
+		if err := runSmoke(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "avfleet smoke: FAIL: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("avfleet smoke: ok")
+		return
+	}
+
+	svc := fleet.New(cfg)
+	defer svc.Close()
+	log.Printf("avfleet: serving on %s (workers=%d queue=%d detector=%s)",
+		*addr, cfg.Workers, cfg.QueueDepth, cfg.Detector)
+	log.Fatal(http.ListenAndServe(*addr, fleet.Handler(svc)))
+}

@@ -1,0 +1,187 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/fleet"
+	"repro/internal/scenario"
+)
+
+// runSmoke exercises the full robustness surface of a real avfleet
+// instance over loopback HTTP: healthy jobs and a cache hit, a
+// crash-then-recover retry, a crash-always dead letter, a past-deadline
+// job, and queue saturation — the service must survive all of it and
+// account for every outcome in /fleetz.
+func runSmoke(cfg fleet.Config) error {
+	// The smoke fleet is deliberately tiny so saturation is reachable,
+	// and the ladder is parked high so a full queue answers 429
+	// (the ladder's own transitions are covered by the package tests).
+	cfg.Workers = 2
+	cfg.QueueDepth = 4
+	cfg.RetryBudget = 1
+	cfg.RetryBase = 10 * time.Millisecond
+	cfg.AllowChaos = true
+	cfg.ShedHighWater = 2
+	cfg.DrainHighWater = 2
+
+	svc := fleet.New(cfg)
+	defer svc.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	server := &http.Server{Handler: fleet.Handler(svc)}
+	go server.Serve(ln)
+	defer server.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("smoke fleet on %s\n", base)
+
+	get := func(path string) (int, []byte, error) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			return 0, nil, err
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp.StatusCode, buf.Bytes(), nil
+	}
+	submit := func(job fleet.Job, wait bool) (int, fleet.Record, error) {
+		body, _ := json.Marshal(job)
+		url := base + "/jobs"
+		if wait {
+			url += "?wait=1"
+		}
+		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, fleet.Record{}, err
+		}
+		defer resp.Body.Close()
+		var rec fleet.Record
+		if resp.StatusCode == http.StatusAccepted {
+			if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+				return resp.StatusCode, rec, err
+			}
+		}
+		return resp.StatusCode, rec, nil
+	}
+
+	if code, _, err := get("/healthz"); err != nil || code != http.StatusOK {
+		return fmt.Errorf("healthz: code %d err %v", code, err)
+	}
+
+	// A healthy tenant's job, then its byte-identical cache hit.
+	code, healthy, err := submit(fleet.Job{Tenant: "alice", Priority: 1, Scenario: scenario.NameCameraStall}, true)
+	if err != nil || code != http.StatusAccepted {
+		return fmt.Errorf("healthy job: code %d err %v", code, err)
+	}
+	if healthy.State != fleet.StateDone {
+		return fmt.Errorf("healthy job state %s (%s), want done", healthy.State, healthy.Err)
+	}
+	rcode, report, err := get(fmt.Sprintf("/jobs/%d/report", healthy.ID))
+	if err != nil || rcode != http.StatusOK || !strings.Contains(string(report), scenario.NameCameraStall) {
+		return fmt.Errorf("healthy report: code %d err %v (%d bytes)", rcode, err, len(report))
+	}
+	_, dup, err := submit(fleet.Job{Tenant: "bob", Priority: 1, Scenario: scenario.NameCameraStall}, true)
+	if err != nil || !dup.CacheHit {
+		return fmt.Errorf("duplicate job: cache_hit=%v err %v, want a cache hit", dup.CacheHit, err)
+	}
+	_, dupReport, err := get(fmt.Sprintf("/jobs/%d/report", dup.ID))
+	if err != nil || !bytes.Equal(dupReport, report) {
+		return fmt.Errorf("cached report diverged from the original (%d vs %d bytes)", len(dupReport), len(report))
+	}
+
+	// A transient crash on the first attempt: the retry recovers it.
+	_, flaky, err := submit(fleet.Job{
+		Tenant: "flaky", Priority: 1, Scenario: scenario.NameCameraStall, Seed: 5,
+		Chaos: &fleet.Chaos{Kind: faults.KindCrash, Attempts: 1},
+	}, true)
+	if err != nil || flaky.State != fleet.StateDone || flaky.Retries != 1 {
+		return fmt.Errorf("crash-once job: state %s retries %d err %v, want done after 1 retry", flaky.State, flaky.Retries, err)
+	}
+
+	// A vehicle that panics on every attempt dead-letters; the service
+	// stays up.
+	_, dead, err := submit(fleet.Job{
+		Tenant: "mallory", Priority: 1, Scenario: scenario.NameCameraStall, Seed: 6,
+		Chaos: &fleet.Chaos{Kind: faults.KindCrash, Attempts: 99},
+	}, true)
+	if err != nil || dead.State != fleet.StateFailed || !dead.DeadLetter {
+		return fmt.Errorf("crash-always job: state %s dead_letter %v err %v, want a dead letter", dead.State, dead.DeadLetter, err)
+	}
+
+	// A job past its wall-clock deadline fails promptly and finally.
+	_, late, err := submit(fleet.Job{
+		Tenant: "late", Priority: 1, Scenario: scenario.NameCameraStall, Seed: 7,
+		Deadline: time.Millisecond,
+	}, true)
+	if err != nil || late.State != fleet.StateFailed || !strings.Contains(late.Err, "deadline") {
+		return fmt.Errorf("past-deadline job: state %s err %q, want a deadline failure", late.State, late.Err)
+	}
+
+	// Saturate: two stalling vehicles pin both workers, the bounded
+	// queue fills, and the overflow is an explicit 429.
+	for i := 0; i < 2; i++ {
+		code, _, err := submit(fleet.Job{
+			Tenant: "burst", Priority: 1, Scenario: scenario.NameCameraStall, Seed: uint64(100 + i),
+			Deadline: time.Second, Chaos: &fleet.Chaos{Kind: faults.KindStall, Attempts: 99},
+		}, false)
+		if err != nil || code != http.StatusAccepted {
+			return fmt.Errorf("stall blocker %d: code %d err %v", i, code, err)
+		}
+	}
+	saw429 := false
+	for i := 0; i < 8; i++ {
+		code, _, err := submit(fleet.Job{
+			Tenant: "burst", Priority: 1, Scenario: scenario.NameCameraStall, Seed: uint64(200 + i),
+			Deadline: time.Second, Chaos: &fleet.Chaos{Kind: faults.KindCrash, Attempts: 99},
+		}, false)
+		if err != nil {
+			return fmt.Errorf("burst job %d: %v", i, err)
+		}
+		if code == http.StatusTooManyRequests {
+			saw429 = true
+			break
+		}
+		if code != http.StatusAccepted {
+			return fmt.Errorf("burst job %d: unexpected code %d", i, code)
+		}
+	}
+	if !saw429 {
+		return fmt.Errorf("saturating the queue never produced a 429")
+	}
+
+	// Let the burst drain, then check the books.
+	time.Sleep(1500 * time.Millisecond)
+	code, fleetz, err := get("/fleetz")
+	if err != nil || code != http.StatusOK {
+		return fmt.Errorf("fleetz: code %d err %v", code, err)
+	}
+	var st fleet.Status
+	if err := json.Unmarshal(fleetz, &st); err != nil {
+		return fmt.Errorf("fleetz decode: %v", err)
+	}
+	switch {
+	case st.Fleet.Completed < 3:
+		return fmt.Errorf("fleetz: completed %d, want >= 3 (healthy, cache hit, recovered)", st.Fleet.Completed)
+	case st.Fleet.Rejected < 1:
+		return fmt.Errorf("fleetz: rejected %d, want >= 1 (saturation)", st.Fleet.Rejected)
+	case len(st.DeadLetters) < 1:
+		return fmt.Errorf("fleetz: no dead letters, want mallory's job")
+	case st.PoolPanics < 2:
+		return fmt.Errorf("fleetz: %d captured panics, want >= 2", st.PoolPanics)
+	case st.Fleet.CacheHits < 1:
+		return fmt.Errorf("fleetz: %d cache hits, want >= 1", st.Fleet.CacheHits)
+	}
+	fmt.Printf("fleet: %d completed, %d failed, %d retries, %d rejected, %d dead letters, %d panics captured, state %s\n",
+		st.Fleet.Completed, st.Fleet.Failed, st.Fleet.Retries, st.Fleet.Rejected,
+		len(st.DeadLetters), st.PoolPanics, st.State)
+	return nil
+}

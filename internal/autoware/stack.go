@@ -1,6 +1,8 @@
 package autoware
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -271,6 +273,40 @@ func (s *Stack) every(offset, period time.Duration, fn func(*world.Snapshot)) {
 func (s *Stack) Run(d time.Duration) {
 	s.ran += d
 	s.Sim.Run(s.ran)
+}
+
+// ErrCancelled is the sentinel RunContext wraps when the context ends
+// before the drive horizon: the run stopped early, its measurements
+// cover only the virtual time actually simulated.
+var ErrCancelled = errors.New("autoware: run cancelled")
+
+// runSlice is the virtual-time granularity at which RunContext polls
+// the context. Event order is identical to one uninterrupted Run — the
+// event loop pops strictly by (time, seq) either way — so slicing
+// changes cancellation latency, never a reported number.
+const runSlice = 100 * time.Millisecond
+
+// RunContext is Run with cooperative cancellation: it advances the
+// drive in runSlice virtual steps, checking ctx between steps, and
+// returns an error wrapping both ErrCancelled and ctx.Err() if the
+// context ends first. A fleet job deadline therefore stops in-flight
+// simulation within one slice of wall clock instead of leaking the
+// vehicle until drive end. Identical inputs run to completion produce
+// results byte-identical to Run.
+func (s *Stack) RunContext(ctx context.Context, d time.Duration) error {
+	target := s.ran + d
+	for s.ran < target {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("%w at t=%v: %w", ErrCancelled, s.ran, err)
+		}
+		step := runSlice
+		if rem := target - s.ran; rem < step {
+			step = rem
+		}
+		s.ran += step
+		s.Sim.Run(s.ran)
+	}
+	return nil
 }
 
 // Horizon returns the total virtual time simulated so far.

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/autoware"
+	"repro/internal/testenv"
+)
+
+// TestRunsCancelledReturnsPromptly pins the fleet-deadline contract on
+// the experiment engine: a context cancelled mid-drive stops in-flight
+// simulation within a slice of wall clock and surfaces the
+// autoware.ErrCancelled sentinel, instead of leaking the run until
+// drive end.
+func TestRunsCancelledReturnsPromptly(t *testing.T) {
+	env := &Env{Scenario: testenv.Scenario(), Map: testenv.Map()}
+
+	// A 10-minute virtual drive would take minutes of wall clock; the
+	// 50 ms context must cut it off in well under a second.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	runs := NewRuns(env, 10*time.Minute)
+	runs.Ctx = ctx
+
+	start := time.Now()
+	_, err := runs.Full(autoware.DetectorSSD300)
+	elapsed := time.Since(start)
+
+	if !errors.Is(err, autoware.ErrCancelled) {
+		t.Fatalf("Full under dead context = %v, want wrapped autoware.ErrCancelled", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error %v should also wrap context.DeadlineExceeded", err)
+	}
+	if elapsed > 10*time.Second {
+		t.Fatalf("cancelled run took %v, want prompt return", elapsed)
+	}
+
+	// An already-cancelled context never starts simulating at all.
+	done, cancelNow := context.WithCancel(context.Background())
+	cancelNow()
+	runs2 := NewRuns(env, time.Second)
+	runs2.Ctx = done
+	if _, err := runs2.Full(autoware.DetectorSSD300); !errors.Is(err, autoware.ErrCancelled) {
+		t.Fatalf("pre-cancelled Full = %v, want autoware.ErrCancelled", err)
+	}
+}

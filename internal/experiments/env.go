@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -47,6 +48,11 @@ type Runs struct {
 	// sensor input (these runs inject no faults) the guard is a no-op;
 	// the flag exists to demonstrate exactly that.
 	Guard bool
+	// Ctx, when non-nil, cancels in-flight simulation cooperatively: a
+	// run cut short returns an error wrapping autoware.ErrCancelled
+	// instead of simulating to drive end. Completed runs are identical
+	// with or without it.
+	Ctx context.Context
 
 	mu         sync.Mutex
 	full       map[autoware.Detector]*autoware.Stack
@@ -80,6 +86,16 @@ func (r *Runs) store(m map[autoware.Detector]*autoware.Stack, key autoware.Detec
 	r.mu.Unlock()
 }
 
+// drive advances a freshly built stack to the run horizon, honoring the
+// cancellation context when one is set.
+func (r *Runs) drive(s *autoware.Stack) error {
+	if r.Ctx == nil {
+		s.Run(r.Duration)
+		return nil
+	}
+	return s.RunContext(r.Ctx, r.Duration)
+}
+
 // Full returns (running on first use) the full-system stack for a
 // detector.
 func (r *Runs) Full(det autoware.Detector) (*autoware.Stack, error) {
@@ -92,7 +108,9 @@ func (r *Runs) Full(det autoware.Detector) (*autoware.Stack, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.Run(r.Duration)
+	if err := r.drive(s); err != nil {
+		return nil, err
+	}
 	r.store(r.full, det, s)
 	return s, nil
 }
@@ -109,7 +127,9 @@ func (r *Runs) Standalone(det autoware.Detector) (*autoware.Stack, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.Run(r.Duration)
+	if err := r.drive(s); err != nil {
+		return nil, err
+	}
 	r.store(r.standalone, det, s)
 	return s, nil
 }
@@ -127,7 +147,9 @@ func (r *Runs) Saturated(det autoware.Detector) (*autoware.Stack, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.Run(r.Duration)
+	if err := r.drive(s); err != nil {
+		return nil, err
+	}
 	r.store(r.saturated, det, s)
 	return s, nil
 }

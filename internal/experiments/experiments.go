@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -319,14 +320,27 @@ func ByName(name string) (Experiment, error) {
 // the (serial, ordered) report rendering; the reports are identical
 // either way.
 func RunAll(w io.Writer, env *Env, duration time.Duration, workers int) error {
+	return RunAllContext(context.Background(), w, env, duration, workers)
+}
+
+// RunAllContext is RunAll with cooperative cancellation: the context is
+// threaded into every simulated configuration (including the concurrent
+// prewarm), so cancelling stops in-flight drives within a slice of wall
+// clock — the returned error wraps autoware.ErrCancelled — instead of
+// simulating the rest of the matrix to drive end.
+func RunAllContext(ctx context.Context, w io.Writer, env *Env, duration time.Duration, workers int) error {
 	runs := NewRuns(env, duration)
 	runs.Workers = workers
+	runs.Ctx = ctx
 	if workers > 1 {
 		if err := runs.Prewarm(); err != nil {
 			return fmt.Errorf("experiments: prewarm: %w", err)
 		}
 	}
 	for _, e := range All() {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("experiments: %s: %w: %w", e.Name, autoware.ErrCancelled, err)
+		}
 		if err := e.Run(w, runs); err != nil {
 			return fmt.Errorf("experiments: %s: %w", e.Name, err)
 		}

@@ -1,0 +1,975 @@
+// Package fleet is the simulation-as-a-service layer: a long-running
+// service that accepts vehicle simulation jobs keyed by (scenario,
+// seed, world params, config), runs each as an isolated vehicle on the
+// internal/parallel pool, and aggregates per-tenant and fleet-wide
+// results. Where the guard/supervise/sched layers harden one vehicle
+// against its own faults, this layer protects vehicles from *each
+// other* — robustness is the headline, not throughput:
+//
+//   - Admission is a bounded priority queue with explicit rejection
+//     (ErrFleetSaturated): overload produces 429s, never unbounded
+//     buffering.
+//   - Per-job wall-clock deadlines propagate as context cancellation
+//     into the run (autoware.Stack.RunContext), so an expired job stops
+//     simulating within a slice of wall clock instead of leaking until
+//     drive end.
+//   - Transient failures — a crashed (panicking) or timed-out attempt —
+//     retry under a seeded exponential-backoff schedule with a bounded
+//     budget; exhaustion lands the job in the dead-letter record, never
+//     in a crash loop.
+//   - Panic isolation rides the pool's capture contract: one corrupt
+//     scenario costs exactly its own job (a *parallel.PanicError in the
+//     job record), never the service.
+//   - A load-aware degradation ladder (nominal → shed low-priority →
+//     drain-and-reject) driven by queue depth and completion-latency
+//     drift keeps the service answering under overload.
+//   - Results are cached by job key, and determinism is preserved: the
+//     same job key yields a byte-identical report whether run solo,
+//     under contention, or after a retry — every vehicle is its own
+//     virtual-time simulation, so host scheduling cannot leak in.
+//
+// The HTTP surface (Handler, cmd/avfleet) exposes submission, per-job
+// status/report endpoints, and the /fleetz aggregate.
+package fleet
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/autoware"
+	"repro/internal/faults"
+	"repro/internal/mathx"
+	"repro/internal/parallel"
+	"repro/internal/scenario"
+)
+
+// Admission and job errors.
+var (
+	// ErrFleetSaturated rejects a submission when the admission queue is
+	// full — the 429-style backpressure signal.
+	ErrFleetSaturated = errors.New("fleet: saturated (admission queue full)")
+	// ErrFleetShedding rejects a low-priority submission while the
+	// degradation ladder is in the shedding state.
+	ErrFleetShedding = errors.New("fleet: shedding low-priority load")
+	// ErrFleetDraining rejects every submission while the ladder is in
+	// the draining state (in-flight jobs still finish).
+	ErrFleetDraining = errors.New("fleet: draining (rejecting all new jobs)")
+	// ErrFleetClosed rejects submissions after Close.
+	ErrFleetClosed = errors.New("fleet: service closed")
+	// ErrJobShed marks a queued job evicted by the shedding ladder.
+	ErrJobShed = errors.New("fleet: job shed under overload")
+	// ErrRetriesExhausted wraps the last transient error once the retry
+	// budget is spent; such jobs land in the dead-letter record.
+	ErrRetriesExhausted = errors.New("fleet: retry budget exhausted")
+	// ErrBadJob marks a submission that fails validation.
+	ErrBadJob = errors.New("fleet: invalid job")
+)
+
+// Chaos is test-only attempt perturbation, reusing the fault-kind
+// vocabulary of internal/faults at the fleet layer: KindCrash panics
+// inside the attempt (captured by the pool as a *parallel.PanicError),
+// KindStall blocks the attempt until its context expires. It models
+// infrastructure failures — the vehicle's own faults belong in the
+// scenario's fault schedule. Ignored unless Config.AllowChaos.
+type Chaos struct {
+	Kind faults.Kind `json:"kind"`
+	// Attempts is how many leading attempts are perturbed; a job whose
+	// chaos covers fewer attempts than the retry budget therefore
+	// recovers — the deterministic "transient crash" fixture.
+	Attempts int `json:"attempts"`
+}
+
+// Job is one vehicle simulation request.
+type Job struct {
+	// Tenant is the isolation and aggregation unit. Empty means
+	// "default".
+	Tenant string `json:"tenant,omitempty"`
+	// Priority orders admission (higher first) and shedding (lowest
+	// evicted first). Jobs below Config.ShedPriority are rejected while
+	// the ladder sheds.
+	Priority int `json:"priority,omitempty"`
+	// Scenario names a registry scenario (builtin or pinned gen-*
+	// search winner). Exactly one of Scenario and Params must be set.
+	Scenario string `json:"scenario,omitempty"`
+	// Params is a canonical world-params line (world.MarshalParams /
+	// the adversarial search's discovered worlds): the job drives the
+	// hardened stack fault-free through that generated world.
+	Params string `json:"params,omitempty"`
+	// Seed overrides the scenario's fault seed (0 keeps the spec's).
+	Seed uint64 `json:"seed,omitempty"`
+	// Duration is the virtual drive length (0 uses Config.Duration).
+	Duration time.Duration `json:"duration,omitempty"`
+	// Deadline is the job's wall-clock budget measured from admission;
+	// 0 means none. An expired deadline cancels in-flight simulation.
+	Deadline time.Duration `json:"deadline,omitempty"`
+	// Chaos perturbs attempts for fault-injection tests (see Chaos).
+	Chaos *Chaos `json:"chaos,omitempty"`
+}
+
+// Key returns the job's canonical cache key: every input that changes
+// the simulation — scenario, world params, seed, duration, detector —
+// and nothing that does not (tenant, priority, deadline, chaos). Two
+// submissions with equal keys produce byte-identical reports, which is
+// what makes the result cache sound.
+func (j Job) key(det autoware.Detector, duration time.Duration) string {
+	return fmt.Sprintf("scenario=%s|params=%s|seed=%d|duration=%s|detector=%s",
+		j.Scenario, j.Params, j.Seed, duration, det)
+}
+
+// JobState is a job record's lifecycle state.
+type JobState string
+
+// Job lifecycle states.
+const (
+	StateQueued  JobState = "queued"
+	StateRunning JobState = "running"
+	StateDone    JobState = "done"
+	StateFailed  JobState = "failed"
+	StateShed    JobState = "shed"
+)
+
+// Attempt is one recorded execution attempt.
+type Attempt struct {
+	// Outcome is "ok", "crash" (captured panic), "timeout" (context
+	// expiry), or "error".
+	Outcome string `json:"outcome"`
+	// WallMS is the attempt's wall-clock cost in milliseconds.
+	WallMS float64 `json:"wall_ms"`
+	// Err is the attempt's error text, empty on success.
+	Err string `json:"err,omitempty"`
+}
+
+// Record is a job's full service-side record. Snapshots returned by
+// the service are copies; mutation happens only under the service lock.
+type Record struct {
+	ID       int64     `json:"id"`
+	Job      Job       `json:"job"`
+	Key      string    `json:"key"`
+	State    JobState  `json:"state"`
+	Tenant   string    `json:"tenant"`
+	Attempts []Attempt `json:"attempts,omitempty"`
+	// Backoff is the seeded retry schedule planned at admission — a
+	// pure function of (retry seed, job key), so identical jobs retry
+	// identically.
+	Backoff []time.Duration `json:"backoff,omitempty"`
+	// Retries is how many backoff delays were actually consumed.
+	Retries int `json:"retries"`
+	// CacheHit marks a job served from the result cache without
+	// re-simulation.
+	CacheHit bool `json:"cache_hit"`
+	// DeadLetter marks a job that exhausted its retry budget.
+	DeadLetter bool   `json:"dead_letter"`
+	Err        string `json:"err,omitempty"`
+	// E2EP99 is the run's worst-path p99 in milliseconds (faulted leg).
+	E2EP99 float64 `json:"e2e_p99_ms"`
+	// WallMS is the job's total wall-clock service time in ms.
+	WallMS float64 `json:"wall_ms"`
+
+	report   []byte
+	enqueued time.Time
+	done     chan struct{}
+	seq      int64
+	shedable bool
+}
+
+// Report returns the job's final report bytes (nil until done).
+func (r *Record) Report() []byte { return r.report }
+
+// Config parameterizes a Service.
+type Config struct {
+	// Workers bounds concurrently simulating vehicles (default
+	// parallel.MaxWorkers()).
+	Workers int
+	// QueueDepth bounds the admission queue; a full queue rejects with
+	// ErrFleetSaturated (default 64).
+	QueueDepth int
+	// Detector is the vision configuration vehicles run with (default
+	// SSD300, the cheapest).
+	Detector autoware.Detector
+	// Duration is the default virtual drive length for jobs that do not
+	// set one (default 8s, enough for every builtin horizon under 8s).
+	Duration time.Duration
+	// RetryBudget is the number of retries after the first attempt
+	// (default 2).
+	RetryBudget int
+	// RetryBase is the first backoff delay; delay k doubles it k times,
+	// with ±25% seeded jitter (default 50ms).
+	RetryBase time.Duration
+	// RetrySeed drives the backoff jitter (default 1). The schedule is
+	// a pure function of (RetrySeed, job key).
+	RetrySeed uint64
+	// AttemptTimeout bounds each attempt's wall clock (0 = only the
+	// job deadline bounds it). A timed-out attempt is transient and
+	// retries; an expired job deadline is final.
+	AttemptTimeout time.Duration
+	// CacheSize bounds the result cache (default 256 entries; 0 keeps
+	// the default, negative disables caching).
+	CacheSize int
+	// TargetP99 is the completion wall-time the ladder considers
+	// healthy; observed p99 above TargetP99×DriftFactor trips the
+	// shedding state. 0 disables drift detection (queue depth alone
+	// drives the ladder).
+	TargetP99 time.Duration
+	// DriftFactor scales TargetP99 into the drift threshold (default 2).
+	DriftFactor float64
+	// ShedHighWater is the queue occupancy (0..1) entering the shedding
+	// state (default 0.75); DrainHighWater the occupancy entering
+	// draining (default 0.95); LowWater the occupancy returning to
+	// nominal (default 0.25, hysteresis).
+	ShedHighWater  float64
+	DrainHighWater float64
+	LowWater       float64
+	// ShedPriority is the admission floor while shedding: submissions
+	// with Priority below it are rejected, queued jobs below it are
+	// evicted (default 1, so priority 0 is the best-effort class).
+	ShedPriority int
+	// AllowChaos enables Job.Chaos (tests and the smoke harness only).
+	AllowChaos bool
+	// Resolve maps a scenario name to its spec (default
+	// scenario.ByName; tests substitute tiny fixtures).
+	Resolve func(string) (scenario.Spec, error)
+	// Runner executes one resolved job attempt (default the shared
+	// environment-caching scenario runner; tests substitute fakes).
+	Runner Runner
+}
+
+func (c *Config) fill() {
+	if c.Workers < 1 {
+		c.Workers = parallel.MaxWorkers()
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 64
+	}
+	if c.Detector == "" {
+		c.Detector = autoware.DetectorSSD300
+	}
+	if c.Duration <= 0 {
+		c.Duration = 8 * time.Second
+	}
+	if c.RetryBudget < 0 {
+		c.RetryBudget = 0
+	} else if c.RetryBudget == 0 {
+		c.RetryBudget = 2
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 50 * time.Millisecond
+	}
+	if c.RetrySeed == 0 {
+		c.RetrySeed = 1
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
+	if c.DriftFactor <= 0 {
+		c.DriftFactor = 2
+	}
+	if c.ShedHighWater <= 0 {
+		c.ShedHighWater = 0.75
+	}
+	if c.DrainHighWater <= 0 {
+		c.DrainHighWater = 0.95
+	}
+	if c.LowWater <= 0 {
+		c.LowWater = 0.25
+	}
+	if c.ShedPriority == 0 {
+		c.ShedPriority = 1
+	}
+	if c.Resolve == nil {
+		c.Resolve = scenario.ByName
+	}
+	if c.Runner == nil {
+		c.Runner = defaultRunner()
+	}
+}
+
+// LadderState is the degradation ladder's position.
+type LadderState string
+
+// Ladder states, in degradation order.
+const (
+	LadderNominal  LadderState = "nominal"
+	LadderShedding LadderState = "shedding"
+	LadderDraining LadderState = "draining"
+)
+
+// tenantAgg accumulates one tenant's counters and samples.
+type tenantAgg struct {
+	submitted, completed, failed, retries, shed, rejected, cacheHits int64
+	e2e                                                              []float64 // completed jobs' worst-path p99 (ms)
+	wall                                                             []float64 // completed jobs' wall time (ms)
+}
+
+// Service is the fleet server. Create with New, stop with Close.
+type Service struct {
+	cfg  Config
+	pool *parallel.Pool
+	sem  chan struct{}
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	pending    jobHeap
+	records    map[int64]*Record
+	nextID     int64
+	nextSeq    int64
+	state      LadderState
+	tenants    map[string]*tenantAgg
+	cache      map[string]cacheEntry
+	cacheOrder []string
+	cacheHits  int64
+	dead       []*Record
+	recentWall []float64
+	inFlight   int
+	closed     bool
+
+	wg sync.WaitGroup
+}
+
+type cacheEntry struct {
+	report []byte
+	e2e    float64
+}
+
+// New starts a fleet service.
+func New(cfg Config) *Service {
+	cfg.fill()
+	s := &Service{
+		cfg:     cfg,
+		pool:    parallel.NewPool(cfg.Workers, 0),
+		sem:     make(chan struct{}, cfg.Workers),
+		records: make(map[int64]*Record),
+		state:   LadderNominal,
+		tenants: make(map[string]*tenantAgg),
+		cache:   make(map[string]cacheEntry),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.wg.Add(1)
+	go s.dispatch()
+	return s
+}
+
+// Close stops admission, fails whatever is still queued, waits for
+// in-flight vehicles to finish, and tears the pool down.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	for s.pending.Len() > 0 {
+		rec := heap.Pop(&s.pending).(*Record)
+		s.finishLocked(rec, StateFailed, fmt.Errorf("%w: queued at shutdown", ErrFleetClosed))
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+	// Every dispatcher-launched job holds a sem slot until done; taking
+	// them all back waits for in-flight work.
+	for i := 0; i < cap(s.sem); i++ {
+		s.sem <- struct{}{}
+	}
+	s.pool.Close()
+}
+
+// tenant returns (creating) a tenant's aggregate. Callers hold s.mu.
+func (s *Service) tenantLocked(name string) *tenantAgg {
+	t := s.tenants[name]
+	if t == nil {
+		t = &tenantAgg{}
+		s.tenants[name] = t
+	}
+	return t
+}
+
+// Submit validates and admits a job. The returned record is a live
+// handle: use Wait (or the record's ID with Get) to observe completion.
+// Rejections are explicit errors — ErrFleetSaturated on a full queue,
+// ErrFleetShedding for low-priority load while shedding,
+// ErrFleetDraining while draining — and are counted per tenant.
+func (s *Service) Submit(job Job) (*Record, error) {
+	if job.Tenant == "" {
+		job.Tenant = "default"
+	}
+	if err := validate(job, s.cfg.AllowChaos); err != nil {
+		return nil, err
+	}
+	duration := job.Duration
+	if duration <= 0 {
+		duration = s.cfg.Duration
+	}
+	key := job.key(s.cfg.Detector, duration)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrFleetClosed
+	}
+	agg := s.tenantLocked(job.Tenant)
+
+	// Degradation ladder, before the cache: a draining service answers
+	// nothing new, a shedding one only its protected classes.
+	switch s.state {
+	case LadderDraining:
+		agg.rejected++
+		return nil, ErrFleetDraining
+	case LadderShedding:
+		if job.Priority < s.cfg.ShedPriority {
+			agg.rejected++
+			agg.shed++
+			return nil, ErrFleetShedding
+		}
+	}
+
+	agg.submitted++
+
+	// Cache hit: served without re-simulation, no queue slot consumed.
+	if ent, ok := s.cache[key]; ok {
+		rec := s.newRecordLocked(job, key, duration)
+		rec.State = StateDone
+		rec.CacheHit = true
+		rec.report = ent.report
+		rec.E2EP99 = ent.e2e
+		rec.WallMS = 0
+		agg.completed++
+		agg.cacheHits++
+		s.cacheHits++
+		agg.e2e = append(agg.e2e, ent.e2e)
+		agg.wall = append(agg.wall, 0)
+		close(rec.done)
+		return rec, nil
+	}
+
+	if s.pending.Len() >= s.cfg.QueueDepth {
+		agg.rejected++
+		s.reladderLocked()
+		return nil, ErrFleetSaturated
+	}
+
+	rec := s.newRecordLocked(job, key, duration)
+	rec.Backoff = BackoffSchedule(s.cfg.RetrySeed, key, s.cfg.RetryBase, s.cfg.RetryBudget)
+	rec.shedable = true
+	heap.Push(&s.pending, rec)
+	s.reladderLocked()
+	s.cond.Signal()
+	return rec, nil
+}
+
+func (s *Service) newRecordLocked(job Job, key string, duration time.Duration) *Record {
+	s.nextID++
+	s.nextSeq++
+	job.Duration = duration
+	rec := &Record{
+		ID:       s.nextID,
+		Job:      job,
+		Key:      key,
+		State:    StateQueued,
+		Tenant:   job.Tenant,
+		enqueued: time.Now(),
+		done:     make(chan struct{}),
+		seq:      s.nextSeq,
+	}
+	s.records[rec.ID] = rec
+	return rec
+}
+
+// validate rejects structurally bad jobs at admission; scenario
+// resolution failures surface later as job failures (so a bad pin in
+// the registry degrades to per-job errors, not a dead service).
+func validate(job Job, allowChaos bool) error {
+	if (job.Scenario == "") == (job.Params == "") {
+		return fmt.Errorf("%w: exactly one of scenario and params must be set", ErrBadJob)
+	}
+	if job.Duration < 0 || job.Deadline < 0 {
+		return fmt.Errorf("%w: negative duration or deadline", ErrBadJob)
+	}
+	if job.Chaos != nil {
+		if !allowChaos {
+			return fmt.Errorf("%w: chaos injection disabled on this service", ErrBadJob)
+		}
+		switch job.Chaos.Kind {
+		case faults.KindCrash, faults.KindStall:
+		default:
+			return fmt.Errorf("%w: unsupported chaos kind %q (have crash, stall)", ErrBadJob, job.Chaos.Kind)
+		}
+	}
+	return nil
+}
+
+// Get returns a snapshot of a job record.
+func (s *Service) Get(id int64) (Record, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.records[id]
+	if !ok {
+		return Record{}, false
+	}
+	return snapshotLocked(rec), true
+}
+
+// snapshotLocked copies the fields a reader may hold after the lock is
+// released.
+func snapshotLocked(rec *Record) Record {
+	cp := *rec
+	cp.Attempts = append([]Attempt(nil), rec.Attempts...)
+	cp.Backoff = append([]time.Duration(nil), rec.Backoff...)
+	cp.done = nil
+	return cp
+}
+
+// Wait blocks until the job reaches a terminal state (or ctx ends) and
+// returns its final snapshot.
+func (s *Service) Wait(ctx context.Context, id int64) (Record, error) {
+	s.mu.Lock()
+	rec, ok := s.records[id]
+	s.mu.Unlock()
+	if !ok {
+		return Record{}, fmt.Errorf("fleet: unknown job %d", id)
+	}
+	select {
+	case <-rec.done:
+	case <-ctx.Done():
+		return Record{}, ctx.Err()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return snapshotLocked(rec), nil
+}
+
+// dispatch pulls admitted jobs in (priority, admission) order and runs
+// each on its own execution slot; slots bound concurrently simulating
+// vehicles to Config.Workers.
+func (s *Service) dispatch() {
+	defer s.wg.Done()
+	for {
+		s.sem <- struct{}{}
+		s.mu.Lock()
+		for !s.closed && s.pending.Len() == 0 {
+			s.cond.Wait()
+		}
+		if s.pending.Len() == 0 {
+			// Closed and drained.
+			s.mu.Unlock()
+			<-s.sem
+			return
+		}
+		rec := heap.Pop(&s.pending).(*Record)
+		rec.shedable = false
+		rec.State = StateRunning
+		s.inFlight++
+		s.reladderLocked()
+		s.mu.Unlock()
+		go func() {
+			defer func() { <-s.sem }()
+			s.execute(rec)
+		}()
+	}
+}
+
+// execute runs one job to a terminal state: attempts on the pool,
+// transient failures retried on the planned backoff schedule, the
+// deadline enforced as context cancellation throughout.
+func (s *Service) execute(rec *Record) {
+	ctx := context.Background()
+	cancel := func() {}
+	if rec.Job.Deadline > 0 {
+		ctx, cancel = context.WithDeadline(ctx, rec.enqueued.Add(rec.Job.Deadline))
+	}
+	defer cancel()
+
+	for attempt := 0; ; attempt++ {
+		start := time.Now()
+		res, err := s.attempt(ctx, rec, attempt)
+		a := Attempt{WallMS: float64(time.Since(start)) / 1e6}
+		if err == nil {
+			a.Outcome = "ok"
+		} else {
+			a.Err = err.Error()
+			a.Outcome = classify(err)
+		}
+		s.mu.Lock()
+		rec.Attempts = append(rec.Attempts, a)
+		s.mu.Unlock()
+
+		if err == nil {
+			s.complete(rec, res)
+			return
+		}
+		// The job deadline is final: a dead context cannot host another
+		// attempt, whatever the failure class.
+		if ctx.Err() != nil {
+			s.finish(rec, StateFailed, fmt.Errorf("fleet: job deadline: %w", err))
+			return
+		}
+		if !transient(err) {
+			s.finish(rec, StateFailed, err)
+			return
+		}
+		if attempt >= len(rec.Backoff) {
+			s.mu.Lock()
+			rec.DeadLetter = true
+			s.mu.Unlock()
+			s.finish(rec, StateFailed, fmt.Errorf("%w after %d attempts: %w", ErrRetriesExhausted, attempt+1, err))
+			return
+		}
+		s.mu.Lock()
+		rec.Retries++
+		s.tenantLocked(rec.Tenant).retries++
+		s.mu.Unlock()
+		select {
+		case <-time.After(rec.Backoff[attempt]):
+		case <-ctx.Done():
+			// Loop once more; the dead-context branch above finishes it.
+		}
+	}
+}
+
+// attempt submits one execution attempt to the pool and waits for it.
+// The pool's capture contract turns a panicking vehicle into this
+// attempt's *parallel.PanicError — isolation, not a dead service.
+func (s *Service) attempt(ctx context.Context, rec *Record, n int) (*RunResult, error) {
+	actx := ctx
+	cancel := func() {}
+	if s.cfg.AttemptTimeout > 0 {
+		actx, cancel = context.WithTimeout(ctx, s.cfg.AttemptTimeout)
+	}
+	defer cancel()
+
+	var res *RunResult
+	done, err := s.pool.Submit(func() error {
+		if c := rec.Job.Chaos; c != nil && s.cfg.AllowChaos && n < c.Attempts {
+			switch c.Kind {
+			case faults.KindCrash:
+				panic(fmt.Sprintf("fleet: injected %s (tenant %s, attempt %d)", c.Kind, rec.Tenant, n))
+			case faults.KindStall:
+				<-actx.Done()
+				return fmt.Errorf("fleet: injected %s (tenant %s, attempt %d): %w", c.Kind, rec.Tenant, n, actx.Err())
+			}
+		}
+		r, err := s.run(actx, rec.Job)
+		res = r
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, <-done
+}
+
+// run resolves and executes the job's simulation.
+func (s *Service) run(ctx context.Context, job Job) (*RunResult, error) {
+	spec, err := resolveSpec(job, s.cfg.Resolve)
+	if err != nil {
+		return nil, err
+	}
+	return s.cfg.Runner.Run(ctx, spec, s.cfg.Detector, job.Duration)
+}
+
+// classify names an attempt outcome for the record.
+func classify(err error) string {
+	var pe *parallel.PanicError
+	switch {
+	case errors.As(err, &pe):
+		return "crash"
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled),
+		errors.Is(err, autoware.ErrCancelled):
+		return "timeout"
+	default:
+		return "error"
+	}
+}
+
+// transient reports whether a failure class retries: crashes (captured
+// panics) and attempt timeouts do; validation and run errors do not.
+func transient(err error) bool {
+	switch classify(err) {
+	case "crash", "timeout":
+		return true
+	}
+	return false
+}
+
+// complete records a successful job: report cached by key, aggregates
+// updated, ladder re-evaluated.
+func (s *Service) complete(rec *Record, res *RunResult) {
+	s.mu.Lock()
+	rec.State = StateDone
+	rec.report = res.Report
+	rec.E2EP99 = res.E2EP99
+	rec.WallMS = float64(time.Since(rec.enqueued)) / 1e6
+	if s.cfg.CacheSize > 0 {
+		if _, dup := s.cache[rec.Key]; !dup {
+			s.cache[rec.Key] = cacheEntry{report: res.Report, e2e: res.E2EP99}
+			s.cacheOrder = append(s.cacheOrder, rec.Key)
+			for len(s.cacheOrder) > s.cfg.CacheSize {
+				delete(s.cache, s.cacheOrder[0])
+				s.cacheOrder = s.cacheOrder[1:]
+			}
+		}
+	}
+	agg := s.tenantLocked(rec.Tenant)
+	agg.completed++
+	agg.e2e = append(agg.e2e, res.E2EP99)
+	agg.wall = append(agg.wall, rec.WallMS)
+	s.observeWallLocked(rec.WallMS)
+	s.inFlight--
+	s.reladderLocked()
+	close(rec.done)
+	s.mu.Unlock()
+}
+
+// finish records a terminal failure or shed.
+func (s *Service) finish(rec *Record, state JobState, err error) {
+	s.mu.Lock()
+	s.inFlight--
+	s.finishLocked(rec, state, err)
+	s.reladderLocked()
+	s.mu.Unlock()
+}
+
+func (s *Service) finishLocked(rec *Record, state JobState, err error) {
+	rec.State = state
+	rec.Err = err.Error()
+	rec.WallMS = float64(time.Since(rec.enqueued)) / 1e6
+	agg := s.tenantLocked(rec.Tenant)
+	switch state {
+	case StateShed:
+		agg.shed++
+	default:
+		agg.failed++
+	}
+	if rec.DeadLetter {
+		s.dead = append(s.dead, rec)
+		const deadCap = 128
+		if len(s.dead) > deadCap {
+			s.dead = s.dead[len(s.dead)-deadCap:]
+		}
+	}
+	close(rec.done)
+}
+
+// observeWallLocked feeds the drift detector's sliding window.
+func (s *Service) observeWallLocked(ms float64) {
+	const window = 64
+	s.recentWall = append(s.recentWall, ms)
+	if len(s.recentWall) > window {
+		s.recentWall = s.recentWall[len(s.recentWall)-window:]
+	}
+}
+
+// drifting reports whether completion latency has drifted past the
+// configured target. Callers hold s.mu.
+func (s *Service) driftingLocked() bool {
+	if s.cfg.TargetP99 <= 0 || len(s.recentWall) < 8 {
+		return false
+	}
+	p99 := mathx.Quantile(s.recentWall, 0.99)
+	return p99 > s.cfg.DriftFactor*float64(s.cfg.TargetP99)/1e6
+}
+
+// reladderLocked re-evaluates the degradation ladder from queue
+// occupancy and latency drift, with hysteresis, and applies the
+// shedding state's queue eviction. Callers hold s.mu.
+func (s *Service) reladderLocked() {
+	occ := float64(s.pending.Len()) / float64(s.cfg.QueueDepth)
+	drift := s.driftingLocked()
+	switch {
+	case occ >= s.cfg.DrainHighWater:
+		s.state = LadderDraining
+	case occ >= s.cfg.ShedHighWater || drift:
+		if s.state != LadderDraining || occ <= s.cfg.LowWater {
+			s.state = LadderShedding
+		}
+	case occ <= s.cfg.LowWater && !drift:
+		s.state = LadderNominal
+	}
+	if s.state == LadderShedding {
+		s.shedQueuedLocked()
+	}
+}
+
+// shedQueuedLocked evicts queued jobs below the shed-priority floor.
+func (s *Service) shedQueuedLocked() {
+	var keep []*Record
+	var shed []*Record
+	for _, rec := range s.pending {
+		if rec.Job.Priority < s.cfg.ShedPriority {
+			shed = append(shed, rec)
+		} else {
+			keep = append(keep, rec)
+		}
+	}
+	if len(shed) == 0 {
+		return
+	}
+	s.pending = keep
+	heap.Init(&s.pending)
+	for _, rec := range shed {
+		s.finishLocked(rec, StateShed, ErrJobShed)
+	}
+}
+
+// jobHeap orders pending jobs by (priority desc, admission seq asc).
+type jobHeap []*Record
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(i, j int) bool {
+	if h[i].Job.Priority != h[j].Job.Priority {
+		return h[i].Job.Priority > h[j].Job.Priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h jobHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *jobHeap) Push(x any)   { *h = append(*h, x.(*Record)) }
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// TenantStatus is one tenant's aggregate in the /fleetz report.
+type TenantStatus struct {
+	Tenant    string  `json:"tenant"`
+	Submitted int64   `json:"submitted"`
+	Completed int64   `json:"completed"`
+	Failed    int64   `json:"failed"`
+	Retries   int64   `json:"retries"`
+	Shed      int64   `json:"shed"`
+	Rejected  int64   `json:"rejected"`
+	CacheHits int64   `json:"cache_hits"`
+	E2EP50    float64 `json:"e2e_p50_ms"`
+	E2EP99    float64 `json:"e2e_p99_ms"`
+	WallP50   float64 `json:"wall_p50_ms"`
+	WallP99   float64 `json:"wall_p99_ms"`
+}
+
+// DeadLetter is one dead-letter row in the /fleetz report.
+type DeadLetter struct {
+	ID       int64  `json:"id"`
+	Tenant   string `json:"tenant"`
+	Key      string `json:"key"`
+	Attempts int    `json:"attempts"`
+	Err      string `json:"err"`
+}
+
+// Status is the /fleetz aggregate: the ladder state, queue occupancy,
+// per-tenant and fleet-wide latency summaries, and the outage ledger
+// (retries, sheds, rejections, dead letters, captured panics).
+type Status struct {
+	State       LadderState    `json:"state"`
+	QueueDepth  int            `json:"queue_depth"`
+	QueueCap    int            `json:"queue_cap"`
+	InFlight    int            `json:"in_flight"`
+	Fleet       TenantStatus   `json:"fleet"`
+	Tenants     []TenantStatus `json:"tenants"`
+	DeadLetters []DeadLetter   `json:"dead_letters,omitempty"`
+	CacheSize   int            `json:"cache_size"`
+	PoolPanics  int64          `json:"pool_panics"`
+}
+
+func (t *tenantAgg) status(name string) TenantStatus {
+	e2e := mathx.Summarize(t.e2e)
+	wall := mathx.Summarize(t.wall)
+	return TenantStatus{
+		Tenant:    name,
+		Submitted: t.submitted,
+		Completed: t.completed,
+		Failed:    t.failed,
+		Retries:   t.retries,
+		Shed:      t.shed,
+		Rejected:  t.rejected,
+		CacheHits: t.cacheHits,
+		E2EP50:    e2e.Median,
+		E2EP99:    e2e.P99,
+		WallP50:   wall.Median,
+		WallP99:   wall.P99,
+	}
+}
+
+// Fleetz assembles the aggregate status report.
+func (s *Service) Fleetz() Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Status{
+		State:      s.state,
+		QueueDepth: s.pending.Len(),
+		QueueCap:   s.cfg.QueueDepth,
+		InFlight:   s.inFlight,
+		CacheSize:  len(s.cache),
+		PoolPanics: s.pool.Panicked(),
+	}
+	fleet := &tenantAgg{}
+	names := make([]string, 0, len(s.tenants))
+	for name := range s.tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := s.tenants[name]
+		st.Tenants = append(st.Tenants, t.status(name))
+		fleet.submitted += t.submitted
+		fleet.completed += t.completed
+		fleet.failed += t.failed
+		fleet.retries += t.retries
+		fleet.shed += t.shed
+		fleet.rejected += t.rejected
+		fleet.cacheHits += t.cacheHits
+		fleet.e2e = append(fleet.e2e, t.e2e...)
+		fleet.wall = append(fleet.wall, t.wall...)
+	}
+	st.Fleet = fleet.status("fleet")
+	for _, rec := range s.dead {
+		st.DeadLetters = append(st.DeadLetters, DeadLetter{
+			ID: rec.ID, Tenant: rec.Tenant, Key: rec.Key,
+			Attempts: len(rec.Attempts), Err: rec.Err,
+		})
+	}
+	return st
+}
+
+// State returns the ladder's current position.
+func (s *Service) State() LadderState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// resolveSpec maps a job to its scenario spec: a named registry lookup
+// (builtins + pinned search winners), or a params-line job driving the
+// hardened stack fault-free through a discovered world.
+func resolveSpec(job Job, resolve func(string) (scenario.Spec, error)) (scenario.Spec, error) {
+	if job.Scenario != "" {
+		spec, err := resolve(job.Scenario)
+		if err != nil {
+			return scenario.Spec{}, err
+		}
+		if job.Seed != 0 {
+			spec.Seed = job.Seed
+		}
+		return spec, nil
+	}
+	cfg, err := worldFromParams(job.Params)
+	if err != nil {
+		return scenario.Spec{}, err
+	}
+	name := "params"
+	if i := strings.IndexByte(job.Params, ' '); i > 0 {
+		name = "params:" + job.Params[:min(12, len(job.Params))]
+	}
+	return scenario.Spec{
+		Name:        name,
+		Description: "fleet params-line job: generated world, hardened stack, fault-free",
+		World:       &cfg,
+		Guard:       true,
+		Supervise:   true,
+		Seed:        job.Seed,
+	}, nil
+}

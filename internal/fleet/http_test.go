@@ -1,0 +1,128 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/autoware"
+	"repro/internal/scenario"
+)
+
+// TestFleetHTTP drives the service through its HTTP surface with a
+// fake runner: submit-and-wait, record and report retrieval, the
+// /fleetz aggregate, and the explicit overload status codes.
+func TestFleetHTTP(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 8)
+	svc := New(Config{
+		Workers: 1, QueueDepth: 2, RetryBudget: 1, RetryBase: time.Millisecond,
+		ShedHighWater: 2, DrainHighWater: 2, // saturation path under test, not the ladder
+		Resolve: passResolve,
+		Runner: runnerFunc(func(ctx context.Context, spec scenario.Spec, det autoware.Detector, d time.Duration) (*RunResult, error) {
+			if spec.Name == "block" {
+				started <- struct{}{}
+				select {
+				case <-release:
+				case <-ctx.Done():
+				}
+			}
+			return &RunResult{Report: []byte("report:" + spec.Name + "\n"), E2EP99: 5}, nil
+		}),
+	})
+	defer svc.Close()
+	ts := httptest.NewServer(Handler(svc))
+	defer ts.Close()
+
+	post := func(body string, query string) (*http.Response, string) {
+		resp, err := http.Post(ts.URL+"/jobs"+query, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		return resp, buf.String()
+	}
+
+	// Submit-and-wait returns the terminal record.
+	resp, body := post(`{"tenant":"alice","scenario":"demo"}`, "?wait=1")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /jobs?wait=1: status %d body %s", resp.StatusCode, body)
+	}
+	var rec Record
+	if err := json.Unmarshal([]byte(body), &rec); err != nil {
+		t.Fatalf("decoding record: %v", err)
+	}
+	if rec.State != StateDone {
+		t.Fatalf("job state %s, want done", rec.State)
+	}
+
+	// Record and report retrieval by id.
+	get := func(path string) (*http.Response, string) {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		return resp, buf.String()
+	}
+	if resp, body := get(fmt.Sprintf("/jobs/%d", rec.ID)); resp.StatusCode != http.StatusOK || !strings.Contains(body, `"done"`) {
+		t.Errorf("GET /jobs/{id}: status %d body %s", resp.StatusCode, body)
+	}
+	if resp, body := get(fmt.Sprintf("/jobs/%d/report", rec.ID)); resp.StatusCode != http.StatusOK || body != "report:demo\n" {
+		t.Errorf("GET /jobs/{id}/report: status %d body %q", resp.StatusCode, body)
+	}
+	if resp, _ := get("/jobs/99999"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET unknown job: status %d, want 404", resp.StatusCode)
+	}
+
+	// Validation failures are 400s.
+	if resp, _ := post(`{"tenant":"bad"}`, ""); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid job: status %d, want 400", resp.StatusCode)
+	}
+
+	// Saturation is an explicit 429: block the worker, fill the queue.
+	if resp, _ := post(`{"tenant":"b","scenario":"block"}`, ""); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("blocker: status %d", resp.StatusCode)
+	}
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocker never started")
+	}
+	saw429 := false
+	for i := 0; i < 4; i++ {
+		resp, _ := post(fmt.Sprintf(`{"tenant":"b","scenario":"q%d"}`, i), "")
+		if resp.StatusCode == http.StatusTooManyRequests {
+			if resp.Header.Get("Retry-After") == "" {
+				t.Errorf("429 without Retry-After")
+			}
+			saw429 = true
+			break
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("queue fill %d: status %d", i, resp.StatusCode)
+		}
+	}
+	if !saw429 {
+		t.Errorf("saturating the queue over HTTP never returned 429")
+	}
+	close(release)
+
+	// /fleetz and /healthz answer with the aggregate.
+	if resp, body := get("/fleetz"); resp.StatusCode != http.StatusOK || !strings.Contains(body, `"fleet"`) {
+		t.Errorf("GET /fleetz: status %d body %s", resp.StatusCode, body)
+	}
+	if resp, body := get("/healthz"); resp.StatusCode != http.StatusOK || !strings.Contains(body, `"ok": true`) {
+		t.Errorf("GET /healthz: status %d body %s", resp.StatusCode, body)
+	}
+}

@@ -1,0 +1,42 @@
+package fleet
+
+import (
+	"hash/fnv"
+	"time"
+
+	"repro/internal/mathx"
+)
+
+// maxBackoff caps any single retry delay; past it exponential growth
+// only postpones the dead-letter verdict.
+const maxBackoff = 5 * time.Second
+
+// BackoffSchedule plans a job's full retry schedule at admission: delay
+// k is base·2^k with ±25% jitter, capped at maxBackoff, one entry per
+// unit of retry budget. The jitter stream is seeded from (seed, job
+// key) — a pure function, so the same job retried on any replica (or
+// re-submitted after a restart) backs off on exactly the same schedule,
+// which is what lets the retry-determinism test assert the timeline
+// byte-for-byte. Distinct job keys still jitter independently, so a
+// correlated failure burst does not re-thunder in lockstep.
+func BackoffSchedule(seed uint64, key string, base time.Duration, budget int) []time.Duration {
+	if budget <= 0 || base <= 0 {
+		return nil
+	}
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	rng := mathx.NewRNG(seed ^ h.Sum64())
+	out := make([]time.Duration, budget)
+	for k := range out {
+		d := base << uint(k)
+		if d <= 0 || d > maxBackoff {
+			d = maxBackoff
+		}
+		jittered := time.Duration(float64(d) * (0.75 + 0.5*rng.Float64()))
+		if jittered > maxBackoff {
+			jittered = maxBackoff
+		}
+		out[k] = jittered
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package fleet
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/scenario"
+)
+
+// TestBackoffScheduleDeterministic pins the retry schedule as a pure
+// function of (seed, job key): equal inputs produce identical
+// schedules, distinct keys jitter independently, and every delay stays
+// inside the jittered exponential envelope.
+func TestBackoffScheduleDeterministic(t *testing.T) {
+	const base = 50 * time.Millisecond
+	a := BackoffSchedule(1, "key-a", base, 4)
+	b := BackoffSchedule(1, "key-a", base, 4)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same (seed, key) produced different schedules: %v vs %v", a, b)
+	}
+	c := BackoffSchedule(1, "key-b", base, 4)
+	if reflect.DeepEqual(a, c) {
+		t.Errorf("distinct keys produced identical jitter (correlated retries): %v", a)
+	}
+	d := BackoffSchedule(2, "key-a", base, 4)
+	if reflect.DeepEqual(a, d) {
+		t.Errorf("distinct seeds produced identical jitter: %v", a)
+	}
+	for k, delay := range a {
+		lo := time.Duration(float64(base<<uint(k)) * 0.75)
+		hi := time.Duration(float64(base<<uint(k)) * 1.25)
+		if hi > maxBackoff {
+			hi = maxBackoff
+		}
+		if lo > maxBackoff {
+			lo = maxBackoff / 2
+		}
+		if delay < lo || delay > hi {
+			t.Errorf("delay %d = %v outside jitter envelope [%v, %v]", k, delay, lo, hi)
+		}
+	}
+	if got := BackoffSchedule(1, "k", base, 0); got != nil {
+		t.Errorf("zero budget: schedule %v, want nil", got)
+	}
+}
+
+// TestFleetRetryDeterminism is the satellite-4 contract: the same seed
+// yields an identical retry schedule, and a job that suffers an
+// injected transient crash (faults.KindCrash against its first
+// attempt) converges to a final report byte-identical to a run that
+// never crashed. Retries re-enter the same deterministic simulation,
+// so a recovered job is indistinguishable from a lucky one.
+func TestFleetRetryDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full simulations")
+	}
+	const dur = 8 * time.Second
+	cfg := Config{
+		Workers: 2, QueueDepth: 8, Duration: dur,
+		RetryBudget: 2, RetryBase: 10 * time.Millisecond, RetrySeed: 42,
+		AllowChaos: true,
+		CacheSize:  -1, // force the chaos job to actually re-run
+	}
+
+	clean := New(cfg)
+	cleanRec, err := clean.Submit(Job{Tenant: "clean", Scenario: scenario.NameCameraStall})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanFinal := waitDone(t, clean, cleanRec.ID)
+	clean.Close()
+	if cleanFinal.State != StateDone {
+		t.Fatalf("clean run: state %s (%s)", cleanFinal.State, cleanFinal.Err)
+	}
+
+	chaos := New(cfg)
+	defer chaos.Close()
+	crashRec, err := chaos.Submit(Job{
+		Tenant: "crashy", Scenario: scenario.NameCameraStall,
+		Chaos: &Chaos{Kind: faults.KindCrash, Attempts: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashFinal := waitDone(t, chaos, crashRec.ID)
+	if crashFinal.State != StateDone {
+		t.Fatalf("crash-once run: state %s (%s), want done after one retry", crashFinal.State, crashFinal.Err)
+	}
+	if crashFinal.Retries != 1 || len(crashFinal.Attempts) != 2 {
+		t.Errorf("retries=%d attempts=%d, want exactly 1 retry over 2 attempts", crashFinal.Retries, len(crashFinal.Attempts))
+	}
+	if crashFinal.Attempts[0].Outcome != "crash" || crashFinal.Attempts[1].Outcome != "ok" {
+		t.Errorf("attempt outcomes %+v, want [crash ok]", crashFinal.Attempts)
+	}
+
+	// Identical job key ⇒ identical planned backoff schedule, equal to
+	// the pure function both services derived it from.
+	want := BackoffSchedule(cfg.RetrySeed, crashFinal.Key, cfg.RetryBase, cfg.RetryBudget)
+	if !reflect.DeepEqual(crashFinal.Backoff, want) {
+		t.Errorf("recorded schedule %v != derived schedule %v", crashFinal.Backoff, want)
+	}
+	if !reflect.DeepEqual(crashFinal.Backoff, cleanFinal.Backoff) {
+		t.Errorf("clean and crashy jobs share a key but planned different schedules: %v vs %v",
+			cleanFinal.Backoff, crashFinal.Backoff)
+	}
+
+	// The recovered report is byte-identical to the never-crashed one.
+	if !bytes.Equal(crashFinal.Report(), cleanFinal.Report()) {
+		t.Errorf("report after a retried transient crash diverged from the clean run (%d vs %d bytes)",
+			len(crashFinal.Report()), len(cleanFinal.Report()))
+	}
+}

@@ -1,0 +1,191 @@
+package parallel
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestTasksCapturesPanicAmongHealthyTasks is the pool-survival
+// regression: one panicking task submitted among healthy ones must cost
+// exactly its own slot — every other task completes, the process
+// survives, and the capture carries the panic value and a stack.
+func TestTasksCapturesPanicAmongHealthyTasks(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int32
+		errs := Tasks(8, workers, func(i int) error {
+			if i == 3 {
+				panic("corrupt scenario")
+			}
+			ran.Add(1)
+			if i == 5 {
+				return errors.New("plain failure")
+			}
+			return nil
+		})
+		if got := ran.Load(); got != 7 {
+			t.Fatalf("workers=%d: %d healthy tasks ran, want 7", workers, got)
+		}
+		var pe *PanicError
+		if !errors.As(errs[3], &pe) {
+			t.Fatalf("workers=%d: errs[3] = %v, want *PanicError", workers, errs[3])
+		}
+		if pe.Index != 3 || pe.Value != "corrupt scenario" {
+			t.Fatalf("capture = index %d value %v", pe.Index, pe.Value)
+		}
+		if !strings.Contains(string(pe.Stack), "panic_test.go") {
+			t.Fatal("captured stack does not name the panic site")
+		}
+		if errs[5] == nil || errs[5].Error() != "plain failure" {
+			t.Fatalf("errs[5] = %v, want the plain failure", errs[5])
+		}
+		for _, i := range []int{0, 1, 2, 4, 6, 7} {
+			if errs[i] != nil {
+				t.Fatalf("healthy task %d got error %v", i, errs[i])
+			}
+		}
+	}
+}
+
+// TestFirstErrorSurfacesPanicDeterministically pins that a panic loses
+// to a lower-indexed plain error and wins over higher-indexed ones.
+func TestFirstErrorSurfacesPanicDeterministically(t *testing.T) {
+	err := FirstError(10, 4, func(i int) error {
+		if i == 2 {
+			panic("boom")
+		}
+		if i == 6 {
+			return errors.New("later")
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Index != 2 {
+		t.Fatalf("FirstError = %v, want *PanicError at index 2", err)
+	}
+}
+
+// TestRunLimitReraisesInCaller pins the loop contract: the panic is
+// re-raised in the calling goroutine (recoverable), carries the
+// lowest task index, and every other index still runs.
+func TestRunLimitReraisesInCaller(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int32
+		func() {
+			defer func() {
+				v := recover()
+				pe, ok := v.(*PanicError)
+				if !ok {
+					t.Fatalf("workers=%d: recovered %v, want *PanicError", workers, v)
+				}
+				if pe.Index != 1 {
+					t.Fatalf("workers=%d: panic index %d, want lowest (1)", workers, pe.Index)
+				}
+			}()
+			RunLimit(6, workers, func(i int) {
+				if i == 1 || i == 4 {
+					panic(i)
+				}
+				ran.Add(1)
+			})
+			t.Fatalf("workers=%d: RunLimit returned without panicking", workers)
+		}()
+		if got := ran.Load(); got != 4 {
+			t.Fatalf("workers=%d: %d healthy indices ran, want 4", workers, got)
+		}
+	}
+}
+
+// TestPoolSurvivesPanickingTask submits a panicking task among healthy
+// ones to a live pool: the panic arrives as that task's error, the
+// workers stay up for later submissions, and the panic counter ticks.
+func TestPoolSurvivesPanickingTask(t *testing.T) {
+	p := NewPool(2, 8)
+	defer p.Close()
+
+	var dones []<-chan error
+	for i := 0; i < 4; i++ {
+		i := i
+		done, err := p.Submit(func() error {
+			if i == 1 {
+				panic("vehicle corrupted")
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		dones = append(dones, done)
+	}
+	for i, done := range dones {
+		err := <-done
+		if i == 1 {
+			var pe *PanicError
+			if !errors.As(err, &pe) || pe.Value != "vehicle corrupted" {
+				t.Fatalf("task 1 error = %v, want captured panic", err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("healthy task %d: %v", i, err)
+		}
+	}
+	if p.Panicked() != 1 {
+		t.Fatalf("Panicked = %d, want 1", p.Panicked())
+	}
+
+	// The pool still serves work after the panic.
+	done, err := p.Submit(func() error { return nil })
+	if err != nil {
+		t.Fatalf("post-panic submit: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("post-panic task: %v", err)
+	}
+}
+
+// TestPoolTrySubmitSaturation fills the queue behind a blocked worker
+// and demands the explicit rejection signal, not unbounded buffering.
+func TestPoolTrySubmitSaturation(t *testing.T) {
+	p := NewPool(1, 1)
+	defer p.Close()
+
+	release := make(chan struct{})
+	blocker, err := p.Submit(func() error { <-release; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the worker to pick the blocker up, then fill the queue.
+	deadline := time.Now().Add(2 * time.Second)
+	for p.Queued() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never picked up the blocking task")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := p.TrySubmit(func() error { return nil }); err != nil {
+		t.Fatalf("first queued TrySubmit: %v", err)
+	}
+	if _, err := p.TrySubmit(func() error { return nil }); !errors.Is(err, ErrPoolSaturated) {
+		t.Fatalf("saturated TrySubmit = %v, want ErrPoolSaturated", err)
+	}
+	close(release)
+	if err := <-blocker; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPoolCloseRejectsNewWork pins the post-Close contract.
+func TestPoolCloseRejectsNewWork(t *testing.T) {
+	p := NewPool(1, 0)
+	p.Close()
+	if _, err := p.Submit(func() error { return nil }); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrPoolClosed", err)
+	}
+	if _, err := p.TrySubmit(func() error { return nil }); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("TrySubmit after Close = %v, want ErrPoolClosed", err)
+	}
+	p.Close() // idempotent
+}

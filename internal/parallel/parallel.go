@@ -20,10 +20,42 @@
 package parallel
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// PanicError is a task panic captured by the pool: the panicking task's
+// index, the recovered value, and the goroutine stack at the panic
+// site. Loops re-raise it in the *calling* goroutine (where a recover
+// can actually catch it — a panic left to escape a worker goroutine
+// kills the whole process), and error-returning task runners surface it
+// as the task's error.
+type PanicError struct {
+	// Index is the task index that panicked.
+	Index int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: task %d panicked: %v", e.Index, e.Value)
+}
+
+// safeCall runs fn(i), converting a panic into a *PanicError.
+func safeCall(i int, fn func(int)) (err *PanicError) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Index: i, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	fn(i)
+	return nil
+}
 
 var maxWorkers atomic.Int64
 
@@ -54,6 +86,14 @@ func Run(n int, fn func(int)) { RunLimit(n, MaxWorkers(), fn) }
 
 // RunLimit is Run with an explicit worker bound (further capped by
 // MaxWorkers and n).
+//
+// A panicking task no longer kills the process from inside a worker
+// goroutine: every panic is captured, the remaining indices still run,
+// and after the loop drains the lowest-indexed capture is re-raised as
+// a *PanicError in the calling goroutine — deterministic regardless of
+// wall-clock completion order, and recoverable by the caller (the fleet
+// service's per-vehicle isolation depends on this). Callers that want
+// panics as plain per-task errors use Tasks or FirstError instead.
 func RunLimit(n, workers int, fn func(int)) {
 	if n <= 0 {
 		return
@@ -65,13 +105,23 @@ func RunLimit(n, workers int, fn func(int)) {
 		workers = n
 	}
 	if workers <= 1 {
+		// Same contract as the concurrent path: every index runs, the
+		// first capture re-raises after the loop.
+		var first *PanicError
 		for i := 0; i < n; i++ {
-			fn(i)
+			if pe := safeCall(i, fn); pe != nil && first == nil {
+				first = pe
+			}
+		}
+		if first != nil {
+			panic(first)
 		}
 		return
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var first *PanicError
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
@@ -81,11 +131,20 @@ func RunLimit(n, workers int, fn func(int)) {
 				if i >= n {
 					return
 				}
-				fn(i)
+				if pe := safeCall(i, fn); pe != nil {
+					mu.Lock()
+					if first == nil || pe.Index < first.Index {
+						first = pe
+					}
+					mu.Unlock()
+				}
 			}
 		}()
 	}
 	wg.Wait()
+	if first != nil {
+		panic(first)
+	}
 }
 
 // Map runs fn over [0, n) concurrently and returns the results in index
@@ -101,12 +160,27 @@ func MapLimit[T any](n, workers int, fn func(int) T) []T {
 	return out
 }
 
+// Tasks runs n error-returning tasks concurrently and returns one
+// error slot per task, in index order. A task that panics fills its
+// slot with a *PanicError (stack included) instead of unwinding the
+// pool: one corrupt task among healthy ones costs exactly its own
+// result, never the process.
+func Tasks(n, workers int, fn func(int) error) []error {
+	return MapLimit(n, workers, func(i int) error {
+		var err error
+		if pe := safeCall(i, func(i int) { err = fn(i) }); pe != nil {
+			return pe
+		}
+		return err
+	})
+}
+
 // FirstError runs n error-returning tasks concurrently and returns the
 // lowest-indexed non-nil error (deterministic regardless of which task
-// failed first in wall-clock time), or nil.
+// failed first in wall-clock time), or nil. Panicking tasks surface as
+// *PanicError like any other failure.
 func FirstError(n, workers int, fn func(int) error) error {
-	errs := MapLimit(n, workers, fn)
-	for _, err := range errs {
+	for _, err := range Tasks(n, workers, fn) {
 		if err != nil {
 			return err
 		}

@@ -22,10 +22,14 @@ import (
 //go:embed testdata/gen_*.scenario
 var generatedFS embed.FS
 
-// Generated returns the pinned search-winner scenarios, sorted by
-// file name. The embedded specs are part of the build; a file that
-// fails to parse is a programmer error and panics.
-func Generated() []Spec {
+// Generated returns the pinned search-winner scenarios, sorted by file
+// name. A spec that fails to parse is reported as an error naming the
+// file — never a panic — so a long-running service (the fleet server
+// resolves scenarios per job) degrades a bad pin into a job failure
+// instead of a crash. Only the embedded filesystem itself failing to
+// read panics: go:embed content is part of the build, and a build that
+// cannot read its own sections is unrecoverable.
+func Generated() ([]Spec, error) {
 	entries, err := generatedFS.ReadDir("testdata")
 	if err != nil {
 		panic(fmt.Sprintf("scenario: reading embedded generated scenarios: %v", err))
@@ -39,9 +43,9 @@ func Generated() []Spec {
 		}
 		c, err := search.ParseCandidate(string(data))
 		if err != nil {
-			panic(fmt.Sprintf("scenario: parsing %s: %v", e.Name(), err))
+			return nil, fmt.Errorf("scenario: parsing %s: %w", e.Name(), err)
 		}
-		specs = append(specs, Spec{
+		spec := Spec{
 			Name: c.Name,
 			Description: fmt.Sprintf("search-pinned worst case (%s): generated world + %d-fault schedule "+
 				"elected by the adversarial latency search for breaking the end-to-end budget", e.Name(), len(c.Faults)),
@@ -50,7 +54,11 @@ func Generated() []Spec {
 			World:     &c.World,
 			Guard:     true,
 			Supervise: true,
-		})
+		}
+		if err := spec.World.Validate(); err != nil {
+			return nil, fmt.Errorf("scenario: %s: pinned world invalid: %w", e.Name(), err)
+		}
+		specs = append(specs, spec)
 	}
-	return specs
+	return specs, nil
 }

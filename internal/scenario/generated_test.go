@@ -15,7 +15,10 @@ import (
 // carries its generated world, resolves through ByName, appears in
 // Names after the builtins, and fits the golden drive horizon.
 func TestGeneratedRegistry(t *testing.T) {
-	specs := Generated()
+	specs, err := Generated()
+	if err != nil {
+		t.Fatalf("Generated() = %v; every committed pin must parse", err)
+	}
 	if len(specs) == 0 {
 		t.Fatal("no generated scenarios embedded; expected at least the first pinned search winner")
 	}

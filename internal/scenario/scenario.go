@@ -10,6 +10,7 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -282,9 +283,14 @@ func builtins() []Spec {
 }
 
 // Names lists every named scenario in report order: the builtins,
-// then the pinned search winners (gen-*).
+// then the pinned search winners (gen-*). Generated specs that fail to
+// load are omitted here (this feeds flag help text); ByName surfaces
+// the load error for anyone who actually asks for one.
 func Names() []string {
-	specs := append(builtins(), Generated()...)
+	specs := builtins()
+	if gen, err := Generated(); err == nil {
+		specs = append(specs, gen...)
+	}
 	out := make([]string, len(specs))
 	for i, s := range specs {
 		out[i] = s.Name
@@ -292,9 +298,21 @@ func Names() []string {
 	return out
 }
 
-// ByName resolves a built-in or generated scenario.
+// ByName resolves a built-in or generated scenario. A generated
+// registry that fails to load is an error on lookup — a bad pin must
+// surface as a per-request failure (a fleet job error), never a panic
+// in the serving process.
 func ByName(name string) (Spec, error) {
-	for _, s := range append(builtins(), Generated()...) {
+	for _, s := range builtins() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	gen, err := Generated()
+	if err != nil {
+		return Spec{}, fmt.Errorf("scenario: resolving %q: %w", name, err)
+	}
+	for _, s := range gen {
 		if s.Name == name {
 			return s, nil
 		}
@@ -377,6 +395,15 @@ func Run(spec Spec, det autoware.Detector, duration time.Duration) (*Result, err
 // fault-free baseline run, one run with the injector (and any watch
 // policies) attached. Identical inputs produce identical Results.
 func RunWithEnv(scen *world.Scenario, m *hdmap.Map, spec Spec, det autoware.Detector, duration time.Duration) (*Result, error) {
+	return RunWithEnvContext(context.Background(), scen, m, spec, det, duration)
+}
+
+// RunWithEnvContext is RunWithEnv with cooperative cancellation: both
+// drive legs advance under the context, so a fleet job deadline stops
+// in-flight simulation promptly (the error wraps autoware.ErrCancelled)
+// instead of leaking the vehicle until drive end. Run to completion it
+// is byte-identical to RunWithEnv.
+func RunWithEnvContext(ctx context.Context, scen *world.Scenario, m *hdmap.Map, spec Spec, det autoware.Detector, duration time.Duration) (*Result, error) {
 	if err := spec.Schedule().Validate(); err != nil {
 		return nil, err
 	}
@@ -394,7 +421,9 @@ func RunWithEnv(scen *world.Scenario, m *hdmap.Map, spec Spec, det autoware.Dete
 		// so the baseline report stays byte-identical with or without it.
 		chains = avstack.AttachChainLog(baseline)
 	}
-	baseline.Run(duration)
+	if err := baseline.RunContext(ctx, duration); err != nil {
+		return nil, fmt.Errorf("scenario: baseline leg: %w", err)
+	}
 
 	depth := 0
 	if spec.Sched != nil {
@@ -432,7 +461,9 @@ func RunWithEnv(scen *world.Scenario, m *hdmap.Map, spec Spec, det autoware.Dete
 		// picks among candidates every layer above let through.
 		avstack.AttachScheduler(faulted, sched.Analyze(chains.Chains()), *spec.Sched)
 	}
-	faulted.Run(duration)
+	if err := faulted.RunContext(ctx, duration); err != nil {
+		return nil, fmt.Errorf("scenario: faulted leg: %w", err)
+	}
 
 	return collect(spec, det, duration, baseline, faulted, inj), nil
 }

@@ -125,7 +125,11 @@ func TestTransportGoldenReports(t *testing.T) {
 	// then hashes the same side-by-side report. Their lines append after
 	// the builtins, so pinning a new worst case never perturbs the
 	// pre-existing golden prefix.
-	for _, spec := range Generated() {
+	generated, err := Generated()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range generated {
 		scen, err := world.BuildScenario(*spec.World)
 		if err != nil {
 			t.Fatalf("%s: building world: %v", spec.Name, err)

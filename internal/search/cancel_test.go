@@ -1,0 +1,48 @@
+package search
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/autoware"
+	"repro/internal/world"
+)
+
+// TestSearchCancelledReturnsPromptly pins the fleet-deadline contract
+// on the adversarial search: cancelling the context mid-evaluation
+// aborts the in-flight drive within a slice of wall clock and surfaces
+// the autoware.ErrCancelled sentinel — it is never recorded as a
+// candidate elimination.
+func TestSearchCancelledReturnsPromptly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a world environment")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+
+	start := time.Now()
+	rep, err := RunContext(ctx, Config{
+		Space:     world.CompactSpace(),
+		SpaceName: "compact",
+		Seed:      3,
+		Budget:    4,
+		// A drive this long would take minutes if cancellation leaked.
+		Duration: 10 * time.Minute,
+		Detector: autoware.DetectorSSD300,
+	})
+	elapsed := time.Since(start)
+
+	if rep != nil {
+		t.Fatal("cancelled search returned a report")
+	}
+	if !errors.Is(err, autoware.ErrCancelled) {
+		t.Fatalf("cancelled search = %v, want wrapped autoware.ErrCancelled", err)
+	}
+	// Generous bound: environment construction (world + HD map) happens
+	// before the first cancellable drive and is not interruptible.
+	if elapsed > 60*time.Second {
+		t.Fatalf("cancelled search took %v, want prompt return", elapsed)
+	}
+}

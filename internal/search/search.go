@@ -1,6 +1,8 @@
 package search
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -133,6 +135,16 @@ func outcomeToCandidate(o Outcome) (Candidate, bool) {
 // underneath is deterministic, so the same Config always elects the
 // same worst case with the same measurements.
 func Run(cfg Config) (*Report, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cooperative cancellation: the context is
+// checked between candidates and threaded into every drive, so a fleet
+// job deadline (or a ctrl-C) stops the in-flight evaluation within a
+// slice of wall clock — the error wraps autoware.ErrCancelled — rather
+// than leaking the stack until drive end. Run to completion it is
+// byte-identical to Run.
+func RunContext(ctx context.Context, cfg Config) (*Report, error) {
 	if err := cfg.Space.Validate(); err != nil {
 		return nil, err
 	}
@@ -147,6 +159,7 @@ func Run(cfg Config) (*Report, error) {
 	}
 
 	h := &harness{
+		ctx:      ctx,
 		det:      cfg.Detector,
 		duration: cfg.Duration,
 		maps:     make(map[string]*hdmap.Map),
@@ -177,6 +190,9 @@ func Run(cfg Config) (*Report, error) {
 	best := baseline
 	bestEval := base
 	for i := 1; i < cfg.Budget; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("search: candidate %d: %w: %w", i, autoware.ErrCancelled, err)
+		}
 		stream := root.Split()
 		var c Candidate
 		// Alternate explore (fresh sample) and exploit (mutate the
@@ -192,6 +208,11 @@ func Run(cfg Config) (*Report, error) {
 			continue
 		}
 		ev, err := h.eval(c)
+		if errors.Is(err, autoware.ErrCancelled) {
+			// Cancellation aborts the whole search; elimination is only
+			// for candidates the generator or stack rejects.
+			return nil, fmt.Errorf("search: candidate %d: %w", i, err)
+		}
 		if err != nil {
 			// Elimination, not abortion: a candidate the generator or
 			// stack rejects is recorded and skipped, same as the tuner.
@@ -244,6 +265,7 @@ func outcome(c Candidate, ev Eval, err error, feasible bool, budgetMS float64) O
 // weather — the map is surveyed offline in a quiet world), so mutations
 // that keep the city reuse the expensive build.
 type harness struct {
+	ctx      context.Context
 	det      autoware.Detector
 	duration time.Duration
 	maps     map[string]*hdmap.Map
@@ -306,7 +328,9 @@ func (h *harness) eval(c Candidate) (Eval, error) {
 	if _, err := avstack.AttachDefaultSupervision(st, c.FaultSeed); err != nil {
 		return Eval{}, err
 	}
-	st.Run(h.duration)
+	if err := st.RunContext(h.ctx, h.duration); err != nil {
+		return Eval{}, err
+	}
 
 	// Worst path by p99 (ties to name order — PathNames is sorted),
 	// sample floor over every path's total, matching the tuner.
