@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench-smoke fuzz-smoke chaos-smoke corruption-smoke bench-middleware bus-stress sched-smoke search-smoke fleet-smoke docs-lint
+.PHONY: build test race vet bench-smoke fuzz-smoke chaos-smoke corruption-smoke bench-middleware bus-stress sched-smoke search-smoke fleet-smoke journal-smoke docs-lint
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,7 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzRingPushPop -fuzztime=10s ./internal/ros/
 	$(GO) test -run=NONE -fuzz=FuzzGuardValidate -fuzztime=10s ./internal/guard/
 	$(GO) test -run=NONE -fuzz=FuzzScenarioParams -fuzztime=10s ./internal/world/
+	$(GO) test -run=NONE -fuzz=FuzzJournalDecode -fuzztime=10s ./internal/journal/
 
 # Run every built-in chaos scenario end to end (baseline + faulted
 # stack each) and throw the reports away — a crash in any injection,
@@ -98,6 +99,17 @@ search-smoke:
 fleet-smoke:
 	$(GO) run ./cmd/avfleet -smoke
 	$(GO) test -count=1 -run='TestFleetIsolationUnderChaos|TestFleetRetryDeterminism' ./internal/fleet/
+
+# Durability smoke: the avfleet kill -9 self-test — spawn a journaled
+# child, load it, SIGKILL it mid-flight, restart it on the same journal,
+# and verify completed reports survived byte-identically, every admitted
+# job is accounted for, queued work resumes and the pinned stall jobs
+# dead-letter deterministically. Then the package's in-process crash
+# recovery, torn-tail salvage and fair-share starvation tests.
+journal-smoke:
+	$(GO) run ./cmd/avfleet -journal-smoke
+	$(GO) test -count=1 -run='TestFleetJournal|TestFairShareStarvation' ./internal/fleet/
+	$(GO) test -count=1 ./internal/journal/
 
 # Docs hygiene: formatting, vet, and a package comment on every
 # internal package (godoc's first requirement for a readable map).

@@ -1,0 +1,278 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/fleet"
+	"repro/internal/scenario"
+)
+
+// runJournalSmoke is the headline durability self-test, run against a
+// real process the way a crash happens in production:
+//
+//  1. spawn a journaled child avfleet and complete a few jobs
+//  2. pin its workers with stalling chaos jobs and queue more work
+//  3. kill -9 the child mid-flight
+//  4. restart a fresh child against the same journal
+//  5. verify: completed reports are byte-identical, every admitted job
+//     is still accounted for, queued work resumes to completion, the
+//     stalled jobs dead-letter deterministically, and the result cache
+//     survived (a resubmitted key is a cache hit with the same bytes)
+func runJournalSmoke() error {
+	dir, err := os.MkdirTemp("", "avfleet-journal-smoke-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	// Reserve a port for both child incarnations.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	base := "http://" + addr
+
+	self, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	spawn := func() (*exec.Cmd, error) {
+		cmd := exec.Command(self,
+			"-addr", addr, "-journal", dir, "-snapshot-every", "4",
+			// Attempt timeout: generously above one real job's wall time
+			// (so healthy jobs never trip it) while keeping the stalled
+			// jobs' road to their dead letter — 2 attempts — bounded.
+			"-workers", "2", "-queue", "16",
+			"-retries", "1", "-retry-base", "10ms", "-attempt-timeout", "15s",
+			"-chaos",
+		)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return nil, err
+		}
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			resp, err := http.Get(base + "/healthz")
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					return cmd, nil
+				}
+			}
+			if time.Now().After(deadline) {
+				cmd.Process.Kill()
+				return nil, fmt.Errorf("child on %s never became healthy", addr)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+
+	submit := func(job fleet.Job, wait bool) (fleet.Record, error) {
+		body, _ := json.Marshal(job)
+		url := base + "/jobs"
+		if wait {
+			url += "?wait=1"
+		}
+		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return fleet.Record{}, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			var buf bytes.Buffer
+			buf.ReadFrom(resp.Body)
+			return fleet.Record{}, fmt.Errorf("submit: code %d: %s", resp.StatusCode, buf.String())
+		}
+		var rec fleet.Record
+		return rec, json.NewDecoder(resp.Body).Decode(&rec)
+	}
+	getBody := func(path string) (int, []byte, error) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			return 0, nil, err
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp.StatusCode, buf.Bytes(), nil
+	}
+	waitTerminal := func(id int64) (fleet.Record, error) {
+		deadline := time.Now().Add(60 * time.Second)
+		for {
+			_, body, err := getBody(fmt.Sprintf("/jobs/%d", id))
+			if err != nil {
+				return fleet.Record{}, err
+			}
+			var rec fleet.Record
+			if err := json.Unmarshal(body, &rec); err != nil {
+				return fleet.Record{}, fmt.Errorf("job %d: %v", id, err)
+			}
+			switch rec.State {
+			case fleet.StateDone, fleet.StateFailed, fleet.StateShed:
+				return rec, nil
+			}
+			if time.Now().After(deadline) {
+				return rec, fmt.Errorf("job %d stuck in %s", id, rec.State)
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+
+	child, err := spawn()
+	if err != nil {
+		return err
+	}
+	defer child.Process.Kill()
+
+	// Phase 1: complete three jobs and keep their reports.
+	reports := map[int64][]byte{}
+	for seed := uint64(1); seed <= 3; seed++ {
+		rec, err := submit(fleet.Job{Tenant: "alice", Scenario: scenario.NameCameraStall, Seed: seed}, true)
+		if err != nil {
+			return fmt.Errorf("phase-1 seed %d: %v", seed, err)
+		}
+		if rec.State != fleet.StateDone {
+			return fmt.Errorf("phase-1 seed %d: state %s (%s)", seed, rec.State, rec.Err)
+		}
+		code, report, err := getBody(fmt.Sprintf("/jobs/%d/report", rec.ID))
+		if err != nil || code != http.StatusOK {
+			return fmt.Errorf("phase-1 report %d: code %d err %v", rec.ID, code, err)
+		}
+		reports[rec.ID] = report
+	}
+
+	// Phase 2: pin both workers with always-stalling jobs, queue more
+	// normal work behind them, then kill -9 mid-flight.
+	var stalled, queued []int64
+	for seed := uint64(10); seed <= 11; seed++ {
+		rec, err := submit(fleet.Job{
+			Tenant: "mallory", Scenario: scenario.NameCameraStall, Seed: seed,
+			Chaos: &fleet.Chaos{Kind: faults.KindStall, Attempts: 99},
+		}, false)
+		if err != nil {
+			return fmt.Errorf("stall job seed %d: %v", seed, err)
+		}
+		stalled = append(stalled, rec.ID)
+	}
+	for seed := uint64(20); seed <= 23; seed++ {
+		rec, err := submit(fleet.Job{Tenant: "bob", Scenario: scenario.NameCameraStall, Seed: seed}, false)
+		if err != nil {
+			return fmt.Errorf("queued job seed %d: %v", seed, err)
+		}
+		queued = append(queued, rec.ID)
+	}
+	admitted := int64(len(reports) + len(stalled) + len(queued))
+
+	if err := child.Process.Kill(); err != nil { // SIGKILL: no shutdown path runs
+		return err
+	}
+	child.Wait()
+	fmt.Printf("killed child mid-flight with %d jobs admitted\n", admitted)
+
+	// Restart against the same journal.
+	child, err = spawn()
+	if err != nil {
+		return fmt.Errorf("restarting: %v", err)
+	}
+	defer child.Process.Kill()
+
+	// Completed reports survived byte-identically.
+	for id, want := range reports {
+		code, got, err := getBody(fmt.Sprintf("/jobs/%d/report", id))
+		if err != nil || code != http.StatusOK {
+			return fmt.Errorf("recovered report %d: code %d err %v", id, code, err)
+		}
+		if !bytes.Equal(got, want) {
+			return fmt.Errorf("recovered report %d differs (%d vs %d bytes)", id, len(got), len(want))
+		}
+	}
+
+	// No admitted job was lost.
+	code, body, err := getBody("/jobs")
+	if err != nil || code != http.StatusOK {
+		return fmt.Errorf("jobs list: code %d err %v", code, err)
+	}
+	var all []fleet.Record
+	if err := json.Unmarshal(body, &all); err != nil {
+		return err
+	}
+	if int64(len(all)) != admitted {
+		return fmt.Errorf("recovered %d job records, want %d", len(all), admitted)
+	}
+
+	// Queued work resumes to completion; the pinned stall jobs burn
+	// their retry budget and dead-letter deterministically.
+	for _, id := range queued {
+		rec, err := waitTerminal(id)
+		if err != nil {
+			return err
+		}
+		if rec.State != fleet.StateDone {
+			return fmt.Errorf("resumed job %d: state %s (%s), want done", id, rec.State, rec.Err)
+		}
+		if !rec.Resumed {
+			return fmt.Errorf("resumed job %d not marked resumed", id)
+		}
+	}
+	for _, id := range stalled {
+		rec, err := waitTerminal(id)
+		if err != nil {
+			return err
+		}
+		if rec.State != fleet.StateFailed || !rec.DeadLetter {
+			return fmt.Errorf("stall job %d: state %s dead_letter %v, want a dead letter", id, rec.State, rec.DeadLetter)
+		}
+	}
+	code, body, err = getBody("/jobs?state=dead")
+	if err != nil || code != http.StatusOK {
+		return fmt.Errorf("dead filter: code %d err %v", code, err)
+	}
+	var dead []fleet.Record
+	if err := json.Unmarshal(body, &dead); err != nil {
+		return err
+	}
+	if len(dead) < len(stalled) {
+		return fmt.Errorf("dead filter lists %d jobs, want >= %d", len(dead), len(stalled))
+	}
+
+	// The result cache survived: a phase-1 key resubmitted is a cache
+	// hit with the same bytes.
+	again, err := submit(fleet.Job{Tenant: "carol", Scenario: scenario.NameCameraStall, Seed: 1}, true)
+	if err != nil {
+		return fmt.Errorf("resubmitting a recovered key: %v", err)
+	}
+	if !again.CacheHit {
+		return fmt.Errorf("resubmitted key was not a cache hit")
+	}
+
+	// The fleet reports its recovery.
+	code, body, err = getBody("/fleetz")
+	if err != nil || code != http.StatusOK {
+		return fmt.Errorf("fleetz: code %d err %v", code, err)
+	}
+	var st fleet.Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		return err
+	}
+	if st.Journal == nil {
+		return fmt.Errorf("fleetz reports no journal on a journaled fleet")
+	}
+	if st.Journal.Recovered.Queued < 1 {
+		return fmt.Errorf("fleetz recovered.queued = %d, want >= 1", st.Journal.Recovered.Queued)
+	}
+	fmt.Printf("recovered: %d queued, %d done, %d dead (salvage: %q)\n",
+		st.Journal.Recovered.Queued, st.Journal.Recovered.Done,
+		st.Journal.Recovered.Dead, st.Journal.Recovered.Salvage)
+	return nil
+}

@@ -8,28 +8,45 @@
 //	avfleet [-addr :8373] [-workers N] [-queue 64] [-detector SSD300]
 //	        [-duration 8s] [-retries 2] [-retry-base 50ms] [-retry-seed 1]
 //	        [-attempt-timeout 0] [-target-p99 0] [-cache 256] [-chaos]
-//	        [-smoke]
+//	        [-journal DIR] [-snapshot-every 512] [-admission fair]
+//	        [-tenant-rate 0] [-tenant-burst 8] [-tenant-limit name=rate:burst:weight]...
+//	        [-smoke] [-journal-smoke]
 //
 // Endpoints:
 //
 //	POST /jobs            submit a job; ?wait=1 blocks for the result
+//	GET  /jobs            list jobs; ?state=queued|running|done|failed|shed|dead
 //	GET  /jobs/{id}       job record
 //	GET  /jobs/{id}/report  final side-by-side report
+//	POST /tenants/{tenant}/limit  install a tenant rate/burst/weight contract
 //	GET  /fleetz          ladder state, queue, per-tenant p50/p99,
-//	                      retries/sheds/rejections, dead letters
+//	                      retries/sheds/rejections, limits, journal
+//	                      stats, dead letters
 //	GET  /healthz         liveness
 //
 // Overload is explicit, never silent: a full admission queue answers
-// 429, the shedding ladder rejects best-effort tenants with 429, and
+// 429, the shedding ladder rejects best-effort tenants with 429, a
+// tenant past its rate limit gets a 429 with a Retry-After hint, and
 // the draining state answers 503 until the backlog clears. Identical
 // job keys are served from the result cache byte-identically.
+//
+// -journal DIR makes the fleet durable: every admission and terminal
+// transition is fsynced to a CRC-framed write-ahead log before it is
+// acknowledged, and a restarted avfleet pointed at the same directory
+// replays the log — completed reports byte-identical, interrupted jobs
+// re-queued with their retry schedules intact. -snapshot-every bounds
+// the log via periodic snapshot compaction.
 //
 // -chaos enables per-job fault injection (crash/stall attempts) for
 // harness use; leave it off in real deployments. -smoke starts the
 // service on a loopback port, drives the full robustness surface over
 // real HTTP — healthy jobs, a cache hit, a crash-then-recover retry, a
 // crash-always dead letter, a past-deadline job, queue saturation —
-// and exits non-zero if any contract is violated.
+// and exits non-zero if any contract is violated. -journal-smoke runs
+// the kill -9 restart-recovery self-test: it spawns a journaled child
+// avfleet, loads it, SIGKILLs it mid-flight, restarts it against the
+// same journal, and verifies nothing admitted was lost and completed
+// reports survived byte-identically.
 package main
 
 import (
@@ -38,11 +55,47 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/autoware"
 	"repro/internal/fleet"
 )
+
+// tenantLimitFlags collects repeated -tenant-limit name=rate:burst:weight
+// values (burst and weight optional).
+type tenantLimitFlags map[string]fleet.TenantLimit
+
+func (f tenantLimitFlags) String() string { return fmt.Sprintf("%d limits", len(f)) }
+
+func (f tenantLimitFlags) Set(v string) error {
+	name, spec, ok := strings.Cut(v, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want name=rate[:burst[:weight]], got %q", v)
+	}
+	parts := strings.Split(spec, ":")
+	if len(parts) > 3 {
+		return fmt.Errorf("want name=rate[:burst[:weight]], got %q", v)
+	}
+	var limit fleet.TenantLimit
+	var err error
+	if limit.Rate, err = strconv.ParseFloat(parts[0], 64); err != nil {
+		return fmt.Errorf("rate in %q: %v", v, err)
+	}
+	if len(parts) > 1 {
+		if limit.Burst, err = strconv.Atoi(parts[1]); err != nil {
+			return fmt.Errorf("burst in %q: %v", v, err)
+		}
+	}
+	if len(parts) > 2 {
+		if limit.Weight, err = strconv.Atoi(parts[2]); err != nil {
+			return fmt.Errorf("weight in %q: %v", v, err)
+		}
+	}
+	f[name] = limit
+	return nil
+}
 
 func main() {
 	addr := flag.String("addr", ":8373", "listen address")
@@ -57,7 +110,15 @@ func main() {
 	targetP99 := flag.Duration("target-p99", 0, "healthy completion p99; sustained drift past it sheds load (0 = off)")
 	cache := flag.Int("cache", 256, "result cache entries (negative disables)")
 	chaos := flag.Bool("chaos", false, "allow per-job chaos injection (crash/stall attempts)")
+	journalDir := flag.String("journal", "", "write-ahead log directory for crash-safe restarts (empty = in-memory only)")
+	snapshotEvery := flag.Int("snapshot-every", 512, "WAL entries between snapshot compactions (negative disables)")
+	admission := flag.String("admission", fleet.AdmissionFair, "admission discipline: fair (per-tenant round-robin) or priority (global heap)")
+	tenantRate := flag.Float64("tenant-rate", 0, "default per-tenant admission rate in jobs/sec (0 = unlimited)")
+	tenantBurst := flag.Int("tenant-burst", 8, "default per-tenant token-bucket burst")
+	limits := tenantLimitFlags{}
+	flag.Var(limits, "tenant-limit", "per-tenant limit name=rate[:burst[:weight]] (repeatable)")
 	smoke := flag.Bool("smoke", false, "run the self-test against a loopback instance and exit")
+	journalSmoke := flag.Bool("journal-smoke", false, "run the kill -9 restart-recovery self-test and exit")
 	flag.Parse()
 
 	cfg := fleet.Config{
@@ -72,6 +133,12 @@ func main() {
 		TargetP99:      *targetP99,
 		CacheSize:      *cache,
 		AllowChaos:     *chaos,
+		Journal:        *journalDir,
+		SnapshotEvery:  *snapshotEvery,
+		Admission:      *admission,
+		TenantRate:     *tenantRate,
+		TenantBurst:    *tenantBurst,
+		Limits:         limits,
 	}
 
 	if *smoke {
@@ -82,10 +149,24 @@ func main() {
 		fmt.Println("avfleet smoke: ok")
 		return
 	}
+	if *journalSmoke {
+		if err := runJournalSmoke(); err != nil {
+			fmt.Fprintf(os.Stderr, "avfleet journal-smoke: FAIL: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("avfleet journal-smoke: ok")
+		return
+	}
 
-	svc := fleet.New(cfg)
+	svc, err := fleet.New(cfg)
+	if err != nil {
+		log.Fatalf("avfleet: %v", err)
+	}
 	defer svc.Close()
-	log.Printf("avfleet: serving on %s (workers=%d queue=%d detector=%s)",
-		*addr, cfg.Workers, cfg.QueueDepth, cfg.Detector)
+	if cfg.Journal != "" {
+		log.Printf("avfleet: journal %s (snapshot every %d entries)", cfg.Journal, cfg.SnapshotEvery)
+	}
+	log.Printf("avfleet: serving on %s (workers=%d queue=%d detector=%s admission=%s)",
+		*addr, cfg.Workers, cfg.QueueDepth, cfg.Detector, cfg.Admission)
 	log.Fatal(http.ListenAndServe(*addr, fleet.Handler(svc)))
 }

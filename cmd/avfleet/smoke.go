@@ -31,7 +31,10 @@ func runSmoke(cfg fleet.Config) error {
 	cfg.ShedHighWater = 2
 	cfg.DrainHighWater = 2
 
-	svc := fleet.New(cfg)
+	svc, err := fleet.New(cfg)
+	if err != nil {
+		return err
+	}
 	defer svc.Close()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

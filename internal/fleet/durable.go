@@ -1,0 +1,533 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/journal"
+)
+
+// Durability: every job state transition is a JSON walEntry framed and
+// CRC-checked by internal/journal. Admissions and terminal transitions
+// are fsynced before they are acknowledged; attempt markers are
+// appended without sync — losing one to a crash only re-runs a
+// deterministic attempt. Compaction folds the full service state into
+// an atomic snapshot (snapState) and truncates the WAL, and replay is
+// idempotent: the crash window between snapshot install and WAL
+// truncation re-delivers old entries, which the skip-if-known rules
+// below absorb.
+
+// WAL operation codes.
+const (
+	opAdmit = "admit" // job admitted (fsynced; CacheHit admits are self-contained)
+	opStart = "start" // attempt started (advisory, not fsynced)
+	opRetry = "retry" // transient failure consumed one backoff slot (not fsynced)
+	opDone  = "done"  // completed, with report bytes + content hash (fsynced)
+	opDead  = "dead"  // retry budget exhausted, dead-lettered (fsynced)
+	opFail  = "fail"  // terminal non-dead failure (fsynced)
+	opShed  = "shed"  // evicted by the degradation ladder (fsynced)
+	opLimit = "limit" // tenant admission contract installed (fsynced)
+)
+
+// walEntry is one journaled state transition.
+type walEntry struct {
+	Op       string       `json:"op"`
+	ID       int64        `json:"id,omitempty"`
+	Seq      int64        `json:"seq,omitempty"`
+	Key      string       `json:"key,omitempty"`
+	Tenant   string       `json:"tenant,omitempty"`
+	Job      *Job         `json:"job,omitempty"`
+	Enq      int64        `json:"enq,omitempty"` // admission time, unix nanos
+	Attempt  int          `json:"attempt,omitempty"`
+	Retries  int          `json:"retries,omitempty"`
+	Outcome  string       `json:"outcome,omitempty"`
+	Err      string       `json:"err,omitempty"`
+	Report   []byte       `json:"report,omitempty"`
+	Hash     string       `json:"hash,omitempty"`
+	E2E      float64      `json:"e2e,omitempty"`
+	Wall     float64      `json:"wall,omitempty"`
+	CacheHit bool         `json:"cache_hit,omitempty"`
+	Limit    *TenantLimit `json:"limit,omitempty"`
+}
+
+// reportHash is the content hash journaled with every completion so
+// replay can verify the report bytes survived the disk intact.
+func reportHash(report []byte) string {
+	sum := sha256.Sum256(report)
+	return hex.EncodeToString(sum[:])
+}
+
+// admitEntry builds the admission WAL entry. A cache-hit admission is
+// self-contained (report + hash inline) so replay reconstructs the
+// terminal record from the one entry.
+func admitEntry(rec *Record) walEntry {
+	e := walEntry{
+		Op: opAdmit, ID: rec.ID, Seq: rec.seq, Key: rec.Key,
+		Tenant: rec.Tenant, Job: &rec.Job, Enq: rec.enqueued.UnixNano(),
+	}
+	if rec.CacheHit {
+		e.CacheHit = true
+		e.Report = rec.report
+		e.Hash = reportHash(rec.report)
+		e.E2E = rec.E2EP99
+	}
+	return e
+}
+
+// RecoveredStats summarizes what a restart replayed from the journal.
+type RecoveredStats struct {
+	// Queued is how many interrupted (queued or in-flight) jobs were
+	// requeued for re-execution.
+	Queued int `json:"queued"`
+	Done   int `json:"done"`
+	Failed int `json:"failed"`
+	Dead   int `json:"dead"`
+	Shed   int `json:"shed"`
+	// Skipped counts WAL entries that failed to decode or verify and
+	// were dropped (the affected job re-runs rather than trusting them).
+	Skipped int `json:"skipped"`
+	// Salvage is the journal's torn-tail note, empty on a clean open.
+	Salvage string `json:"salvage,omitempty"`
+}
+
+// logLocked journals one entry, optionally fsyncing it. A nil journal
+// is a no-op; write failures are counted and, on the fsynced admission
+// path, propagated so no acknowledged job can be lost silently.
+// Callers hold s.mu.
+func (s *Service) logLocked(e walEntry, sync bool) error {
+	if s.jl == nil {
+		return nil
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		s.jlErrs++
+		return err
+	}
+	if err := s.jl.Append(data); err != nil {
+		s.jlErrs++
+		return err
+	}
+	s.walSinceCompact++
+	if sync {
+		if err := s.jl.Sync(); err != nil {
+			s.jlErrs++
+			return err
+		}
+	}
+	return nil
+}
+
+// maybeCompactLocked folds state into a snapshot once enough WAL
+// entries accumulated. Callers hold s.mu.
+func (s *Service) maybeCompactLocked() {
+	if s.jl == nil || s.cfg.SnapshotEvery <= 0 || s.walSinceCompact < s.cfg.SnapshotEvery {
+		return
+	}
+	s.compactLocked()
+}
+
+// compactLocked writes the full service state as an atomic snapshot
+// and truncates the WAL. Failure is absorbed (counted in jlErrs): the
+// un-truncated WAL still replays correctly. Callers hold s.mu.
+func (s *Service) compactLocked() {
+	if s.jl == nil {
+		return
+	}
+	data, err := json.Marshal(s.snapStateLocked())
+	if err != nil {
+		s.jlErrs++
+		return
+	}
+	if err := s.jl.Compact(data); err != nil {
+		s.jlErrs++
+		return
+	}
+	s.walSinceCompact = 0
+}
+
+// Snapshot schema. Sample slices are trimmed so snapshots stay
+// bounded; quantiles coarsen slightly across a restart, counters do
+// not.
+const snapSampleCap = 256
+
+type snapRecord struct {
+	ID         int64     `json:"id"`
+	Seq        int64     `json:"seq"`
+	Job        Job       `json:"job"`
+	Key        string    `json:"key"`
+	State      JobState  `json:"state"`
+	Tenant     string    `json:"tenant"`
+	Attempts   []Attempt `json:"attempts,omitempty"`
+	Retries    int       `json:"retries,omitempty"`
+	CacheHit   bool      `json:"cache_hit,omitempty"`
+	DeadLetter bool      `json:"dead_letter,omitempty"`
+	Err        string    `json:"err,omitempty"`
+	E2E        float64   `json:"e2e,omitempty"`
+	Wall       float64   `json:"wall,omitempty"`
+	Report     []byte    `json:"report,omitempty"`
+	Enq        int64     `json:"enq"`
+	Resumed    bool      `json:"resumed,omitempty"`
+}
+
+type snapTenant struct {
+	Submitted int64     `json:"submitted"`
+	Completed int64     `json:"completed"`
+	Failed    int64     `json:"failed"`
+	Retries   int64     `json:"retries"`
+	Shed      int64     `json:"shed"`
+	Rejected  int64     `json:"rejected"`
+	CacheHits int64     `json:"cache_hits"`
+	Throttled int64     `json:"throttled"`
+	E2E       []float64 `json:"e2e,omitempty"`
+	Wall      []float64 `json:"wall,omitempty"`
+}
+
+type snapState struct {
+	NextID  int64                  `json:"next_id"`
+	NextSeq int64                  `json:"next_seq"`
+	Records []snapRecord           `json:"records,omitempty"`
+	Tenants map[string]snapTenant  `json:"tenants,omitempty"`
+	Limits  map[string]TenantLimit `json:"limits,omitempty"`
+	// Dead is the dead-letter ledger as record IDs, in ledger order.
+	Dead []int64 `json:"dead,omitempty"`
+}
+
+func trimSamples(v []float64) []float64 {
+	if len(v) > snapSampleCap {
+		v = v[len(v)-snapSampleCap:]
+	}
+	return append([]float64(nil), v...)
+}
+
+// snapStateLocked captures the full durable state. Callers hold s.mu.
+func (s *Service) snapStateLocked() snapState {
+	st := snapState{
+		NextID:  s.nextID,
+		NextSeq: s.nextSeq,
+		Tenants: make(map[string]snapTenant, len(s.tenants)),
+		Limits:  make(map[string]TenantLimit, len(s.limits)),
+	}
+	ids := make([]int64, 0, len(s.records))
+	for id := range s.records {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		rec := s.records[id]
+		st.Records = append(st.Records, snapRecord{
+			ID: rec.ID, Seq: rec.seq, Job: rec.Job, Key: rec.Key,
+			State: rec.State, Tenant: rec.Tenant,
+			Attempts: rec.Attempts, Retries: rec.Retries,
+			CacheHit: rec.CacheHit, DeadLetter: rec.DeadLetter,
+			Err: rec.Err, E2E: rec.E2EP99, Wall: rec.WallMS,
+			Report: rec.report, Enq: rec.enqueued.UnixNano(),
+			Resumed: rec.Resumed,
+		})
+	}
+	for name, t := range s.tenants {
+		st.Tenants[name] = snapTenant{
+			Submitted: t.submitted, Completed: t.completed, Failed: t.failed,
+			Retries: t.retries, Shed: t.shed, Rejected: t.rejected,
+			CacheHits: t.cacheHits, Throttled: t.throttled,
+			E2E: trimSamples(t.e2e), Wall: trimSamples(t.wall),
+		}
+	}
+	for name, l := range s.limits {
+		st.Limits[name] = l
+	}
+	for _, rec := range s.dead {
+		st.Dead = append(st.Dead, rec.ID)
+	}
+	return st
+}
+
+// recover opens the journal and rebuilds service state: snapshot
+// first, then the WAL tail entry by entry, then interrupted jobs are
+// requeued and the replayed state is folded into a fresh snapshot.
+// Runs during New, before the dispatcher starts.
+func (s *Service) recover(dir string) error {
+	l, rec, err := journal.Open(dir)
+	if err != nil {
+		return fmt.Errorf("fleet: opening journal: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.jl = l
+	s.recovered.Salvage = rec.Salvage
+	if rec.Snapshot != nil {
+		if err := s.installSnapshotLocked(rec.Snapshot); err != nil {
+			l.Close()
+			s.jl = nil
+			return fmt.Errorf("fleet: installing journal snapshot: %w", err)
+		}
+	}
+	for _, e := range rec.Entries {
+		if !s.applyWALLocked(e) {
+			s.recovered.Skipped++
+		}
+	}
+	s.resumeQueuedLocked()
+	// Fold the replayed state into a snapshot now: the consumed WAL
+	// tail truncates away, and the next crash replays from here.
+	s.compactLocked()
+	return nil
+}
+
+// installSnapshotLocked rebuilds service state from a snapState image.
+// A snapshot that fails to decode is a hard error — it was written
+// atomically, so damage means disk-level corruption, and silently
+// serving partial state would be worse than refusing to start.
+func (s *Service) installSnapshotLocked(data []byte) error {
+	var st snapState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	s.nextID = st.NextID
+	s.nextSeq = st.NextSeq
+	for _, sr := range st.Records {
+		rec := &Record{
+			ID: sr.ID, Job: sr.Job, Key: sr.Key,
+			State: sr.State, Tenant: sr.Tenant,
+			Attempts: sr.Attempts, Retries: sr.Retries,
+			CacheHit: sr.CacheHit, DeadLetter: sr.DeadLetter,
+			Err: sr.Err, E2EP99: sr.E2E, WallMS: sr.Wall,
+			Resumed:  sr.Resumed,
+			report:   sr.Report,
+			enqueued: time.Unix(0, sr.Enq),
+			done:     make(chan struct{}),
+			seq:      sr.Seq,
+		}
+		if terminal(rec.State) {
+			close(rec.done)
+		}
+		s.records[rec.ID] = rec
+		if rec.ID > s.nextID {
+			s.nextID = rec.ID
+		}
+		if rec.seq > s.nextSeq {
+			s.nextSeq = rec.seq
+		}
+	}
+	for name, t := range st.Tenants {
+		s.tenants[name] = &tenantAgg{
+			submitted: t.Submitted, completed: t.Completed, failed: t.Failed,
+			retries: t.Retries, shed: t.Shed, rejected: t.Rejected,
+			cacheHits: t.CacheHits, throttled: t.Throttled,
+			e2e: t.E2E, wall: t.Wall,
+		}
+	}
+	for name, l := range st.Limits {
+		s.limits[name] = l
+	}
+	for _, id := range st.Dead {
+		if rec := s.records[id]; rec != nil {
+			s.dead = append(s.dead, rec)
+		}
+	}
+	// Rebuild the result cache and virtual-time baselines from the
+	// completed records, in admission order.
+	ids := make([]int64, 0, len(s.records))
+	for id := range s.records {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		rec := s.records[id]
+		if rec.State == StateDone && rec.report != nil {
+			s.cacheInsertLocked(rec.Key, rec.report, rec.E2EP99)
+			if !rec.CacheHit {
+				s.observeVirtualLocked(rec.Key, rec.E2EP99)
+			}
+		}
+	}
+	return nil
+}
+
+// terminal reports whether a state ends the job lifecycle.
+func terminal(st JobState) bool {
+	return st == StateDone || st == StateFailed || st == StateShed
+}
+
+// applyWALLocked replays one WAL entry idempotently. Returns false for
+// an entry that was dropped (undecodable, unknown op, or a completion
+// whose report bytes failed their content hash) — the affected job
+// simply re-runs, which determinism makes safe.
+func (s *Service) applyWALLocked(data []byte) bool {
+	var e walEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return false
+	}
+	switch e.Op {
+	case opLimit:
+		if e.Limit == nil {
+			return false
+		}
+		s.limits[e.Tenant] = *e.Limit
+	case opAdmit:
+		if e.Job == nil {
+			return false
+		}
+		if _, exists := s.records[e.ID]; exists {
+			return true // re-delivered pre-snapshot entry
+		}
+		rec := &Record{
+			ID: e.ID, Job: *e.Job, Key: e.Key, State: StateQueued,
+			Tenant: e.Tenant, enqueued: time.Unix(0, e.Enq),
+			done: make(chan struct{}), seq: e.Seq,
+		}
+		s.records[rec.ID] = rec
+		if rec.ID > s.nextID {
+			s.nextID = rec.ID
+		}
+		if rec.seq > s.nextSeq {
+			s.nextSeq = rec.seq
+		}
+		agg := s.tenantLocked(rec.Tenant)
+		agg.submitted++
+		if e.CacheHit {
+			if reportHash(e.Report) != e.Hash {
+				delete(s.records, rec.ID)
+				return false
+			}
+			rec.State = StateDone
+			rec.CacheHit = true
+			rec.report = e.Report
+			rec.E2EP99 = e.E2E
+			agg.completed++
+			agg.cacheHits++
+			s.cacheHits++
+			agg.e2e = append(agg.e2e, e.E2E)
+			agg.wall = append(agg.wall, 0)
+			close(rec.done)
+		}
+	case opStart:
+		// Advisory: an attempt that started but never journaled an
+		// outcome was in flight at the crash and re-runs from the
+		// replayed retry count.
+	case opRetry:
+		rec := s.records[e.ID]
+		if rec == nil || terminal(rec.State) {
+			return rec != nil
+		}
+		if e.Attempt+1 > rec.Retries {
+			rec.Retries = e.Attempt + 1
+			rec.Attempts = append(rec.Attempts, Attempt{Outcome: e.Outcome, Err: e.Err})
+			s.tenantLocked(rec.Tenant).retries++
+		}
+	case opDone:
+		rec := s.records[e.ID]
+		if rec == nil || terminal(rec.State) {
+			return rec != nil
+		}
+		if reportHash(e.Report) != e.Hash {
+			return false // damaged report: leave queued, re-run
+		}
+		rec.State = StateDone
+		rec.report = e.Report
+		rec.E2EP99 = e.E2E
+		rec.WallMS = e.Wall
+		if e.Retries > rec.Retries {
+			rec.Retries = e.Retries
+		}
+		agg := s.tenantLocked(rec.Tenant)
+		agg.completed++
+		agg.e2e = append(agg.e2e, e.E2E)
+		agg.wall = append(agg.wall, e.Wall)
+		s.cacheInsertLocked(rec.Key, rec.report, rec.E2EP99)
+		s.observeVirtualLocked(rec.Key, rec.E2EP99)
+		close(rec.done)
+	case opDead, opFail, opShed:
+		rec := s.records[e.ID]
+		if rec == nil || terminal(rec.State) {
+			return rec != nil
+		}
+		if e.Op == opShed {
+			rec.State = StateShed
+		} else {
+			rec.State = StateFailed
+		}
+		rec.Err = e.Err
+		rec.WallMS = e.Wall
+		if e.Retries > rec.Retries {
+			rec.Retries = e.Retries
+		}
+		agg := s.tenantLocked(rec.Tenant)
+		if e.Op == opShed {
+			agg.shed++
+		} else {
+			agg.failed++
+		}
+		if e.Op == opDead {
+			rec.DeadLetter = true
+			s.deadLetterLocked(rec)
+		}
+		close(rec.done)
+	default:
+		return false
+	}
+	return true
+}
+
+// resumeQueuedLocked requeues every non-terminal record: interrupted
+// in-flight jobs restart at their replayed retry count, with the
+// backoff schedule recomputed — it is a pure function of (retry seed,
+// job key), so the resumed schedule is the one the dead process
+// planned.
+func (s *Service) resumeQueuedLocked() {
+	var pend []*Record
+	for _, rec := range s.records {
+		switch rec.State {
+		case StateQueued, StateRunning:
+			rec.State = StateQueued
+			rec.Resumed = true
+			rec.shedable = true
+			rec.resumeFrom = rec.Retries
+			rec.Backoff = BackoffSchedule(s.cfg.RetrySeed, rec.Key, s.cfg.RetryBase, s.cfg.RetryBudget)
+			pend = append(pend, rec)
+			s.recovered.Queued++
+		case StateDone:
+			s.recovered.Done++
+		case StateFailed:
+			if rec.DeadLetter {
+				s.recovered.Dead++
+			} else {
+				s.recovered.Failed++
+			}
+		case StateShed:
+			s.recovered.Shed++
+		}
+	}
+	sort.Slice(pend, func(i, j int) bool { return pend[i].seq < pend[j].seq })
+	for _, rec := range pend {
+		s.queue.push(rec)
+	}
+}
+
+// killForTest simulates an abrupt process death for crash-recovery
+// tests: admission stops and the journal handle drops immediately —
+// anything not yet journaled is lost, exactly as under SIGKILL — then
+// resources are reaped so the test leaks nothing. No shutdown snapshot
+// is taken; the next Open replays the raw WAL.
+func (s *Service) killForTest() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	if s.jl != nil {
+		s.jl.Close()
+		s.jl = nil
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+	for i := 0; i < cap(s.sem); i++ {
+		s.sem <- struct{}{}
+	}
+	s.pool.Close()
+}

@@ -1,0 +1,430 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/autoware"
+	"repro/internal/scenario"
+)
+
+// deterministicRunner reports by scenario name so reruns after a crash
+// must reproduce results byte for byte. Jobs named "slow" block on the
+// gate channel, pinning the worker so a crash catches them in flight.
+func deterministicRunner(gate chan struct{}) runnerFunc {
+	return func(ctx context.Context, spec scenario.Spec, det autoware.Detector, d time.Duration) (*RunResult, error) {
+		if spec.Name == "slow" {
+			<-gate
+		}
+		return &RunResult{Report: []byte("report:" + spec.Name + "\n"), E2EP99: 7}, nil
+	}
+}
+
+// killMidFlight simulates SIGKILL while jobs are queued and running:
+// the journal handle drops first (nothing further persists), then the
+// gated in-flight job is released so the dead service can be reaped.
+func killMidFlight(t *testing.T, svc *Service, gate chan struct{}) {
+	t.Helper()
+	killed := make(chan struct{})
+	go func() {
+		svc.killForTest()
+		close(killed)
+	}()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		svc.mu.Lock()
+		dropped := svc.jl == nil && svc.closed
+		svc.mu.Unlock()
+		if dropped {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("killForTest never dropped the journal handle")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if gate != nil {
+		close(gate)
+	}
+	<-killed
+}
+
+// TestFleetJournalCrashRecovery is the headline durability contract:
+// kill the service mid-load, restart it on the same journal, and the
+// completed reports are byte-identical to an uninterrupted run while
+// every interrupted job re-runs to the identical result — with the
+// retry schedule the dead process had planned.
+func TestFleetJournalCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	gate := make(chan struct{})
+	cfg := Config{
+		Workers: 1, QueueDepth: 16, RetryBudget: 2, RetryBase: time.Millisecond,
+		Journal: dir, Resolve: passResolve, Runner: deterministicRunner(gate),
+	}
+
+	// The uninterrupted control run: same jobs, no crash.
+	controlGate := make(chan struct{})
+	close(controlGate)
+	control := mustNew(t, Config{
+		Workers: 1, QueueDepth: 16, RetryBudget: 2, RetryBase: time.Millisecond,
+		Resolve: passResolve, Runner: deterministicRunner(controlGate),
+	})
+	want := map[string][]byte{}
+	for _, name := range []string{"a", "b", "slow", "q1", "q2"} {
+		rec, err := control.Submit(Job{Tenant: "t", Scenario: name})
+		if err != nil {
+			t.Fatal(err)
+		}
+		final := waitDone(t, control, rec.ID)
+		if final.State != StateDone {
+			t.Fatalf("control %s: state %s", name, final.State)
+		}
+		want[name] = final.Report()
+	}
+	control.Close()
+
+	svc := mustNew(t, cfg)
+	// Phase 1: two jobs complete and are journaled.
+	phase1 := map[int64][]byte{}
+	for _, name := range []string{"a", "b"} {
+		rec, err := svc.Submit(Job{Tenant: "t", Scenario: name})
+		if err != nil {
+			t.Fatal(err)
+		}
+		final := waitDone(t, svc, rec.ID)
+		if final.State != StateDone {
+			t.Fatalf("phase-1 %s: state %s (%s)", name, final.State, final.Err)
+		}
+		phase1[rec.ID] = final.Report()
+	}
+
+	// Phase 2: "slow" pins the single worker, q1/q2 queue behind it.
+	slow, err := svc.Submit(Job{Tenant: "t", Scenario: "slow"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState := func(id int64, st JobState) {
+		t.Helper()
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			rec, ok := svc.Get(id)
+			if ok && rec.State == st {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %d never reached %s (now %s)", id, st, rec.State)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitState(slow.ID, StateRunning)
+	var queued []*Record
+	for _, name := range []string{"q1", "q2"} {
+		rec, err := svc.Submit(Job{Tenant: "t", Scenario: name})
+		if err != nil {
+			t.Fatal(err)
+		}
+		queued = append(queued, rec)
+	}
+	// The backoff schedule the dead process planned, to compare after
+	// recovery: a pure function of (seed, key), so it must match.
+	plannedBackoff := map[int64][]time.Duration{}
+	for _, rec := range append([]*Record{slow}, queued...) {
+		snap, _ := svc.Get(rec.ID)
+		plannedBackoff[rec.ID] = snap.Backoff
+	}
+
+	killMidFlight(t, svc, gate)
+
+	// Restart on the same journal. The gate is closed now, so "slow"
+	// re-runs straight through.
+	cfg.Runner = deterministicRunner(gate)
+	svc2 := mustNew(t, cfg)
+	defer svc2.Close()
+
+	st := svc2.Fleetz()
+	if st.Journal == nil {
+		t.Fatal("restarted service reports no journal")
+	}
+	if got := st.Journal.Recovered; got.Queued != 3 || got.Done != 2 {
+		t.Errorf("recovered %+v, want 3 queued and 2 done", got)
+	}
+
+	// Completed reports survived byte-identically (and match control).
+	for id, report := range phase1 {
+		rec, ok := svc2.Get(id)
+		if !ok || rec.State != StateDone {
+			t.Fatalf("recovered job %d: ok=%v state %s", id, ok, rec.State)
+		}
+		if !bytes.Equal(rec.Report(), report) {
+			t.Errorf("recovered report %d differs from pre-crash bytes", id)
+		}
+		if !bytes.Equal(rec.Report(), want[rec.Job.Scenario]) {
+			t.Errorf("recovered report %d differs from the uninterrupted run", id)
+		}
+		if rec.Resumed {
+			t.Errorf("terminal job %d marked resumed", id)
+		}
+	}
+
+	// Interrupted jobs resume — same planned backoff — and re-run to
+	// the identical result.
+	for _, orig := range append([]*Record{slow}, queued...) {
+		final := waitDone(t, svc2, orig.ID)
+		if final.State != StateDone {
+			t.Fatalf("resumed job %d (%s): state %s (%s)", orig.ID, orig.Job.Scenario, final.State, final.Err)
+		}
+		if !final.Resumed {
+			t.Errorf("job %d completed without the resumed mark", orig.ID)
+		}
+		if !bytes.Equal(final.Report(), want[orig.Job.Scenario]) {
+			t.Errorf("resumed job %d report differs from the uninterrupted run", orig.ID)
+		}
+		if !reflect.DeepEqual(final.Backoff, plannedBackoff[orig.ID]) {
+			t.Errorf("job %d recovered backoff %v, want the planned %v", orig.ID, final.Backoff, plannedBackoff[orig.ID])
+		}
+	}
+
+	// The result cache survived: a recovered key resubmitted under a
+	// different tenant is a cache hit with the original bytes.
+	again, err := svc2.Submit(Job{Tenant: "other", Scenario: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.CacheHit || !bytes.Equal(again.Report(), want["a"]) {
+		t.Errorf("resubmitted recovered key: cache_hit=%v, want a byte-identical cache hit", again.CacheHit)
+	}
+}
+
+// TestFleetJournalTornTail crashes the service, corrupts the WAL's
+// final frame the way a torn write would, and verifies recovery
+// salvages the intact prefix: the undamaged job's report survives
+// byte-identically, the job whose completion was torn off simply
+// re-runs.
+func TestFleetJournalTornTail(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		Workers: 1, QueueDepth: 16, Journal: dir,
+		Resolve: passResolve, Runner: deterministicRunner(nil),
+	}
+	svc := mustNew(t, cfg)
+	var ids []int64
+	for _, name := range []string{"intact", "torn"} {
+		rec, err := svc.Submit(Job{Tenant: "t", Scenario: name})
+		if err != nil {
+			t.Fatal(err)
+		}
+		final := waitDone(t, svc, rec.ID)
+		if final.State != StateDone {
+			t.Fatalf("%s: state %s", name, final.State)
+		}
+		ids = append(ids, rec.ID)
+	}
+	killMidFlight(t, svc, nil)
+
+	// Tear the tail: the last WAL frame is "torn"'s completion.
+	wal := filepath.Join(dir, "wal")
+	info, err := os.Stat(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(wal, info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	svc2 := mustNew(t, cfg)
+	defer svc2.Close()
+	st := svc2.Fleetz()
+	if st.Journal == nil || st.Journal.Recovered.Salvage == "" {
+		t.Fatalf("torn tail recovered without a salvage note: %+v", st.Journal)
+	}
+	if got := st.Journal.Recovered; got.Done != 1 || got.Queued != 1 {
+		t.Errorf("recovered %+v, want 1 done and 1 requeued", got)
+	}
+	if rec, ok := svc2.Get(ids[0]); !ok || rec.State != StateDone || !bytes.Equal(rec.Report(), []byte("report:intact\n")) {
+		t.Errorf("intact job did not survive the torn tail: ok=%v %+v", ok, rec)
+	}
+	// The torn job re-runs deterministically to the same bytes.
+	final := waitDone(t, svc2, ids[1])
+	if final.State != StateDone || !final.Resumed || !bytes.Equal(final.Report(), []byte("report:torn\n")) {
+		t.Errorf("torn job: state %s resumed %v, want a resumed byte-identical re-run", final.State, final.Resumed)
+	}
+}
+
+// TestFleetJournalCompaction keeps the log bounded: with a small
+// snapshot threshold the WAL compacts during load, and a restart
+// replays full state from the compact image.
+func TestFleetJournalCompaction(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		Workers: 2, QueueDepth: 32, Journal: dir, SnapshotEvery: 4,
+		Resolve: passResolve, Runner: deterministicRunner(nil),
+	}
+	svc := mustNew(t, cfg)
+	const jobs = 10
+	for i := 0; i < jobs; i++ {
+		rec, err := svc.Submit(Job{Tenant: "t", Scenario: fmt.Sprintf("job-%d", i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if final := waitDone(t, svc, rec.ID); final.State != StateDone {
+			t.Fatalf("job %d: state %s", i, final.State)
+		}
+	}
+	st := svc.Fleetz()
+	if st.Journal == nil || st.Journal.Stats.Compactions < 1 {
+		t.Fatalf("no compaction after %d jobs at SnapshotEvery=4: %+v", jobs, st.Journal)
+	}
+	if st.Journal.Stats.WALRecords > 2*4 {
+		t.Errorf("WAL holds %d records after compaction, want bounded near the threshold", st.Journal.Stats.WALRecords)
+	}
+	svc.Close()
+
+	svc2 := mustNew(t, cfg)
+	defer svc2.Close()
+	if got := svc2.Fleetz().Journal.Recovered.Done; got != jobs {
+		t.Errorf("restart recovered %d done jobs, want %d", got, jobs)
+	}
+	if recs := svc2.Jobs("done"); len(recs) != jobs {
+		t.Errorf("restart lists %d done records, want %d", len(recs), jobs)
+	}
+}
+
+// TestFleetJournalLimitsPersist proves runtime tenant contracts
+// survive a crash: a limit installed via SetTenantLimit throttles
+// again after kill-and-restart.
+func TestFleetJournalLimitsPersist(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		Workers: 1, QueueDepth: 16, Journal: dir,
+		Resolve: passResolve, Runner: deterministicRunner(nil),
+	}
+	svc := mustNew(t, cfg)
+	if err := svc.SetTenantLimit("metered", TenantLimit{Rate: 0.0001, Burst: 1, Weight: 3}); err != nil {
+		t.Fatal(err)
+	}
+	killMidFlight(t, svc, nil)
+
+	svc2 := mustNew(t, cfg)
+	defer svc2.Close()
+	st := svc2.Fleetz()
+	if len(st.Limits) != 1 || st.Limits[0].Tenant != "metered" ||
+		st.Limits[0].Rate != 0.0001 || st.Limits[0].Burst != 1 || st.Limits[0].Weight != 3 {
+		t.Fatalf("recovered limits %+v, want metered 0.0001:1:3", st.Limits)
+	}
+	if _, err := svc2.Submit(Job{Tenant: "metered", Scenario: "s0"}); err != nil {
+		t.Fatalf("first metered job after restart: %v", err)
+	}
+	if _, err := svc2.Submit(Job{Tenant: "metered", Scenario: "s1"}); !errors.Is(err, ErrTenantThrottled) {
+		t.Fatalf("second metered job after restart: %v, want the recovered limit to throttle", err)
+	}
+}
+
+// TestFleetJournalCloseKeepsQueue pins the graceful-shutdown contract:
+// a journaled Close leaves queued jobs in the log (unlike the plain
+// service, which fails them), and the next incarnation runs them.
+func TestFleetJournalCloseKeepsQueue(t *testing.T) {
+	dir := t.TempDir()
+	gate := make(chan struct{})
+	cfg := Config{
+		Workers: 1, QueueDepth: 16, Journal: dir,
+		Resolve: passResolve, Runner: deterministicRunner(gate),
+	}
+	svc := mustNew(t, cfg)
+	blocker, err := svc.Submit(Job{Tenant: "t", Scenario: "slow"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		rec, _ := svc.Get(blocker.ID)
+		if rec.State == StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("blocker never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	parked, err := svc.Submit(Job{Tenant: "t", Scenario: "parked"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	closed := make(chan struct{})
+	go func() {
+		svc.Close()
+		close(closed)
+	}()
+	for {
+		svc.mu.Lock()
+		stopping := svc.closed
+		svc.mu.Unlock()
+		if stopping {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("Close never stopped admission")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate) // the in-flight blocker finishes inside Close
+	<-closed
+
+	svc2 := mustNew(t, cfg)
+	defer svc2.Close()
+	if got := svc2.Fleetz().Journal.Recovered; got.Queued != 1 || got.Done != 1 {
+		t.Errorf("recovered %+v, want the parked job queued and the blocker done", got)
+	}
+	final := waitDone(t, svc2, parked.ID)
+	if final.State != StateDone || !final.Resumed || !bytes.Equal(final.Report(), []byte("report:parked\n")) {
+		t.Errorf("parked job after graceful restart: state %s resumed %v", final.State, final.Resumed)
+	}
+}
+
+// TestApplyWALDamagedDone covers the replay hash check directly: a
+// completion entry whose report bytes fail their content hash is
+// dropped, leaving the job queued to re-run.
+func TestApplyWALDamagedDone(t *testing.T) {
+	svc := mustNew(t, Config{
+		Workers: 1, QueueDepth: 4, Resolve: passResolve,
+		Runner: deterministicRunner(nil),
+	})
+	defer svc.Close()
+
+	mustJSON := func(e walEntry) []byte {
+		data, err := json.Marshal(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	job := Job{Tenant: "t", Scenario: "x", Duration: time.Second}
+	svc.mu.Lock()
+	defer svc.mu.Unlock()
+	if !svc.applyWALLocked(mustJSON(walEntry{Op: opAdmit, ID: 7, Seq: 1, Key: "k", Tenant: "t", Job: &job})) {
+		t.Fatal("admit entry rejected")
+	}
+	damaged := walEntry{Op: opDone, ID: 7, Report: []byte("tampered"), Hash: reportHash([]byte("original"))}
+	if svc.applyWALLocked(mustJSON(damaged)) {
+		t.Error("completion with a mismatched content hash was accepted")
+	}
+	if rec := svc.records[7]; rec == nil || rec.State != StateQueued {
+		t.Errorf("damaged completion left job in %v, want queued for re-run", svc.records[7])
+	}
+	good := walEntry{Op: opDone, ID: 7, Report: []byte("original"), Hash: reportHash([]byte("original")), E2E: 1}
+	if !svc.applyWALLocked(mustJSON(good)) {
+		t.Error("intact completion rejected")
+	}
+	if rec := svc.records[7]; rec.State != StateDone || !bytes.Equal(rec.report, []byte("original")) {
+		t.Errorf("intact completion not applied: %+v", svc.records[7])
+	}
+}

@@ -1,0 +1,223 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/autoware"
+	"repro/internal/mathx"
+	"repro/internal/scenario"
+)
+
+// TestTokenBucket pins the bucket arithmetic against an injected
+// clock: priming to the full burst, refill at the configured rate,
+// capping at burst, and the retry-after hint when dry.
+func TestTokenBucket(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := &bucket{}
+
+	// Primed full: the initial burst is admitted.
+	for i := 0; i < 2; i++ {
+		if wait, ok := b.take(now, 1, 2); !ok || wait != 0 {
+			t.Fatalf("burst take %d: ok=%v wait=%v, want free admission", i, ok, wait)
+		}
+	}
+	wait, ok := b.take(now, 1, 2)
+	if ok {
+		t.Fatal("dry bucket admitted a third take")
+	}
+	if wait < 900*time.Millisecond || wait > 1100*time.Millisecond {
+		t.Errorf("dry bucket retry-after %v, want ~1s at 1 token/s", wait)
+	}
+
+	// One second later a whole token has accrued.
+	now = now.Add(time.Second)
+	if _, ok := b.take(now, 1, 2); !ok {
+		t.Error("refilled bucket rejected a take")
+	}
+
+	// A long idle stretch caps at burst, not unbounded credit.
+	now = now.Add(time.Hour)
+	for i := 0; i < 2; i++ {
+		if _, ok := b.take(now, 1, 2); !ok {
+			t.Fatalf("post-idle take %d rejected; refill did not cap at burst", i)
+		}
+	}
+	if _, ok := b.take(now, 1, 2); ok {
+		t.Error("idle refill exceeded the burst cap")
+	}
+
+	// Zero rate means unlimited.
+	unlimited := &bucket{}
+	for i := 0; i < 100; i++ {
+		if _, ok := unlimited.take(now, 0, 1); !ok {
+			t.Fatal("zero-rate bucket throttled")
+		}
+	}
+}
+
+// TestFleetThrottle drives the service-level rate limit with an
+// injected clock: burst admitted, overflow rejected as a
+// *ThrottleError matching ErrTenantThrottled, refill re-admits.
+func TestFleetThrottle(t *testing.T) {
+	svc := mustNew(t, Config{
+		Workers: 1, QueueDepth: 32, Resolve: passResolve,
+		TenantRate: 1, TenantBurst: 2,
+		Runner: runnerFunc(func(ctx context.Context, spec scenario.Spec, det autoware.Detector, d time.Duration) (*RunResult, error) {
+			return &RunResult{Report: []byte("ok\n"), E2EP99: 1}, nil
+		}),
+	})
+	defer svc.Close()
+	clock := time.Unix(1000, 0)
+	svc.now = func() time.Time { return clock }
+
+	for i := 0; i < 2; i++ {
+		if _, err := svc.Submit(Job{Tenant: "m", Scenario: fmt.Sprintf("s%d", i)}); err != nil {
+			t.Fatalf("burst submit %d: %v", i, err)
+		}
+	}
+	_, err := svc.Submit(Job{Tenant: "m", Scenario: "s2"})
+	if !errors.Is(err, ErrTenantThrottled) {
+		t.Fatalf("overflow submit err %v, want ErrTenantThrottled", err)
+	}
+	var throttle *ThrottleError
+	if !errors.As(err, &throttle) || throttle.Tenant != "m" || throttle.RetryAfter <= 0 {
+		t.Fatalf("overflow error %#v, want *ThrottleError for tenant m with a positive hint", err)
+	}
+
+	// Another tenant is unaffected: buckets are per tenant.
+	if _, err := svc.Submit(Job{Tenant: "other", Scenario: "s3"}); err != nil {
+		t.Fatalf("other tenant throttled by m's bucket: %v", err)
+	}
+
+	// After the hinted wait the tenant is admitted again.
+	clock = clock.Add(throttle.RetryAfter + time.Millisecond)
+	if _, err := svc.Submit(Job{Tenant: "m", Scenario: "s4"}); err != nil {
+		t.Fatalf("post-refill submit: %v", err)
+	}
+
+	if got := svc.Fleetz().Fleet.Throttled; got != 1 {
+		t.Errorf("throttled counter %d, want 1", got)
+	}
+}
+
+// TestFairShareDRROrder pins the deficit-round-robin dispatch order:
+// with tenant a at weight 2 and tenant b at weight 1, a backlog
+// queued as a1..a3, b1..b3 dispatches a1 a2 b1 a3 b2 b3.
+func TestFairShareDRROrder(t *testing.T) {
+	release := make(chan struct{})
+	blocked := make(chan struct{})
+	order := make(chan string, 16)
+	svc := mustNew(t, Config{
+		Workers: 1, QueueDepth: 16, Resolve: passResolve,
+		Limits: map[string]TenantLimit{"a": {Weight: 2}},
+		Runner: runnerFunc(func(ctx context.Context, spec scenario.Spec, det autoware.Detector, d time.Duration) (*RunResult, error) {
+			if spec.Name == "blocker" {
+				blocked <- struct{}{}
+				<-release
+			} else {
+				order <- spec.Name
+			}
+			return &RunResult{Report: []byte("ok\n"), E2EP99: 1}, nil
+		}),
+	})
+	defer svc.Close()
+
+	// Pin the single worker so the backlog queues in a known state.
+	if _, err := svc.Submit(Job{Tenant: "z", Scenario: "blocker"}); err != nil {
+		t.Fatal(err)
+	}
+	<-blocked
+	var last *Record
+	for _, name := range []string{"a1", "a2", "a3", "b1", "b2", "b3"} {
+		rec, err := svc.Submit(Job{Tenant: name[:1], Scenario: name})
+		if err != nil {
+			t.Fatalf("submit %s: %v", name, err)
+		}
+		last = rec
+	}
+	close(release)
+	waitDone(t, svc, last.ID)
+
+	want := []string{"a1", "a2", "b1", "a3", "b2", "b3"}
+	for i, w := range want {
+		select {
+		case got := <-order:
+			if got != w {
+				t.Fatalf("dispatch %d: got %s, want %s (weight-2 DRR order)", i, got, w)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("dispatch %d (%s) never ran", i, w)
+		}
+	}
+}
+
+// TestFairShareStarvation is the acceptance contract: a tenant
+// bursting a large backlog cannot starve another tenant's small,
+// steady trickle under fair-share admission, while total throughput
+// stays within 10% of the global-priority discipline.
+func TestFairShareStarvation(t *testing.T) {
+	const (
+		hogJobs   = 150
+		mouseJobs = 8
+		workMS    = 2
+	)
+	run := func(admission string) (mouseP99 float64, total time.Duration) {
+		t.Helper()
+		svc := mustNew(t, Config{
+			Workers: 2, QueueDepth: 256, CacheSize: -1,
+			Admission: admission, Resolve: passResolve,
+			Runner: runnerFunc(func(ctx context.Context, spec scenario.Spec, det autoware.Detector, d time.Duration) (*RunResult, error) {
+				time.Sleep(workMS * time.Millisecond)
+				return &RunResult{Report: []byte("ok:" + spec.Name + "\n"), E2EP99: 1}, nil
+			}),
+		})
+		defer svc.Close()
+
+		start := time.Now()
+		hog := make([]*Record, 0, hogJobs)
+		for i := 0; i < hogJobs; i++ {
+			rec, err := svc.Submit(Job{Tenant: "hog", Scenario: fmt.Sprintf("hog-%d", i)})
+			if err != nil {
+				t.Fatalf("hog submit %d (%s): %v", i, admission, err)
+			}
+			hog = append(hog, rec)
+		}
+		// The mouse trickles in behind the burst, waiting for each job:
+		// its wall time is dominated by how long dispatch makes it queue.
+		var mouseWall []float64
+		for i := 0; i < mouseJobs; i++ {
+			rec, err := svc.Submit(Job{Tenant: "mouse", Scenario: fmt.Sprintf("mouse-%d", i)})
+			if err != nil {
+				t.Fatalf("mouse submit %d (%s): %v", i, admission, err)
+			}
+			final := waitDone(t, svc, rec.ID)
+			mouseWall = append(mouseWall, final.WallMS)
+		}
+		for _, rec := range hog {
+			waitDone(t, svc, rec.ID)
+		}
+		return mathx.Quantile(mouseWall, 0.99), time.Since(start)
+	}
+
+	fairP99, fairTotal := run(AdmissionFair)
+	priP99, priTotal := run(AdmissionPriority)
+	t.Logf("mouse p99: fair %.1fms vs priority %.1fms; total: fair %v vs priority %v",
+		fairP99, priP99, fairTotal, priTotal)
+
+	// Under global priority the mouse waits behind the hog's whole
+	// backlog; under fair share it waits a round-robin turn. Demand a
+	// decisive separation, not a marginal one.
+	if fairP99 > priP99/2 {
+		t.Errorf("fair-share mouse p99 %.1fms vs priority %.1fms: starvation not prevented", fairP99, priP99)
+	}
+	// Fairness must not cost throughput: the same work drains in
+	// roughly the same time (10%% bound plus scheduling slack).
+	bound := time.Duration(float64(priTotal)*1.10) + 250*time.Millisecond
+	if fairTotal > bound {
+		t.Errorf("fair-share drained in %v, want <= %v (priority %v + 10%%)", fairTotal, bound, priTotal)
+	}
+}

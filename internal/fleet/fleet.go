@@ -27,13 +27,21 @@
 //     same job key yields a byte-identical report whether run solo,
 //     under contention, or after a retry — every vehicle is its own
 //     virtual-time simulation, so host scheduling cannot leak in.
+//   - With Config.Journal set, every job state transition is written to
+//     a CRC32C-framed write-ahead log (internal/journal) before it is
+//     acknowledged, so a crashed service restarts into the same queue,
+//     retry schedules, result cache, and dead-letter ledger — completed
+//     reports byte-identical, in-flight jobs re-run deterministically.
+//   - Admission is per-tenant fair share by default: token-bucket rate
+//     limits at the door and deficit-round-robin dispatch behind it, so
+//     one tenant's burst cannot starve another (AdmissionPriority keeps
+//     the old global-priority discipline selectable).
 //
 // The HTTP surface (Handler, cmd/avfleet) exposes submission, per-job
 // status/report endpoints, and the /fleetz aggregate.
 package fleet
 
 import (
-	"container/heap"
 	"context"
 	"errors"
 	"fmt"
@@ -44,6 +52,7 @@ import (
 
 	"repro/internal/autoware"
 	"repro/internal/faults"
+	"repro/internal/journal"
 	"repro/internal/mathx"
 	"repro/internal/parallel"
 	"repro/internal/scenario"
@@ -69,6 +78,10 @@ var (
 	ErrRetriesExhausted = errors.New("fleet: retry budget exhausted")
 	// ErrBadJob marks a submission that fails validation.
 	ErrBadJob = errors.New("fleet: invalid job")
+	// ErrTenantThrottled rejects a submission that exceeded its tenant's
+	// token-bucket rate limit; the concrete error is a *ThrottleError
+	// carrying the retry-after hint.
+	ErrTenantThrottled = errors.New("fleet: tenant rate limit exceeded")
 )
 
 // Chaos is test-only attempt perturbation, reusing the fault-kind
@@ -170,12 +183,19 @@ type Record struct {
 	E2EP99 float64 `json:"e2e_p99_ms"`
 	// WallMS is the job's total wall-clock service time in ms.
 	WallMS float64 `json:"wall_ms"`
+	// Resumed marks a job reconstructed from the journal after a
+	// restart: it was admitted by a previous process incarnation.
+	Resumed bool `json:"resumed,omitempty"`
 
 	report   []byte
 	enqueued time.Time
 	done     chan struct{}
 	seq      int64
 	shedable bool
+	// resumeFrom is the attempt index execution continues at — zero for
+	// fresh jobs, the replayed retry count for journal-recovered ones,
+	// so the seeded backoff schedule resumes exactly where it stopped.
+	resumeFrom int
 }
 
 // Report returns the job's final report bytes (nil until done).
@@ -231,6 +251,28 @@ type Config struct {
 	ShedPriority int
 	// AllowChaos enables Job.Chaos (tests and the smoke harness only).
 	AllowChaos bool
+	// Journal is the write-ahead log directory. Empty disables
+	// durability: the service is the in-memory PR-8 fleet. Set, every
+	// admission and terminal transition is fsynced to the log before it
+	// is acknowledged, and New replays any existing log so a restarted
+	// service resumes its queue, cache, and dead-letter ledger.
+	Journal string
+	// SnapshotEvery bounds the WAL: after this many appended entries the
+	// service folds its full state into an atomic snapshot and truncates
+	// the log (default 512; negative disables compaction).
+	SnapshotEvery int
+	// Admission selects the dispatch discipline: AdmissionFair (default,
+	// per-tenant deficit round-robin + token buckets) or
+	// AdmissionPriority (the global priority heap).
+	Admission string
+	// TenantRate is the default per-tenant admission rate in jobs/second
+	// (0 = unlimited); TenantBurst the default bucket capacity (default
+	// 8). Per-tenant overrides live in Limits / SetTenantLimit.
+	TenantRate  float64
+	TenantBurst int
+	// Limits seeds per-tenant admission contracts at startup; limits set
+	// later via SetTenantLimit are journaled and survive restarts.
+	Limits map[string]TenantLimit
 	// Resolve maps a scenario name to its spec (default
 	// scenario.ByName; tests substitute tiny fixtures).
 	Resolve func(string) (scenario.Spec, error)
@@ -281,6 +323,15 @@ func (c *Config) fill() {
 	if c.ShedPriority == 0 {
 		c.ShedPriority = 1
 	}
+	if c.SnapshotEvery == 0 {
+		c.SnapshotEvery = 512
+	}
+	if c.Admission == "" {
+		c.Admission = AdmissionFair
+	}
+	if c.TenantBurst < 1 {
+		c.TenantBurst = 8
+	}
 	if c.Resolve == nil {
 		c.Resolve = scenario.ByName
 	}
@@ -301,9 +352,9 @@ const (
 
 // tenantAgg accumulates one tenant's counters and samples.
 type tenantAgg struct {
-	submitted, completed, failed, retries, shed, rejected, cacheHits int64
-	e2e                                                              []float64 // completed jobs' worst-path p99 (ms)
-	wall                                                             []float64 // completed jobs' wall time (ms)
+	submitted, completed, failed, retries, shed, rejected, cacheHits, throttled int64
+	e2e                                                                         []float64 // completed jobs' worst-path p99 (ms)
+	wall                                                                        []float64 // completed jobs' wall time (ms)
 }
 
 // Service is the fleet server. Create with New, stop with Close.
@@ -314,12 +365,15 @@ type Service struct {
 
 	mu         sync.Mutex
 	cond       *sync.Cond
-	pending    jobHeap
+	queue      *admitQueue
 	records    map[int64]*Record
 	nextID     int64
 	nextSeq    int64
 	state      LadderState
 	tenants    map[string]*tenantAgg
+	limits     map[string]TenantLimit
+	buckets    map[string]*bucket
+	baselines  map[string]*baseline
 	cache      map[string]cacheEntry
 	cacheOrder []string
 	cacheHits  int64
@@ -327,6 +381,16 @@ type Service struct {
 	recentWall []float64
 	inFlight   int
 	closed     bool
+
+	// Durability state (nil/zero without Config.Journal).
+	jl              *journal.Log
+	walSinceCompact int
+	jlErrs          int64
+	recovered       RecoveredStats
+
+	// now is the admission clock, injectable so token-bucket tests are
+	// deterministic.
+	now func() time.Time
 
 	wg sync.WaitGroup
 }
@@ -336,26 +400,88 @@ type cacheEntry struct {
 	e2e    float64
 }
 
-// New starts a fleet service.
-func New(cfg Config) *Service {
+// New starts a fleet service. With Config.Journal set it opens (or
+// creates) the write-ahead log, replays any prior state — salvaging a
+// torn tail the way BagReader does — and resumes interrupted jobs
+// before accepting new ones.
+func New(cfg Config) (*Service, error) {
 	cfg.fill()
-	s := &Service{
-		cfg:     cfg,
-		pool:    parallel.NewPool(cfg.Workers, 0),
-		sem:     make(chan struct{}, cfg.Workers),
-		records: make(map[int64]*Record),
-		state:   LadderNominal,
-		tenants: make(map[string]*tenantAgg),
-		cache:   make(map[string]cacheEntry),
+	if cfg.Admission != AdmissionFair && cfg.Admission != AdmissionPriority {
+		return nil, fmt.Errorf("%w: unknown admission discipline %q (have %s, %s)",
+			ErrBadJob, cfg.Admission, AdmissionFair, AdmissionPriority)
 	}
+	s := &Service{
+		cfg:       cfg,
+		pool:      parallel.NewPool(cfg.Workers, 0),
+		sem:       make(chan struct{}, cfg.Workers),
+		records:   make(map[int64]*Record),
+		state:     LadderNominal,
+		tenants:   make(map[string]*tenantAgg),
+		limits:    make(map[string]TenantLimit),
+		buckets:   make(map[string]*bucket),
+		baselines: make(map[string]*baseline),
+		cache:     make(map[string]cacheEntry),
+		now:       time.Now,
+	}
+	for name, l := range cfg.Limits {
+		s.limits[name] = l
+	}
+	s.queue = newAdmitQueue(cfg.Admission == AdmissionFair, func(tenant string) int {
+		return s.limitFor(tenant).Weight
+	})
 	s.cond = sync.NewCond(&s.mu)
+	if cfg.Journal != "" {
+		if err := s.recover(cfg.Journal); err != nil {
+			s.pool.Close()
+			return nil, err
+		}
+	}
 	s.wg.Add(1)
 	go s.dispatch()
-	return s
+	return s, nil
 }
 
-// Close stops admission, fails whatever is still queued, waits for
-// in-flight vehicles to finish, and tears the pool down.
+// limitFor resolves a tenant's effective admission contract: the
+// journaled/per-tenant override when present, the service defaults
+// otherwise, with burst and weight floored at sane minimums.
+func (s *Service) limitFor(tenant string) TenantLimit {
+	l, ok := s.limits[tenant]
+	if !ok {
+		l = TenantLimit{Rate: s.cfg.TenantRate, Burst: s.cfg.TenantBurst}
+	}
+	if l.Burst < 1 {
+		l.Burst = s.cfg.TenantBurst
+	}
+	if l.Weight < 1 {
+		l.Weight = 1
+	}
+	return l
+}
+
+// SetTenantLimit installs a tenant's admission contract at runtime,
+// resets its token bucket so the new rate takes effect immediately,
+// and journals the change (fsynced) so it survives restarts.
+func (s *Service) SetTenantLimit(tenant string, limit TenantLimit) error {
+	if tenant == "" {
+		tenant = "default"
+	}
+	if limit.Rate < 0 || limit.Burst < 0 || limit.Weight < 0 {
+		return fmt.Errorf("%w: negative rate, burst, or weight", ErrBadJob)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrFleetClosed
+	}
+	s.limits[tenant] = limit
+	delete(s.buckets, tenant)
+	return s.logLocked(walEntry{Op: opLimit, Tenant: tenant, Limit: &limit}, true)
+}
+
+// Close stops admission, waits for in-flight vehicles to finish, and
+// tears the pool down. Without a journal, whatever is still queued is
+// failed explicitly; with one, queued jobs stay journaled and resume
+// when a new service opens the same log.
 func (s *Service) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -363,9 +489,10 @@ func (s *Service) Close() {
 		return
 	}
 	s.closed = true
-	for s.pending.Len() > 0 {
-		rec := heap.Pop(&s.pending).(*Record)
-		s.finishLocked(rec, StateFailed, fmt.Errorf("%w: queued at shutdown", ErrFleetClosed))
+	if s.jl == nil {
+		for _, rec := range s.queue.drain() {
+			s.finishLocked(rec, StateFailed, fmt.Errorf("%w: queued at shutdown", ErrFleetClosed))
+		}
 	}
 	s.cond.Broadcast()
 	s.mu.Unlock()
@@ -375,6 +502,15 @@ func (s *Service) Close() {
 	for i := 0; i < cap(s.sem); i++ {
 		s.sem <- struct{}{}
 	}
+	s.mu.Lock()
+	if s.jl != nil {
+		// Fold the final state into a snapshot so the next open replays
+		// from a compact image, then release the log.
+		s.compactLocked()
+		s.jl.Close()
+		s.jl = nil
+	}
+	s.mu.Unlock()
 	s.pool.Close()
 }
 
@@ -392,7 +528,10 @@ func (s *Service) tenantLocked(name string) *tenantAgg {
 // handle: use Wait (or the record's ID with Get) to observe completion.
 // Rejections are explicit errors — ErrFleetSaturated on a full queue,
 // ErrFleetShedding for low-priority load while shedding,
-// ErrFleetDraining while draining — and are counted per tenant.
+// ErrFleetDraining while draining, *ThrottleError past the tenant's
+// rate limit — and are counted per tenant. On a journaled service the
+// admission is fsynced to the WAL before Submit returns: an
+// acknowledged job is never silently lost to a crash.
 func (s *Service) Submit(job Job) (*Record, error) {
 	if job.Tenant == "" {
 		job.Tenant = "default"
@@ -429,7 +568,9 @@ func (s *Service) Submit(job Job) (*Record, error) {
 
 	agg.submitted++
 
-	// Cache hit: served without re-simulation, no queue slot consumed.
+	// Cache hit: served without re-simulation, no queue slot and no
+	// rate-limit token consumed. Journaled as a single self-contained
+	// admit entry so the record survives a restart.
 	if ent, ok := s.cache[key]; ok {
 		rec := s.newRecordLocked(job, key, duration)
 		rec.State = StateDone
@@ -437,6 +578,10 @@ func (s *Service) Submit(job Job) (*Record, error) {
 		rec.report = ent.report
 		rec.E2EP99 = ent.e2e
 		rec.WallMS = 0
+		if err := s.logLocked(admitEntry(rec), true); err != nil {
+			delete(s.records, rec.ID)
+			return nil, fmt.Errorf("fleet: journaling admission: %w", err)
+		}
 		agg.completed++
 		agg.cacheHits++
 		s.cacheHits++
@@ -446,16 +591,35 @@ func (s *Service) Submit(job Job) (*Record, error) {
 		return rec, nil
 	}
 
-	if s.pending.Len() >= s.cfg.QueueDepth {
+	// Queue-depth check before the token bucket: a saturated rejection
+	// must not also burn one of the tenant's tokens.
+	if s.queue.Len() >= s.cfg.QueueDepth {
 		agg.rejected++
 		s.reladderLocked()
 		return nil, ErrFleetSaturated
 	}
 
+	if limit := s.limitFor(job.Tenant); limit.Rate > 0 {
+		b := s.buckets[job.Tenant]
+		if b == nil {
+			b = &bucket{}
+			s.buckets[job.Tenant] = b
+		}
+		if wait, ok := b.take(s.now(), limit.Rate, limit.Burst); !ok {
+			agg.rejected++
+			agg.throttled++
+			return nil, &ThrottleError{Tenant: job.Tenant, RetryAfter: wait}
+		}
+	}
+
 	rec := s.newRecordLocked(job, key, duration)
 	rec.Backoff = BackoffSchedule(s.cfg.RetrySeed, key, s.cfg.RetryBase, s.cfg.RetryBudget)
 	rec.shedable = true
-	heap.Push(&s.pending, rec)
+	if err := s.logLocked(admitEntry(rec), true); err != nil {
+		delete(s.records, rec.ID)
+		return nil, fmt.Errorf("fleet: journaling admission: %w", err)
+	}
+	s.queue.push(rec)
 	s.reladderLocked()
 	s.cond.Signal()
 	return rec, nil
@@ -542,24 +706,26 @@ func (s *Service) Wait(ctx context.Context, id int64) (Record, error) {
 	return snapshotLocked(rec), nil
 }
 
-// dispatch pulls admitted jobs in (priority, admission) order and runs
-// each on its own execution slot; slots bound concurrently simulating
-// vehicles to Config.Workers.
+// dispatch pulls admitted jobs off the admission queue — fair-share
+// deficit round-robin or global priority order — and runs each on its
+// own execution slot; slots bound concurrently simulating vehicles to
+// Config.Workers.
 func (s *Service) dispatch() {
 	defer s.wg.Done()
 	for {
 		s.sem <- struct{}{}
 		s.mu.Lock()
-		for !s.closed && s.pending.Len() == 0 {
+		for !s.closed && s.queue.Len() == 0 {
 			s.cond.Wait()
 		}
-		if s.pending.Len() == 0 {
-			// Closed and drained.
+		if s.closed {
+			// A journaled service leaves its queue in the log for the
+			// next incarnation; a plain one already drained it in Close.
 			s.mu.Unlock()
 			<-s.sem
 			return
 		}
-		rec := heap.Pop(&s.pending).(*Record)
+		rec := s.queue.pop()
 		rec.shedable = false
 		rec.State = StateRunning
 		s.inFlight++
@@ -583,7 +749,13 @@ func (s *Service) execute(rec *Record) {
 	}
 	defer cancel()
 
-	for attempt := 0; ; attempt++ {
+	for attempt := rec.resumeFrom; ; attempt++ {
+		s.mu.Lock()
+		// Attempt markers are advisory (appended, not fsynced): losing
+		// one to a crash only means the attempt re-runs, and attempts
+		// are deterministic in virtual time.
+		s.logLocked(walEntry{Op: opStart, ID: rec.ID, Attempt: attempt}, false)
+		s.mu.Unlock()
 		start := time.Now()
 		res, err := s.attempt(ctx, rec, attempt)
 		a := Attempt{WallMS: float64(time.Since(start)) / 1e6}
@@ -621,6 +793,7 @@ func (s *Service) execute(rec *Record) {
 		s.mu.Lock()
 		rec.Retries++
 		s.tenantLocked(rec.Tenant).retries++
+		s.logLocked(walEntry{Op: opRetry, ID: rec.ID, Attempt: attempt, Outcome: a.Outcome, Err: a.Err}, false)
 		s.mu.Unlock()
 		select {
 		case <-time.After(rec.Backoff[attempt]):
@@ -695,33 +868,47 @@ func transient(err error) bool {
 	return false
 }
 
-// complete records a successful job: report cached by key, aggregates
-// updated, ladder re-evaluated.
+// complete records a successful job: the terminal transition journaled
+// (fsynced, with the report's content hash so replay can verify it),
+// report cached by key, aggregates updated, ladder re-evaluated.
 func (s *Service) complete(rec *Record, res *RunResult) {
 	s.mu.Lock()
 	rec.State = StateDone
 	rec.report = res.Report
 	rec.E2EP99 = res.E2EP99
 	rec.WallMS = float64(time.Since(rec.enqueued)) / 1e6
-	if s.cfg.CacheSize > 0 {
-		if _, dup := s.cache[rec.Key]; !dup {
-			s.cache[rec.Key] = cacheEntry{report: res.Report, e2e: res.E2EP99}
-			s.cacheOrder = append(s.cacheOrder, rec.Key)
-			for len(s.cacheOrder) > s.cfg.CacheSize {
-				delete(s.cache, s.cacheOrder[0])
-				s.cacheOrder = s.cacheOrder[1:]
-			}
-		}
-	}
+	s.logLocked(walEntry{
+		Op: opDone, ID: rec.ID, Report: res.Report, Hash: reportHash(res.Report),
+		E2E: res.E2EP99, Wall: rec.WallMS, Retries: rec.Retries,
+	}, true)
+	s.cacheInsertLocked(rec.Key, res.Report, res.E2EP99)
 	agg := s.tenantLocked(rec.Tenant)
 	agg.completed++
 	agg.e2e = append(agg.e2e, res.E2EP99)
 	agg.wall = append(agg.wall, rec.WallMS)
 	s.observeWallLocked(rec.WallMS)
+	s.observeVirtualLocked(rec.Key, res.E2EP99)
 	s.inFlight--
 	s.reladderLocked()
+	s.maybeCompactLocked()
 	close(rec.done)
 	s.mu.Unlock()
+}
+
+// cacheInsertLocked adds a result to the bounded key cache.
+func (s *Service) cacheInsertLocked(key string, report []byte, e2e float64) {
+	if s.cfg.CacheSize <= 0 {
+		return
+	}
+	if _, dup := s.cache[key]; dup {
+		return
+	}
+	s.cache[key] = cacheEntry{report: report, e2e: e2e}
+	s.cacheOrder = append(s.cacheOrder, key)
+	for len(s.cacheOrder) > s.cfg.CacheSize {
+		delete(s.cache, s.cacheOrder[0])
+		s.cacheOrder = s.cacheOrder[1:]
+	}
 }
 
 // finish records a terminal failure or shed.
@@ -730,6 +917,7 @@ func (s *Service) finish(rec *Record, state JobState, err error) {
 	s.inFlight--
 	s.finishLocked(rec, state, err)
 	s.reladderLocked()
+	s.maybeCompactLocked()
 	s.mu.Unlock()
 }
 
@@ -737,6 +925,16 @@ func (s *Service) finishLocked(rec *Record, state JobState, err error) {
 	rec.State = state
 	rec.Err = err.Error()
 	rec.WallMS = float64(time.Since(rec.enqueued)) / 1e6
+	op := opFail
+	switch {
+	case state == StateShed:
+		op = opShed
+	case rec.DeadLetter:
+		op = opDead
+	}
+	s.logLocked(walEntry{
+		Op: op, ID: rec.ID, Err: rec.Err, Wall: rec.WallMS, Retries: rec.Retries,
+	}, true)
 	agg := s.tenantLocked(rec.Tenant)
 	switch state {
 	case StateShed:
@@ -745,13 +943,18 @@ func (s *Service) finishLocked(rec *Record, state JobState, err error) {
 		agg.failed++
 	}
 	if rec.DeadLetter {
-		s.dead = append(s.dead, rec)
-		const deadCap = 128
-		if len(s.dead) > deadCap {
-			s.dead = s.dead[len(s.dead)-deadCap:]
-		}
+		s.deadLetterLocked(rec)
 	}
 	close(rec.done)
+}
+
+// deadLetterLocked appends to the bounded dead-letter ledger.
+func (s *Service) deadLetterLocked(rec *Record) {
+	s.dead = append(s.dead, rec)
+	const deadCap = 128
+	if len(s.dead) > deadCap {
+		s.dead = s.dead[len(s.dead)-deadCap:]
+	}
 }
 
 // observeWallLocked feeds the drift detector's sliding window.
@@ -763,21 +966,25 @@ func (s *Service) observeWallLocked(ms float64) {
 	}
 }
 
-// drifting reports whether completion latency has drifted past the
-// configured target. Callers hold s.mu.
+// drifting reports whether completion latency has drifted past
+// tolerance: wall-clock p99 against the configured target, or any
+// scenario family's virtual-time p99 against its own established
+// baseline (see drift.go). Callers hold s.mu.
 func (s *Service) driftingLocked() bool {
-	if s.cfg.TargetP99 <= 0 || len(s.recentWall) < 8 {
-		return false
+	if s.cfg.TargetP99 > 0 && len(s.recentWall) >= 8 {
+		p99 := mathx.Quantile(s.recentWall, 0.99)
+		if p99 > s.cfg.DriftFactor*float64(s.cfg.TargetP99)/1e6 {
+			return true
+		}
 	}
-	p99 := mathx.Quantile(s.recentWall, 0.99)
-	return p99 > s.cfg.DriftFactor*float64(s.cfg.TargetP99)/1e6
+	return len(s.driftedVirtualLocked()) > 0
 }
 
 // reladderLocked re-evaluates the degradation ladder from queue
 // occupancy and latency drift, with hysteresis, and applies the
 // shedding state's queue eviction. Callers hold s.mu.
 func (s *Service) reladderLocked() {
-	occ := float64(s.pending.Len()) / float64(s.cfg.QueueDepth)
+	occ := float64(s.queue.Len()) / float64(s.cfg.QueueDepth)
 	drift := s.driftingLocked()
 	switch {
 	case occ >= s.cfg.DrainHighWater:
@@ -796,21 +1003,7 @@ func (s *Service) reladderLocked() {
 
 // shedQueuedLocked evicts queued jobs below the shed-priority floor.
 func (s *Service) shedQueuedLocked() {
-	var keep []*Record
-	var shed []*Record
-	for _, rec := range s.pending {
-		if rec.Job.Priority < s.cfg.ShedPriority {
-			shed = append(shed, rec)
-		} else {
-			keep = append(keep, rec)
-		}
-	}
-	if len(shed) == 0 {
-		return
-	}
-	s.pending = keep
-	heap.Init(&s.pending)
-	for _, rec := range shed {
+	for _, rec := range s.queue.evictBelow(s.cfg.ShedPriority) {
 		s.finishLocked(rec, StateShed, ErrJobShed)
 	}
 }
@@ -844,11 +1037,34 @@ type TenantStatus struct {
 	Retries   int64   `json:"retries"`
 	Shed      int64   `json:"shed"`
 	Rejected  int64   `json:"rejected"`
+	Throttled int64   `json:"throttled"`
 	CacheHits int64   `json:"cache_hits"`
 	E2EP50    float64 `json:"e2e_p50_ms"`
 	E2EP99    float64 `json:"e2e_p99_ms"`
 	WallP50   float64 `json:"wall_p50_ms"`
 	WallP99   float64 `json:"wall_p99_ms"`
+}
+
+// TenantLimitStatus is one tenant's effective admission contract in
+// the /fleetz report.
+type TenantLimitStatus struct {
+	Tenant string  `json:"tenant"`
+	Rate   float64 `json:"rate"`
+	Burst  int     `json:"burst"`
+	Weight int     `json:"weight"`
+}
+
+// JournalStatus reports the write-ahead log's health in /fleetz.
+type JournalStatus struct {
+	Dir string `json:"dir"`
+	// Stats are the log's own counters: appends, fsyncs, compactions,
+	// current WAL records/bytes, salvage note from the last open.
+	Stats journal.Stats `json:"stats"`
+	// Errors counts journal write failures the service absorbed
+	// (terminal transitions are still applied in memory).
+	Errors int64 `json:"errors"`
+	// Recovered summarizes what the last restart replayed.
+	Recovered RecoveredStats `json:"recovered"`
 }
 
 // DeadLetter is one dead-letter row in the /fleetz report.
@@ -864,15 +1080,21 @@ type DeadLetter struct {
 // per-tenant and fleet-wide latency summaries, and the outage ledger
 // (retries, sheds, rejections, dead letters, captured panics).
 type Status struct {
-	State       LadderState    `json:"state"`
-	QueueDepth  int            `json:"queue_depth"`
-	QueueCap    int            `json:"queue_cap"`
-	InFlight    int            `json:"in_flight"`
-	Fleet       TenantStatus   `json:"fleet"`
-	Tenants     []TenantStatus `json:"tenants"`
-	DeadLetters []DeadLetter   `json:"dead_letters,omitempty"`
-	CacheSize   int            `json:"cache_size"`
-	PoolPanics  int64          `json:"pool_panics"`
+	State      LadderState `json:"state"`
+	Admission  string      `json:"admission"`
+	QueueDepth int         `json:"queue_depth"`
+	QueueCap   int         `json:"queue_cap"`
+	InFlight   int         `json:"in_flight"`
+	// Drifting lists scenario-family key prefixes whose virtual-time
+	// p99 has drifted past DriftFactor × their established baseline.
+	Drifting    []string            `json:"drifting,omitempty"`
+	Fleet       TenantStatus        `json:"fleet"`
+	Tenants     []TenantStatus      `json:"tenants"`
+	Limits      []TenantLimitStatus `json:"limits,omitempty"`
+	DeadLetters []DeadLetter        `json:"dead_letters,omitempty"`
+	CacheSize   int                 `json:"cache_size"`
+	PoolPanics  int64               `json:"pool_panics"`
+	Journal     *JournalStatus      `json:"journal,omitempty"`
 }
 
 func (t *tenantAgg) status(name string) TenantStatus {
@@ -886,6 +1108,7 @@ func (t *tenantAgg) status(name string) TenantStatus {
 		Retries:   t.retries,
 		Shed:      t.shed,
 		Rejected:  t.rejected,
+		Throttled: t.throttled,
 		CacheHits: t.cacheHits,
 		E2EP50:    e2e.Median,
 		E2EP99:    e2e.P99,
@@ -900,9 +1123,11 @@ func (s *Service) Fleetz() Status {
 	defer s.mu.Unlock()
 	st := Status{
 		State:      s.state,
-		QueueDepth: s.pending.Len(),
+		Admission:  s.cfg.Admission,
+		QueueDepth: s.queue.Len(),
 		QueueCap:   s.cfg.QueueDepth,
 		InFlight:   s.inFlight,
+		Drifting:   s.driftedVirtualLocked(),
 		CacheSize:  len(s.cache),
 		PoolPanics: s.pool.Panicked(),
 	}
@@ -921,18 +1146,62 @@ func (s *Service) Fleetz() Status {
 		fleet.retries += t.retries
 		fleet.shed += t.shed
 		fleet.rejected += t.rejected
+		fleet.throttled += t.throttled
 		fleet.cacheHits += t.cacheHits
 		fleet.e2e = append(fleet.e2e, t.e2e...)
 		fleet.wall = append(fleet.wall, t.wall...)
 	}
 	st.Fleet = fleet.status("fleet")
+	limited := make([]string, 0, len(s.limits))
+	for name := range s.limits {
+		limited = append(limited, name)
+	}
+	sort.Strings(limited)
+	for _, name := range limited {
+		l := s.limitFor(name)
+		st.Limits = append(st.Limits, TenantLimitStatus{
+			Tenant: name, Rate: l.Rate, Burst: l.Burst, Weight: l.Weight,
+		})
+	}
 	for _, rec := range s.dead {
 		st.DeadLetters = append(st.DeadLetters, DeadLetter{
 			ID: rec.ID, Tenant: rec.Tenant, Key: rec.Key,
 			Attempts: len(rec.Attempts), Err: rec.Err,
 		})
 	}
+	if s.cfg.Journal != "" {
+		js := &JournalStatus{Dir: s.cfg.Journal, Errors: s.jlErrs, Recovered: s.recovered}
+		if s.jl != nil {
+			js.Stats = s.jl.Stats()
+		}
+		st.Journal = js
+	}
 	return st
+}
+
+// Jobs returns snapshots of all records, sorted by ID. filter narrows
+// by lifecycle state ("queued", "running", "done", "failed", "shed")
+// or the special "dead" (dead-lettered jobs); empty returns all.
+func (s *Service) Jobs(filter string) []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Record, 0, len(s.records))
+	for _, rec := range s.records {
+		switch filter {
+		case "":
+		case "dead":
+			if !rec.DeadLetter {
+				continue
+			}
+		default:
+			if string(rec.State) != filter {
+				continue
+			}
+		}
+		out = append(out, snapshotLocked(rec))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }
 
 // State returns the ladder's current position.

@@ -30,6 +30,16 @@ func passResolve(name string) (scenario.Spec, error) {
 	return scenario.Spec{Name: name}, nil
 }
 
+// mustNew builds a service or fails the test.
+func mustNew(t *testing.T, cfg Config) *Service {
+	t.Helper()
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return svc
+}
+
 func waitDone(t *testing.T, s *Service, id int64) Record {
 	t.Helper()
 	// Generous: one real job is two full simulation legs, and the race
@@ -66,7 +76,7 @@ func TestFleetIsolationUnderChaos(t *testing.T) {
 	var soloRep bytes.Buffer
 	solo.WriteReport(&soloRep)
 
-	svc := New(Config{
+	svc := mustNew(t, Config{
 		Workers:     2,
 		QueueDepth:  4,
 		Duration:    dur,
@@ -215,7 +225,7 @@ func TestFleetIsolationUnderChaos(t *testing.T) {
 // cancellation into the attempt and is final: no retry resurrects a
 // job whose wall-clock budget is spent.
 func TestFleetDeadlineFinal(t *testing.T) {
-	svc := New(Config{
+	svc := mustNew(t, Config{
 		Workers: 1, QueueDepth: 4, RetryBudget: 3, RetryBase: 5 * time.Millisecond,
 		Resolve: passResolve,
 		Runner: runnerFunc(func(ctx context.Context, spec scenario.Spec, det autoware.Detector, d time.Duration) (*RunResult, error) {
@@ -247,7 +257,7 @@ func TestFleetDeadlineFinal(t *testing.T) {
 // schedule), while the job deadline is final.
 func TestFleetAttemptTimeoutRetries(t *testing.T) {
 	var calls atomic.Int64
-	svc := New(Config{
+	svc := mustNew(t, Config{
 		Workers: 1, QueueDepth: 4, RetryBudget: 2, RetryBase: 5 * time.Millisecond,
 		AttemptTimeout: 40 * time.Millisecond,
 		Resolve:        passResolve,
@@ -282,7 +292,7 @@ func TestFleetAttemptTimeoutRetries(t *testing.T) {
 // letters after its retry budget, and the service keeps serving other
 // tenants on the same workers.
 func TestFleetPanicIsolation(t *testing.T) {
-	svc := New(Config{
+	svc := mustNew(t, Config{
 		Workers: 1, QueueDepth: 8, RetryBudget: 1, RetryBase: 2 * time.Millisecond,
 		Resolve: passResolve,
 		Runner: runnerFunc(func(ctx context.Context, spec scenario.Spec, det autoware.Detector, d time.Duration) (*RunResult, error) {
@@ -328,7 +338,7 @@ func TestFleetPanicIsolation(t *testing.T) {
 func TestFleetLadder(t *testing.T) {
 	release := make(chan struct{})
 	started := make(chan string, 16)
-	svc := New(Config{
+	svc := mustNew(t, Config{
 		Workers: 1, QueueDepth: 4, RetryBudget: 1, RetryBase: time.Millisecond,
 		ShedHighWater: 0.5, DrainHighWater: 0.9, LowWater: 0.1, ShedPriority: 1,
 		Resolve: passResolve,
@@ -415,7 +425,7 @@ func TestFleetLadder(t *testing.T) {
 // without re-simulation and distinguishes keys by seed.
 func TestFleetCache(t *testing.T) {
 	var runs atomic.Int64
-	svc := New(Config{
+	svc := mustNew(t, Config{
 		Workers: 1, QueueDepth: 8,
 		Resolve: passResolve,
 		Runner: runnerFunc(func(ctx context.Context, spec scenario.Spec, det autoware.Detector, d time.Duration) (*RunResult, error) {
@@ -457,7 +467,7 @@ func TestFleetCache(t *testing.T) {
 
 // TestFleetValidation pins the admission-time rejections.
 func TestFleetValidation(t *testing.T) {
-	svc := New(Config{Workers: 1, QueueDepth: 2, Resolve: passResolve,
+	svc := mustNew(t, Config{Workers: 1, QueueDepth: 2, Resolve: passResolve,
 		Runner: runnerFunc(func(ctx context.Context, spec scenario.Spec, det autoware.Detector, d time.Duration) (*RunResult, error) {
 			return &RunResult{Report: []byte("ok\n")}, nil
 		})})
@@ -481,7 +491,7 @@ func TestFleetValidation(t *testing.T) {
 func TestFleetCloseFailsQueued(t *testing.T) {
 	release := make(chan struct{})
 	started := make(chan struct{}, 1)
-	svc := New(Config{Workers: 1, QueueDepth: 4, Resolve: passResolve,
+	svc := mustNew(t, Config{Workers: 1, QueueDepth: 4, Resolve: passResolve,
 		Runner: runnerFunc(func(ctx context.Context, spec scenario.Spec, det autoware.Detector, d time.Duration) (*RunResult, error) {
 			started <- struct{}{}
 			<-release
@@ -523,7 +533,7 @@ func TestFleetCloseFailsQueued(t *testing.T) {
 func TestFleetParamsJobs(t *testing.T) {
 	line := world.MarshalParams(world.DefaultScenarioConfig())
 	var got scenario.Spec
-	svc := New(Config{
+	svc := mustNew(t, Config{
 		Workers: 1, QueueDepth: 4,
 		Runner: runnerFunc(func(ctx context.Context, spec scenario.Spec, det autoware.Detector, d time.Duration) (*RunResult, error) {
 			got = spec

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 )
 
 // Handler exposes the service over HTTP:
@@ -13,15 +14,48 @@ import (
 //	POST /jobs           submit a job (JSON body: Job); ?wait=1 blocks
 //	                     until the job is terminal and returns its
 //	                     final record. Overload answers are explicit:
-//	                     429 saturated/shedding, 503 draining/closed,
-//	                     400 invalid job.
+//	                     429 saturated/shedding/throttled (with
+//	                     Retry-After), 503 draining/closed, 400 invalid
+//	                     job.
+//	GET  /jobs           list job records (JSON); ?state= narrows to
+//	                     queued|running|done|failed|shed or the special
+//	                     dead (dead-lettered jobs)
 //	GET  /jobs/{id}      job record snapshot (JSON)
 //	GET  /jobs/{id}/report  final report (text; 409 until terminal)
+//	POST /tenants/{tenant}/limit  install a tenant admission contract
+//	                     (JSON body: TenantLimit); journaled when the
+//	                     service is durable
 //	GET  /fleetz         fleet aggregate: ladder state, queue, per-
-//	                     tenant and fleet-wide p50/p99, outage ledger
+//	                     tenant and fleet-wide p50/p99, admission
+//	                     limits, journal stats, outage ledger
 //	GET  /healthz        liveness + ladder state
 func Handler(s *Service) http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		state := r.URL.Query().Get("state")
+		switch state {
+		case "", "queued", "running", "done", "failed", "shed", "dead":
+		default:
+			http.Error(w, fmt.Sprintf("unknown state filter %q", state), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		writeJSON(w, s.Jobs(state))
+	})
+	mux.HandleFunc("POST /tenants/{tenant}/limit", func(w http.ResponseWriter, r *http.Request) {
+		var limit TenantLimit
+		if err := json.NewDecoder(r.Body).Decode(&limit); err != nil {
+			httpError(w, fmt.Errorf("%w: decoding body: %v", ErrBadJob, err))
+			return
+		}
+		tenant := r.PathValue("tenant")
+		if err := s.SetTenantLimit(tenant, limit); err != nil {
+			httpError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		writeJSON(w, map[string]any{"tenant": tenant, "limit": limit})
+	})
 	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
 		var job Job
 		if err := json.NewDecoder(r.Body).Decode(&job); err != nil {
@@ -94,10 +128,18 @@ func getRecord(s *Service, w http.ResponseWriter, r *http.Request) (Record, bool
 }
 
 // httpError maps service errors onto the status codes the overload
-// contract promises: saturation and shedding are retryable 429s (with
-// Retry-After), draining and shutdown are 503s, validation is a 400.
+// contract promises: saturation, shedding, and rate-limit throttling
+// are retryable 429s (with Retry-After), draining and shutdown are
+// 503s, validation is a 400. Retry-After is always a positive integer
+// of seconds — the throttle hint rounds up so a client that honors it
+// finds a token waiting.
 func httpError(w http.ResponseWriter, err error) {
+	var throttle *ThrottleError
 	switch {
+	case errors.As(err, &throttle):
+		secs := int(throttle.RetryAfter/time.Second) + 1
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
 	case errors.Is(err, ErrFleetSaturated), errors.Is(err, ErrFleetShedding):
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, err.Error(), http.StatusTooManyRequests)

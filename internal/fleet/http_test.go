@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -21,7 +22,7 @@ import (
 func TestFleetHTTP(t *testing.T) {
 	release := make(chan struct{})
 	started := make(chan struct{}, 8)
-	svc := New(Config{
+	svc := mustNew(t, Config{
 		Workers: 1, QueueDepth: 2, RetryBudget: 1, RetryBase: time.Millisecond,
 		ShedHighWater: 2, DrainHighWater: 2, // saturation path under test, not the ladder
 		Resolve: passResolve,
@@ -103,8 +104,13 @@ func TestFleetHTTP(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		resp, _ := post(fmt.Sprintf(`{"tenant":"b","scenario":"q%d"}`, i), "")
 		if resp.StatusCode == http.StatusTooManyRequests {
-			if resp.Header.Get("Retry-After") == "" {
+			// The 429 contract: Retry-After present and a positive
+			// integer of seconds, so naive clients can sleep on it.
+			ra := resp.Header.Get("Retry-After")
+			if ra == "" {
 				t.Errorf("429 without Retry-After")
+			} else if secs, err := strconv.Atoi(ra); err != nil || secs <= 0 {
+				t.Errorf("429 Retry-After %q does not parse as a positive integer (err %v)", ra, err)
 			}
 			saw429 = true
 			break
@@ -124,5 +130,137 @@ func TestFleetHTTP(t *testing.T) {
 	}
 	if resp, body := get("/healthz"); resp.StatusCode != http.StatusOK || !strings.Contains(body, `"ok": true`) {
 		t.Errorf("GET /healthz: status %d body %s", resp.StatusCode, body)
+	}
+}
+
+// TestFleetHTTPJobsFilter covers the /jobs listing and its state
+// filter, in particular the dead-letter view.
+func TestFleetHTTPJobsFilter(t *testing.T) {
+	svc := mustNew(t, Config{
+		Workers: 1, QueueDepth: 8, RetryBudget: 1, RetryBase: time.Millisecond,
+		Resolve: passResolve,
+		Runner: runnerFunc(func(ctx context.Context, spec scenario.Spec, det autoware.Detector, d time.Duration) (*RunResult, error) {
+			if spec.Name == "corrupt" {
+				panic("corrupt scenario")
+			}
+			return &RunResult{Report: []byte("ok\n"), E2EP99: 1}, nil
+		}),
+	})
+	defer svc.Close()
+	ts := httptest.NewServer(Handler(svc))
+	defer ts.Close()
+
+	good, err := svc.Submit(Job{Tenant: "a", Scenario: "healthy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := svc.Submit(Job{Tenant: "a", Scenario: "corrupt"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, svc, good.ID)
+	waitDone(t, svc, bad.ID)
+
+	fetch := func(path string) []Record {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		var recs []Record
+		if err := json.NewDecoder(resp.Body).Decode(&recs); err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return recs
+	}
+
+	if all := fetch("/jobs"); len(all) != 2 {
+		t.Errorf("GET /jobs listed %d records, want 2", len(all))
+	}
+	if done := fetch("/jobs?state=done"); len(done) != 1 || done[0].ID != good.ID {
+		t.Errorf("GET /jobs?state=done = %+v, want only the healthy job", done)
+	}
+	dead := fetch("/jobs?state=dead")
+	if len(dead) != 1 || dead[0].ID != bad.ID || !dead[0].DeadLetter {
+		t.Errorf("GET /jobs?state=dead = %+v, want only the dead-lettered job", dead)
+	}
+	resp, err := http.Get(ts.URL + "/jobs?state=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("GET /jobs?state=bogus: status %d, want 400", resp.StatusCode)
+	}
+
+	// The dead letter also shows in /fleetz alongside journal-less
+	// service status.
+	st := svc.Fleetz()
+	if len(st.DeadLetters) != 1 || st.DeadLetters[0].ID != bad.ID {
+		t.Errorf("fleetz dead letters %+v, want the corrupt job", st.DeadLetters)
+	}
+	if st.Journal != nil {
+		t.Errorf("fleetz reports journal %+v on an in-memory service", st.Journal)
+	}
+}
+
+// TestFleetHTTPTenantLimit covers the limit-install endpoint and the
+// throttled 429's Retry-After contract.
+func TestFleetHTTPTenantLimit(t *testing.T) {
+	svc := mustNew(t, Config{
+		Workers: 1, QueueDepth: 32, Resolve: passResolve,
+		Runner: runnerFunc(func(ctx context.Context, spec scenario.Spec, det autoware.Detector, d time.Duration) (*RunResult, error) {
+			return &RunResult{Report: []byte("ok\n"), E2EP99: 1}, nil
+		}),
+	})
+	defer svc.Close()
+	ts := httptest.NewServer(Handler(svc))
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/tenants/metered/limit", "application/json",
+		strings.NewReader(`{"rate":0.001,"burst":1,"weight":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /tenants/metered/limit: status %d", resp.StatusCode)
+	}
+	if st := svc.Fleetz(); len(st.Limits) != 1 || st.Limits[0].Tenant != "metered" || st.Limits[0].Rate != 0.001 {
+		t.Fatalf("fleetz limits %+v, want metered at 0.001/s", svc.Fleetz().Limits)
+	}
+
+	// One token in the bucket: the first submission is admitted, the
+	// second is throttled with a positive-integer Retry-After. Distinct
+	// scenarios, so the cache (which rightly skips the bucket) stays out
+	// of the way.
+	submit := func(scenario string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/jobs", "application/json",
+			strings.NewReader(`{"tenant":"metered","scenario":"`+scenario+`"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	if resp := submit("s0"); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first metered job: status %d, want 202", resp.StatusCode)
+	}
+	resp = submit("s1")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second metered job: status %d, want 429", resp.StatusCode)
+	}
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs <= 0 {
+		t.Errorf("throttled Retry-After %q, want a positive integer (err %v)",
+			resp.Header.Get("Retry-After"), err)
+	}
+	if got := svc.Fleetz().Fleet.Throttled; got != 1 {
+		t.Errorf("fleetz throttled = %d, want 1", got)
 	}
 }

@@ -65,7 +65,7 @@ func TestFleetRetryDeterminism(t *testing.T) {
 		CacheSize:  -1, // force the chaos job to actually re-run
 	}
 
-	clean := New(cfg)
+	clean := mustNew(t, cfg)
 	cleanRec, err := clean.Submit(Job{Tenant: "clean", Scenario: scenario.NameCameraStall})
 	if err != nil {
 		t.Fatal(err)
@@ -76,7 +76,7 @@ func TestFleetRetryDeterminism(t *testing.T) {
 		t.Fatalf("clean run: state %s (%s)", cleanFinal.State, cleanFinal.Err)
 	}
 
-	chaos := New(cfg)
+	chaos := mustNew(t, cfg)
 	defer chaos.Close()
 	crashRec, err := chaos.Submit(Job{
 		Tenant: "crashy", Scenario: scenario.NameCameraStall,

@@ -1,0 +1,111 @@
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// FuzzJournalDecode throws arbitrary bytes at the WAL decoder. The
+// contract under fuzz: never panic, never read past the buffer, and
+// when the input is a valid prefix followed by damage, salvage exactly
+// the valid prefix and report a *TornError. Decoded payloads must
+// re-encode to an image that decodes to the same records (the
+// salvage-then-rewrite path the fleet recovery uses).
+func FuzzJournalDecode(f *testing.F) {
+	// Seed the interesting shapes: empty, bare magic, clean logs,
+	// truncated tails, bit flips, garbage.
+	f.Add([]byte{})
+	f.Add([]byte(walMagic))
+	f.Add([]byte("NOTAWAL!garbage"))
+	clean := []byte(walMagic)
+	clean = appendFrame(clean, []byte(`{"op":"admit","id":1}`))
+	clean = appendFrame(clean, []byte(`{"op":"done","id":1,"hash":"abc"}`))
+	f.Add(clean)
+	f.Add(clean[:len(clean)-5])                                    // torn payload
+	f.Add(append(clean[:len(clean):len(clean)], 0x00, 0x01, 0x02)) // garbage tail
+	flipped := append([]byte(nil), clean...)
+	flipped[len(flipped)-3] ^= 0x80
+	f.Add(flipped) // bit flip in the last record
+	huge := []byte(walMagic)
+	huge = append(huge, 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0) // 4 GiB length claim
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, validLen, err := Decode(data)
+		if validLen < 0 || validLen > len(data) {
+			t.Fatalf("valid length %d outside [0, %d]", validLen, len(data))
+		}
+		if err == nil && len(data) >= len(walMagic) && validLen != len(data) {
+			t.Fatalf("clean decode consumed %d of %d bytes", validLen, len(data))
+		}
+		if err != nil && !errors.Is(err, ErrTorn) {
+			// The only non-torn failure is a foreign/missing magic, which
+			// salvages nothing.
+			if len(recs) != 0 || validLen != 0 {
+				t.Fatalf("hard error %v salvaged %d records", err, len(recs))
+			}
+			return
+		}
+		// Round-trip the salvaged prefix: re-encoding must reproduce the
+		// valid image bytes exactly and decode back to the same records.
+		img := []byte(walMagic)
+		for _, r := range recs {
+			img = appendFrame(img, r)
+		}
+		if len(data) >= len(walMagic) && !bytes.Equal(img, data[:validLen]) {
+			t.Fatalf("re-encoded salvage (%d bytes) differs from the valid prefix (%d bytes)", len(img), validLen)
+		}
+		again, n, err2 := Decode(img)
+		if err2 != nil {
+			t.Fatalf("re-decoding the salvaged image failed: %v", err2)
+		}
+		if n != len(img) || len(again) != len(recs) {
+			t.Fatalf("re-decode got %d records over %d bytes, want %d over %d", len(again), n, len(recs), len(img))
+		}
+		for i := range recs {
+			if !bytes.Equal(again[i], recs[i]) {
+				t.Fatalf("record %d changed across re-encode", i)
+			}
+		}
+	})
+}
+
+// TestWriteFuzzCorpus regenerates the checked-in seed corpus under
+// testdata/fuzz. Guarded: run with WRITE_CORPUS=1 after changing the
+// journal format, then commit the updated files.
+func TestWriteFuzzCorpus(t *testing.T) {
+	if os.Getenv("WRITE_CORPUS") == "" {
+		t.Skip("set WRITE_CORPUS=1 to regenerate the fuzz seed corpus")
+	}
+	clean := []byte(walMagic)
+	clean = appendFrame(clean, []byte(`{"op":"admit","id":1,"tenant":"alice"}`))
+	clean = appendFrame(clean, []byte(`{"op":"start","id":1}`))
+	clean = appendFrame(clean, []byte(`{"op":"done","id":1,"hash":"deadbeef"}`))
+	flipped := append([]byte(nil), clean...)
+	flipped[len(flipped)-4] ^= 0x20
+	seeds := map[string][]byte{
+		"empty":         {},
+		"bare-magic":    []byte(walMagic),
+		"garbage":       []byte("NOTAWAL!garbage bytes"),
+		"valid":         clean,
+		"truncated":     clean[:len(clean)-6],
+		"bit-flipped":   flipped,
+		"torn-tail":     append(append([]byte(nil), clean...), 0x03, 0x00, 0x00, 0x00),
+		"length-lies":   append([]byte(walMagic), 0xff, 0xff, 0xff, 0x7f, 1, 2, 3, 4),
+		"header-sliver": append([]byte(walMagic), 0x01),
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzJournalDecode")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range seeds {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
